@@ -1,0 +1,49 @@
+"""Ablations of the design choices DESIGN.md calls out (not paper figures).
+
+* Locality-aware scheduling vs random placement.
+* Executor-local caches on vs off.
+* Backpressure-driven hot-key replication on vs off.
+* Direct TCP messaging vs the Anna-inbox fallback.
+"""
+
+from conftest import emit, scale
+
+from repro.bench import (
+    run_caching_ablation,
+    run_hot_key_replication_ablation,
+    run_messaging_ablation,
+    run_scheduling_ablation,
+)
+
+
+def test_ablation_locality_scheduling(bench_once):
+    ablation = bench_once(run_scheduling_ablation, requests=scale(200), seed=0)
+    emit("Ablation: locality-aware vs random scheduling",
+         ablation.comparison.as_table()
+         + f"\ncache hit rate: locality={ablation.hit_rate_locality:.1%}, "
+           f"random={ablation.hit_rate_random:.1%}")
+    assert ablation.hit_rate_locality > ablation.hit_rate_random
+
+
+def test_ablation_executor_caches(bench_once):
+    comparison = bench_once(run_caching_ablation, requests=scale(200), seed=0)
+    emit("Ablation: executor-local caches on vs off", comparison.as_table())
+    assert comparison.median("Caches enabled") < comparison.median("Caches disabled")
+
+
+def test_ablation_hot_key_replication(bench_once):
+    ablation = bench_once(run_hot_key_replication_ablation, requests=scale(300), seed=0)
+    emit("Ablation: backpressure-driven hot-key replication",
+         f"caches holding the hot key with backpressure:    "
+         f"{ablation.caches_with_hot_key_backpressure}/{ablation.total_caches}\n"
+         f"caches holding the hot key without backpressure: "
+         f"{ablation.caches_with_hot_key_no_backpressure}/{ablation.total_caches}")
+    assert ablation.caches_with_hot_key_backpressure >= \
+        ablation.caches_with_hot_key_no_backpressure
+
+
+def test_ablation_direct_messaging(bench_once):
+    comparison = bench_once(run_messaging_ablation, messages=scale(500), seed=0)
+    emit("Ablation: direct TCP messaging vs Anna-inbox fallback",
+         comparison.as_table())
+    assert comparison.median("Direct TCP") < comparison.median("Anna inbox fallback")

@@ -1,0 +1,23 @@
+"""Figure 10: prediction-serving throughput/latency as executors scale 10->160.
+
+Paper claim: throughput scales nearly linearly with the number of executor
+threads (clients = threads/3) while median and tail latency stay roughly flat
+after an initial bump at 20 threads.
+"""
+
+from conftest import emit, scale
+
+from repro.bench import run_figure10
+from repro.sim import format_table
+
+
+def test_figure10_prediction_scaling(bench_once):
+    result = bench_once(run_figure10, thread_counts=(10, 20, 40, 80, 160),
+                        requests_per_point=scale(2000), seed=0)
+    emit("Figure 10: prediction-serving scaling",
+         format_table(["threads", "clients", "throughput/s", "median (ms)",
+                       "p95 (ms)", "p99 (ms)"], result.as_rows()))
+    curve = dict(result.throughput_curve())
+    assert curve[160] > 8 * curve[10]
+    medians = [p.median_ms for p in result.points]
+    assert max(medians) < 2.5 * min(medians)

@@ -1,0 +1,21 @@
+"""Figure 12: Retwis (causal mode) throughput/latency as executors scale 10->160.
+
+Paper claim: throughput grows nearly linearly with executor threads (clients =
+threads), landing ~30% below ideal at 160 threads, while median/p99 latency
+rise by roughly 60% across the sweep.
+"""
+
+from conftest import emit, scale
+
+from repro.bench import run_figure12
+from repro.sim import format_table
+
+
+def test_figure12_retwis_scaling(bench_once):
+    result = bench_once(run_figure12, thread_counts=(10, 20, 40, 80, 160),
+                        requests_per_point=scale(5000), seed=0)
+    emit("Figure 12: Retwis scaling (causal mode)",
+         format_table(["threads", "clients", "throughput/s", "median (ms)",
+                       "p95 (ms)", "p99 (ms)"], result.as_rows()))
+    curve = dict(result.throughput_curve())
+    assert curve[160] > 8 * curve[10]

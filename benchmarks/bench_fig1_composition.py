@@ -1,0 +1,24 @@
+"""Figure 1: function-composition latency across serverless platforms.
+
+Paper claim: Cloudburst matches Dask, beats SAND by ~an order of magnitude and
+commercial FaaS (Lambda variants, Step Functions) by 1-3 orders of magnitude.
+"""
+
+from conftest import emit, scale
+
+from repro.bench import run_figure1
+
+
+def test_figure1_composition(bench_once):
+    result = bench_once(run_figure1, requests=scale(1000), seed=0)
+    emit("Figure 1: square(increment(x)) latency", result.as_table())
+    emit("Figure 1: key ratios", "\n".join([
+        f"Cloudburst vs Dask (median):            {result.speedup('Cloudburst', 'Dask'):6.1f}x",
+        f"Cloudburst vs Lambda (median):          {result.speedup('Cloudburst', 'Lambda'):6.1f}x",
+        f"Cloudburst vs SAND (median):            {result.speedup('Cloudburst', 'SAND'):6.1f}x",
+        f"Cloudburst vs Lambda+S3 (median):       {result.speedup('Cloudburst', 'Lambda + S3'):6.1f}x",
+        f"Cloudburst vs Step Functions (median):  {result.speedup('Cloudburst', 'Step Functions'):6.1f}x",
+        "paper: Step Functions ~82x slower than Cloudburst, Lambda ~10x faster than Step Functions",
+    ]))
+    assert result.median("Cloudburst") < result.median("Lambda")
+    assert result.speedup("Cloudburst", "Step Functions") > 20

@@ -1,0 +1,27 @@
+"""Figure 5: data locality — sum of 10 arrays, 80 KB to 80 MB of total input.
+
+Paper claim: at 8 MB Cloudburst's cache-hit path is ~10x faster than its
+cache-miss path, ~25x faster than Lambda+ElastiCache and ~79x faster than
+Lambda+S3; at 80 MB, S3 becomes competitive with (and beats) Redis while
+Cloudburst (Hot) stays ~9x/24x ahead of Cold/S3.
+"""
+
+from conftest import emit, scale
+
+from repro.bench import run_figure5
+
+
+def test_figure5_locality(bench_once):
+    sweep = bench_once(run_figure5, requests_per_size=scale(60), seed=0)
+    emit("Figure 5: data locality sweep", sweep.as_table())
+    at_8mb = sweep.points["8MB"]
+    at_80mb = sweep.points["80MB"]
+    emit("Figure 5: key ratios @ 8MB / 80MB", "\n".join([
+        f"Hot vs Cold @8MB:        {at_8mb.speedup('Cloudburst (Hot)', 'Cloudburst (Cold)'):6.1f}x  (paper ~10x)",
+        f"Hot vs Lambda+Redis @8MB:{at_8mb.speedup('Cloudburst (Hot)', 'Lambda (Redis)'):6.1f}x  (paper ~25x)",
+        f"Hot vs Lambda+S3 @8MB:   {at_8mb.speedup('Cloudburst (Hot)', 'Lambda (S3)'):6.1f}x  (paper ~79x)",
+        f"Hot vs Cold @80MB:       {at_80mb.speedup('Cloudburst (Hot)', 'Cloudburst (Cold)'):6.1f}x  (paper ~9x)",
+        f"Hot vs Lambda+S3 @80MB:  {at_80mb.speedup('Cloudburst (Hot)', 'Lambda (S3)'):6.1f}x  (paper ~24x)",
+    ]))
+    assert at_8mb.median("Cloudburst (Hot)") < at_8mb.median("Cloudburst (Cold)")
+    assert at_80mb.median("Lambda (S3)") < at_80mb.median("Lambda (Redis)")

@@ -1,0 +1,35 @@
+"""Figure 7: autoscaling responsiveness to a load spike, plus the §6.1.4
+per-key cache-index overhead measurement.
+
+Paper claim: starting from 180 executor threads and 400 clients, throughput
+steps from ~3.3k to ~4.4k, ~5.6k and ~6.7k requests/s as batches of 20 EC2
+instances come online (~2.5 minute plateaus); after the load stops the
+allocation drains to 2 threads within seconds.
+"""
+
+from conftest import emit
+
+from repro.bench import run_figure7
+from repro.sim import format_table
+
+
+def test_figure7_autoscaling(bench_once):
+    experiment = bench_once(run_figure7, seed=0)
+    curve_rows = [[f"{point.time_s / 60.0:.2f}", f"{point.requests_per_s:.0f}",
+                   point.allocated_threads]
+                  for point in experiment.simulation.throughput_curve]
+    emit("Figure 7: throughput and allocated threads over time",
+         format_table(["minute", "requests/s", "threads"], curve_rows))
+    emit("Figure 7: capacity change events",
+         format_table(["time (s)", "threads"],
+                      [[f"{t / 1000.0:.0f}", c]
+                       for t, c in experiment.simulation.capacity_timeline]))
+    overhead = experiment.index_overhead
+    emit("§6.1.4: per-key cache-index overhead",
+         f"median = {overhead.median_bytes:.0f} B, p99 = {overhead.p99_bytes:.0f} B, "
+         f"max = {overhead.max_bytes:.0f} B over {overhead.tracked_keys} keys\n"
+         f"paper: median 24 B, p99 1.3 KB (120 cache nodes; this run uses 8)")
+    initial = experiment.throughput_at_minute(1.5)
+    assert 2_000 < initial < 4_500
+    assert experiment.peak_throughput_per_s > initial * 1.5
+    assert experiment.simulation.capacity_timeline[-1][1] == 2

@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""Distributed aggregation (§6.1.3): gossip vs centralized gather.
+
+Runs the Kempe et al. push-sum gossip protocol over Cloudburst's direct
+messaging API and compares it with the "gather" workaround (publish metrics to
+a storage service, let a leader collect them) on Cloudburst, Redis, DynamoDB
+and S3 backends.
+
+Run with::
+
+    python examples/gossip_aggregation.py
+"""
+
+from repro import CloudburstCluster
+from repro.apps import GatherAggregation, GossipAggregation
+from repro.sim import LatencyRecorder
+
+
+def main() -> None:
+    cluster = CloudburstCluster(executor_vms=4, threads_per_vm=3)
+    actor_count = 10
+    repetitions = 25
+
+    print(f"aggregating a metric across {actor_count} running functions, "
+          f"{repetitions} aggregations per configuration\n")
+
+    gossip = GossipAggregation(cluster, actor_count=actor_count)
+    recorder = LatencyRecorder(label="Cloudburst (gossip)")
+    last = None
+    for _ in range(repetitions):
+        last = gossip.run()
+        recorder.record(last.latency_ms)
+    print(f"{recorder.summary()}")
+    print(f"  last run: estimate={last.estimate:.2f} true mean={last.true_mean:.2f} "
+          f"({last.rounds} rounds, {last.relative_error:.1%} error)")
+
+    configurations = [
+        ("Cloudburst (gather)", GatherAggregation.BACKEND_CLOUDBURST),
+        ("Lambda+Redis (gather)", GatherAggregation.BACKEND_REDIS),
+        ("Lambda+DynamoDB (gather)", GatherAggregation.BACKEND_DYNAMODB),
+        ("Lambda+S3 (gather)", GatherAggregation.BACKEND_S3),
+    ]
+    for label, backend in configurations:
+        gather = GatherAggregation(backend, actor_count=actor_count, cluster=cluster)
+        gather_recorder = LatencyRecorder(label=label)
+        for _ in range(repetitions):
+            gather_recorder.record(gather.run().latency_ms)
+        print(f"{gather_recorder.summary()}")
+
+    print("\nTakeaway (paper §6.1.3): fine-grained direct communication makes "
+          "distributed protocols practical on Cloudburst; storage-mediated "
+          "workarounds on stateless FaaS are far slower.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""Prediction serving (§6.3.1): a three-stage MobileNet-style pipeline.
+
+Deploys resize -> model -> render as a Cloudburst DAG (the model weights live
+in Anna and are cached at the executors), serves a few predictions, and
+compares the latency against the native-Python and simulated SageMaker/Lambda
+baselines from Figure 9.
+
+Run with::
+
+    python examples/prediction_serving.py
+"""
+
+from repro import CloudburstCluster
+from repro.apps import PredictionBaselines, deploy_on_cloudburst, make_image
+from repro.sim import LatencyRecorder, RequestContext
+
+
+def main() -> None:
+    cluster = CloudburstCluster(executor_vms=2, threads_per_vm=3)
+    deployment = deploy_on_cloudburst(cluster)
+    image = make_image(side=512, seed=7)
+
+    print("Serving predictions on Cloudburst:")
+    recorder = LatencyRecorder(label="Cloudburst")
+    prediction = None
+    for index in range(10):
+        prediction, latency = deployment.serve(image)
+        recorder.record(latency)
+    print(f"  prediction: {prediction['label']} "
+          f"(confidence {prediction['confidence']:.3f})")
+    print(f"  {recorder.summary()}")
+
+    print("\nBaselines (same image, simulated platforms):")
+    baselines = PredictionBaselines()
+    for label, runner in (("Python (single process)", baselines.run_python),
+                          ("AWS SageMaker", baselines.run_sagemaker),
+                          ("AWS Lambda (mock)", baselines.run_lambda_mock),
+                          ("AWS Lambda (actual)", baselines.run_lambda_actual)):
+        baseline_recorder = LatencyRecorder(label=label)
+        for _ in range(10):
+            ctx = RequestContext()
+            runner(image, ctx)
+            baseline_recorder.record(ctx.clock.now_ms)
+        print(f"  {baseline_recorder.summary()}")
+
+    print("\nTakeaway (paper §6.3.1): Cloudburst tracks native Python within a "
+          "few tens of milliseconds and beats the purpose-built serving service.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Retwis (§6.3.2): a Twitter clone as six Cloudburst functions.
+
+Builds a small social graph, runs a 90/10 read/write request mix against
+Cloudburst in last-writer-wins mode and in distributed-session causal mode,
+and reports latency plus the rate of "reply without its original tweet"
+anomalies each mode exposes.
+
+Run with::
+
+    python examples/retwis_app.py
+"""
+
+from repro import CloudburstCluster, ConsistencyLevel
+from repro.anna import AnnaCluster
+from repro.apps import RetwisOnCloudburst, RetwisOnRedis
+from repro.sim import LatencyRecorder
+from repro.workloads import SocialWorkloadGenerator
+
+
+def run_mode(level, graph, requests, flush_every=40):
+    cluster = CloudburstCluster(executor_vms=3, consistency=level,
+                                anna_propagation=AnnaCluster.PROPAGATE_PERIODIC)
+    app = RetwisOnCloudburst(cluster, consistency=level)
+    app.load_graph(graph)
+    cluster.kvs.flush_updates()
+    recorder = LatencyRecorder(label=f"Cloudburst ({level.short_name})")
+    for index, request in enumerate(requests):
+        recorder.record(app.execute(request))
+        if (index + 1) % flush_every == 0:
+            cluster.kvs.flush_updates()
+    return recorder, app.stats
+
+
+def main() -> None:
+    generator = SocialWorkloadGenerator(user_count=300, followees_per_user=50,
+                                        seed_tweet_count=1_500, seed=1)
+    graph = generator.build_graph()
+    requests = generator.request_stream(600)
+    print(f"social graph: {graph.user_count} users, "
+          f"{sum(len(f) for f in graph.follows.values())} follow edges, "
+          f"{len(graph.seed_tweets)} seed tweets")
+
+    print("\nCloudburst, last-writer-wins:")
+    lww_recorder, lww_stats = run_mode(ConsistencyLevel.LWW, graph, requests)
+    print(f"  {lww_recorder.summary()}")
+    print(f"  anomalous timelines: {lww_stats.anomaly_rate:.1%}")
+
+    print("\nCloudburst, distributed-session causal consistency:")
+    causal_recorder, causal_stats = run_mode(
+        ConsistencyLevel.DISTRIBUTED_SESSION_CAUSAL, graph, requests)
+    print(f"  {causal_recorder.summary()}")
+    print(f"  anomalous timelines: {causal_stats.anomaly_rate:.1%}")
+
+    print("\nServerful baseline (webservers over Redis):")
+    redis_app = RetwisOnRedis()
+    redis_app.load_graph(graph)
+    redis_recorder = LatencyRecorder(label="Redis")
+    for request in requests:
+        redis_recorder.record(redis_app.execute(request))
+    print(f"  {redis_recorder.summary()}")
+
+    print("\nTakeaway (paper §6.3.2): the port is a handful of functions, adds a "
+          "modest overhead over the serverful baseline, and causal mode removes "
+          "the reply-before-original confusion that LWW exposes.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,35 @@
+"""Reproduction of *Cloudburst: Stateful Functions-as-a-Service* (VLDB 2020).
+
+Top-level convenience re-exports.  The main entry point is
+:class:`repro.cloudburst.CloudburstCluster`:
+
+    from repro import CloudburstCluster
+
+    cluster = CloudburstCluster(executor_vms=3)
+    cloud = cluster.connect()
+    square = cloud.register(lambda x: x * x, name="square")
+    assert square(3) == 9
+"""
+
+from .cloudburst import (
+    CloudburstClient,
+    CloudburstCluster,
+    CloudburstFuture,
+    CloudburstReference,
+    ConsistencyLevel,
+    Dag,
+    simulated_compute,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CloudburstClient",
+    "CloudburstCluster",
+    "CloudburstFuture",
+    "CloudburstReference",
+    "ConsistencyLevel",
+    "Dag",
+    "simulated_compute",
+    "__version__",
+]

@@ -1,0 +1,106 @@
+"""Storage-tier autoscaling policy.
+
+Anna responds to workload changes by (1) growing and shrinking the storage
+cluster, (2) selectively replicating frequently-accessed ("hot") keys, and
+(3) moving cold data from the memory tier to the disk tier ([86], summarised
+in §2.2 of the Cloudburst paper).  The Cloudburst compute tier has its own,
+separate autoscaler (:mod:`repro.cloudburst.monitoring`); this one only
+manages storage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .cluster import AnnaCluster
+
+
+@dataclass
+class StorageAutoscalerConfig:
+    """Thresholds for the storage autoscaling policy."""
+
+    #: Add a node when mean accesses per node per tick exceeds this value.
+    scale_up_accesses_per_node: float = 5_000.0
+    #: Remove a node when mean accesses per node per tick falls below this value.
+    scale_down_accesses_per_node: float = 500.0
+    min_nodes: int = 1
+    max_nodes: int = 64
+    #: Keys accessed at least this many times per tick get extra replicas.
+    hot_key_threshold: int = 1_000
+    hot_key_extra_replicas: int = 2
+    #: Demote keys untouched for this long (ms of virtual time) to disk.
+    cold_key_age_ms: float = 300_000.0
+
+
+@dataclass
+class StorageAutoscalerReport:
+    """What one policy tick decided (returned for observability and tests)."""
+
+    nodes_added: int = 0
+    nodes_removed: int = 0
+    keys_boosted: List[str] = field(default_factory=list)
+    keys_demoted: int = 0
+    accesses_per_node: float = 0.0
+
+
+class StorageAutoscaler:
+    """Periodic policy engine for the Anna storage tier."""
+
+    def __init__(self, cluster: AnnaCluster,
+                 config: Optional[StorageAutoscalerConfig] = None):
+        self.cluster = cluster
+        self.config = config or StorageAutoscalerConfig()
+        self._last_total_accesses = 0
+
+    def tick(self, now_ms: float = 0.0) -> StorageAutoscalerReport:
+        """Run one policy evaluation and apply its decisions."""
+        report = StorageAutoscalerReport()
+        total_accesses = self.cluster.total_access_count()
+        window_accesses = max(0, total_accesses - self._last_total_accesses)
+        self._last_total_accesses = total_accesses
+        node_count = self.cluster.node_count()
+        report.accesses_per_node = window_accesses / max(1, node_count)
+
+        # 1. Cluster elasticity.
+        if (report.accesses_per_node > self.config.scale_up_accesses_per_node
+                and node_count < self.config.max_nodes):
+            self.cluster.add_node()
+            report.nodes_added = 1
+        elif (report.accesses_per_node < self.config.scale_down_accesses_per_node
+                and node_count > self.config.min_nodes):
+            self.cluster.remove_node(self.cluster.node_ids[-1])
+            report.nodes_removed = 1
+
+        # 2. Selective replication of hot keys.
+        for key in self.cluster.hot_keys(min_accesses=self.config.hot_key_threshold):
+            self.cluster.boost_replication(key, self.config.hot_key_extra_replicas)
+            report.keys_boosted.append(key)
+
+        # 3. Cold-data demotion to the disk tier.
+        report.keys_demoted = self._demote_cold_keys(now_ms)
+        return report
+
+    def _demote_cold_keys(self, now_ms: float) -> int:
+        demoted = 0
+        for node_id in self.cluster.node_ids:
+            node = self.cluster.node(node_id)
+            for key in list(node.keys()):
+                if node.tier_of(key) != node.MEMORY_TIER:
+                    continue
+                age = now_ms - node.stats(key).last_access_ms
+                if age > self.config.cold_key_age_ms:
+                    if node.demote(key):
+                        demoted += 1
+        return demoted
+
+
+def hot_key_report(cluster: AnnaCluster, top_n: int = 10) -> Dict[str, int]:
+    """Convenience helper: the most-accessed keys across the cluster."""
+    accesses: Dict[str, int] = {}
+    for node_id in cluster.node_ids:
+        node = cluster.node(node_id)
+        for key in node.keys():
+            accesses[key] = accesses.get(key, 0) + node.stats(key).accesses
+    ranked = sorted(accesses.items(), key=lambda item: item[1], reverse=True)
+    return dict(ranked[:top_n])

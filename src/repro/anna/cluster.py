@@ -1,0 +1,298 @@
+"""The Anna key-value store cluster.
+
+Anna [85, 86] is the autoscaling, coordination-free KVS Cloudburst uses for
+persistent state, system metadata and overlay routing.  This module provides
+a laptop-scale reimplementation with the properties Cloudburst relies on:
+
+* values are lattices, merged on every put (multi-master, coordination free);
+* keys are partitioned across storage nodes with consistent hashing and
+  replicated ``replication_factor`` ways for k-fault tolerance;
+* the cluster ingests cached-keyset snapshots from Cloudburst caches and
+  maintains the key-to-cache index used for update propagation and
+  locality-aware scheduling (§4.2);
+* nodes can be added and removed at runtime (storage autoscaling), moving
+  only the affected shard of the key space.
+
+Latency: every remote ``get``/``put`` issued with a request context charges
+one Anna round trip sized by the payload.  Replica fan-out and update
+propagation are asynchronous in the paper and therefore charge nothing to the
+caller.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional
+
+from ..errors import KeyNotFoundError
+from ..lattices import Lattice, LWWLattice, Timestamp, TimestampGenerator
+from ..sim import LatencyModel, RequestContext
+from .hash_ring import HashRing
+from .index import KeyCacheIndex
+from .storage_node import StorageNode
+
+#: Callback signature for asynchronous update propagation to caches.
+UpdateListener = Callable[[str, Lattice], None]
+
+
+class AnnaCluster:
+    """A cluster of Anna storage nodes behind a consistent-hash ring."""
+
+    #: Update propagation modes: "immediate" pushes key updates to caches on
+    #: every put; "periodic" queues them until ``flush_updates`` is called,
+    #: which is how the real Anna behaves (§4.2) and is what lets caches serve
+    #: stale data between propagation rounds.
+    PROPAGATE_IMMEDIATE = "immediate"
+    PROPAGATE_PERIODIC = "periodic"
+
+    def __init__(self, node_count: int = 4, replication_factor: int = 2,
+                 latency_model: Optional[LatencyModel] = None,
+                 virtual_nodes: int = 64,
+                 memory_capacity_keys: int = 1_000_000,
+                 propagation_mode: str = PROPAGATE_IMMEDIATE):
+        if node_count <= 0:
+            raise ValueError("node_count must be positive")
+        if replication_factor <= 0:
+            raise ValueError("replication_factor must be positive")
+        if propagation_mode not in (self.PROPAGATE_IMMEDIATE, self.PROPAGATE_PERIODIC):
+            raise ValueError(f"unknown propagation mode: {propagation_mode!r}")
+        self.latency_model = latency_model or LatencyModel()
+        self.replication_factor = replication_factor
+        self.memory_capacity_keys = memory_capacity_keys
+        self.propagation_mode = propagation_mode
+        self._pending_updates: List[str] = []
+        self._ring = HashRing(virtual_nodes=virtual_nodes)
+        self._nodes: Dict[str, StorageNode] = {}
+        self._node_sequence = 0
+        self._cache_index = KeyCacheIndex()
+        self._update_listeners: Dict[str, UpdateListener] = {}
+        self._timestamps = TimestampGenerator("anna-cluster")
+        self._hot_key_extra_replicas: Dict[str, int] = {}
+        self._wall_clock_ms = 0.0
+        for _ in range(node_count):
+            self.add_node()
+
+    def wall_clock_ms(self) -> float:
+        """A cluster-wide monotonically increasing clock.
+
+        Stands in for the (roughly synchronised) local system clocks the paper
+        concatenates into LWW timestamps; every call returns a strictly larger
+        value, so writes issued later in real execution order carry larger
+        timestamps regardless of which node issued them.
+        """
+        self._wall_clock_ms += 0.001
+        return self._wall_clock_ms
+
+    # -- membership -------------------------------------------------------------
+    def add_node(self, node_id: Optional[str] = None) -> str:
+        """Add a storage node and migrate the shard it now owns."""
+        if node_id is None:
+            node_id = f"anna-node-{self._node_sequence}"
+            self._node_sequence += 1
+        node = StorageNode(node_id, memory_capacity_keys=self.memory_capacity_keys)
+        existing_data: Dict[str, Lattice] = {}
+        for other in self._nodes.values():
+            for key in list(other.keys()):
+                existing_data.setdefault(key, other.get(key))
+        self._nodes[node_id] = node
+        self._ring.add_node(node_id)
+        # Re-place every key whose replica set now includes the new node.
+        for key, value in existing_data.items():
+            owners = self._owners(key)
+            if node_id in owners:
+                node.put(key, value)
+        return node_id
+
+    def remove_node(self, node_id: str) -> None:
+        """Remove a node, re-homing its data onto the remaining replicas."""
+        if node_id not in self._nodes:
+            raise KeyError(f"unknown storage node: {node_id!r}")
+        if len(self._nodes) == 1:
+            raise ValueError("cannot remove the last storage node")
+        departing = self._nodes.pop(node_id)
+        self._ring.remove_node(node_id)
+        for key, value in departing.drain().items():
+            for owner in self._owners(key):
+                self._nodes[owner].put(key, value)
+
+    @property
+    def node_ids(self) -> List[str]:
+        return sorted(self._nodes)
+
+    def node(self, node_id: str) -> StorageNode:
+        return self._nodes[node_id]
+
+    def node_count(self) -> int:
+        return len(self._nodes)
+
+    # -- data path -----------------------------------------------------------------
+    def put(self, key: str, value: Lattice, ctx: Optional[RequestContext] = None,
+            propagate: bool = True, originating_cache: str = "") -> Lattice:
+        """Merge ``value`` into every replica of ``key``.
+
+        Returns the merged lattice as stored at the primary replica.  If a
+        request context is supplied, one network round trip (sized by the
+        payload) is charged; replication and cache update propagation are
+        asynchronous and free for the caller.
+        """
+        if not isinstance(value, Lattice):
+            raise TypeError("Anna stores lattices; wrap plain values first "
+                            "(see repro.cloudburst.serialization)")
+        if ctx is not None:
+            self.latency_model.charge(ctx, "anna", "put", size_bytes=value.size_bytes())
+        now_ms = ctx.clock.now_ms if ctx is not None else 0.0
+        merged: Optional[Lattice] = None
+        for owner in self._owners(key):
+            result = self._nodes[owner].put(key, value, now_ms=now_ms)
+            if merged is None:
+                merged = result
+        assert merged is not None
+        if propagate:
+            self._propagate_update(key, merged, exclude=originating_cache)
+        return merged
+
+    def get(self, key: str, ctx: Optional[RequestContext] = None) -> Lattice:
+        """Read ``key`` from its primary replica (one charged round trip)."""
+        owners = self._owners(key)
+        now_ms = ctx.clock.now_ms if ctx is not None else 0.0
+        value: Optional[Lattice] = None
+        for owner in owners:
+            node = self._nodes[owner]
+            if node.contains(key):
+                value = node.get(key, now_ms=now_ms)
+                break
+        if value is None:
+            if ctx is not None:
+                self.latency_model.charge(ctx, "anna", "get", size_bytes=0)
+            raise KeyNotFoundError(key)
+        if ctx is not None:
+            self.latency_model.charge(ctx, "anna", "get", size_bytes=value.size_bytes())
+        return value
+
+    def get_or_none(self, key: str, ctx: Optional[RequestContext] = None) -> Optional[Lattice]:
+        try:
+            return self.get(key, ctx)
+        except KeyNotFoundError:
+            return None
+
+    def delete(self, key: str, ctx: Optional[RequestContext] = None) -> bool:
+        if ctx is not None:
+            self.latency_model.charge(ctx, "anna", "put", size_bytes=0)
+        deleted = False
+        for node in self._nodes.values():
+            deleted = node.delete(key) or deleted
+        self._hot_key_extra_replicas.pop(key, None)
+        return deleted
+
+    def contains(self, key: str) -> bool:
+        return any(node.contains(key) for node in self._nodes.values())
+
+    def keys(self) -> List[str]:
+        seen = set()
+        for node in self._nodes.values():
+            seen.update(node.keys())
+        return sorted(seen)
+
+    def key_count(self) -> int:
+        return len(self.keys())
+
+    # -- convenience: plain-value metadata stored as LWW lattices --------------------
+    def put_plain(self, key: str, value, ctx: Optional[RequestContext] = None,
+                  clock_ms: float = 0.0) -> Lattice:
+        """Wrap a bare Python value in an LWW lattice and store it.
+
+        Cloudburst system metadata (function bodies, DAG topologies, executor
+        statistics) uses this path; user data goes through the lattice
+        encapsulation layer in :mod:`repro.cloudburst.serialization`.
+        """
+        timestamp = self._timestamps.next(max(clock_ms, self.wall_clock_ms()))
+        return self.put(key, LWWLattice(timestamp, value), ctx)
+
+    def get_plain(self, key: str, ctx: Optional[RequestContext] = None):
+        return self.get(key, ctx).reveal()
+
+    # -- replica placement ----------------------------------------------------------
+    def _owners(self, key: str) -> List[str]:
+        extra = self._hot_key_extra_replicas.get(key, 0)
+        return self._ring.owners(key, self.replication_factor + extra)
+
+    def replicas_of(self, key: str) -> List[str]:
+        return [owner for owner in self._owners(key)
+                if self._nodes[owner].contains(key)]
+
+    def boost_replication(self, key: str, extra_replicas: int) -> None:
+        """Selectively replicate a hot key to more storage nodes (Anna [86])."""
+        if extra_replicas < 0:
+            raise ValueError("extra_replicas must be non-negative")
+        self._hot_key_extra_replicas[key] = extra_replicas
+        if self.contains(key):
+            value = self.get(key)
+            for owner in self._owners(key):
+                self._nodes[owner].put(key, value)
+
+    def hot_keys(self, min_accesses: int = 100) -> List[str]:
+        hot = set()
+        for node in self._nodes.values():
+            hot.update(node.hot_keys(min_accesses))
+        return sorted(hot)
+
+    # -- cache index and update propagation (§4.2) ------------------------------------
+    @property
+    def cache_index(self) -> KeyCacheIndex:
+        return self._cache_index
+
+    def ingest_cached_keys(self, cache_id: str, cached_keys: Iterable[str],
+                           ctx: Optional[RequestContext] = None) -> None:
+        """Accept a cache's periodic key-set snapshot (asynchronous for callers)."""
+        if ctx is not None:
+            self.latency_model.charge(ctx, "anna", "metadata")
+        self._cache_index.ingest_snapshot(cache_id, cached_keys)
+
+    def register_update_listener(self, cache_id: str, listener: UpdateListener) -> None:
+        """Register a cache's callback for asynchronous key-update propagation."""
+        self._update_listeners[cache_id] = listener
+
+    def unregister_update_listener(self, cache_id: str) -> None:
+        self._update_listeners.pop(cache_id, None)
+        self._cache_index.drop_cache(cache_id)
+
+    def _propagate_update(self, key: str, value: Lattice, exclude: str = "") -> None:
+        if self.propagation_mode == self.PROPAGATE_PERIODIC:
+            self._pending_updates.append(key)
+            return
+        self._push_update(key, value, exclude=exclude)
+
+    def _push_update(self, key: str, value: Lattice, exclude: str = "") -> None:
+        for cache_id in self._cache_index.propagation_targets(key, exclude=exclude):
+            listener = self._update_listeners.get(cache_id)
+            if listener is not None:
+                listener(key, value)
+
+    def flush_updates(self) -> int:
+        """Run one periodic propagation round (no-op in immediate mode).
+
+        Returns the number of distinct keys propagated.  Caches that hold a
+        pending key receive its latest merged value; between flushes they may
+        serve stale versions, which is exactly the window in which the LWW
+        anomalies of §6.2.2 and §6.3.2 arise.
+        """
+        pending = sorted(set(self._pending_updates))
+        self._pending_updates.clear()
+        for key in pending:
+            value = self.get_or_none(key)
+            if value is not None:
+                self._push_update(key, value)
+        return len(pending)
+
+    def pending_update_count(self) -> int:
+        return len(self._pending_updates)
+
+    # -- introspection ------------------------------------------------------------------
+    def load_by_node(self) -> Dict[str, int]:
+        return {node_id: node.key_count() for node_id, node in self._nodes.items()}
+
+    def total_access_count(self) -> int:
+        total = 0
+        for node in self._nodes.values():
+            for key in node.keys():
+                total += node.stats(key).accesses
+        return total

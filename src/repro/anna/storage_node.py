@@ -1,0 +1,148 @@
+"""A single Anna storage node.
+
+Each node owns a shard of the key space (assigned by the consistent-hash
+ring) and stores lattice values in two tiers: a memory tier for hot data and
+a disk tier for cold data (Anna's tiered autoscaling, [86]).  Puts merge the
+incoming lattice into whatever the node already stores, which is what makes
+Anna multi-master and coordination free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from ..errors import KeyNotFoundError
+from ..lattices import Lattice
+
+
+@dataclass
+class KeyStats:
+    """Per-key access statistics used for hot-key replication and tiering."""
+
+    reads: int = 0
+    writes: int = 0
+    last_access_ms: float = 0.0
+
+    @property
+    def accesses(self) -> int:
+        return self.reads + self.writes
+
+
+class StorageNode:
+    """One Anna storage server with a memory tier and a disk tier."""
+
+    MEMORY_TIER = "memory"
+    DISK_TIER = "disk"
+
+    def __init__(self, node_id: str, memory_capacity_keys: int = 1_000_000):
+        self.node_id = node_id
+        self.memory_capacity_keys = memory_capacity_keys
+        self._memory: Dict[str, Lattice] = {}
+        self._disk: Dict[str, Lattice] = {}
+        self._stats: Dict[str, KeyStats] = {}
+
+    # -- storage operations ----------------------------------------------------
+    def put(self, key: str, value: Lattice, now_ms: float = 0.0) -> Lattice:
+        """Merge ``value`` into the node's copy of ``key``; returns the result."""
+        existing = self._memory.get(key)
+        tier = self.MEMORY_TIER
+        if existing is None and key in self._disk:
+            existing = self._disk[key]
+            tier = self.DISK_TIER
+        merged = value if existing is None else existing.merge(value)
+        if tier == self.DISK_TIER:
+            self._disk[key] = merged
+        else:
+            self._memory[key] = merged
+        stats = self._stats.setdefault(key, KeyStats())
+        stats.writes += 1
+        stats.last_access_ms = now_ms
+        return merged
+
+    def get(self, key: str, now_ms: float = 0.0) -> Lattice:
+        value = self._memory.get(key)
+        if value is None:
+            value = self._disk.get(key)
+        if value is None:
+            raise KeyNotFoundError(key)
+        stats = self._stats.setdefault(key, KeyStats())
+        stats.reads += 1
+        stats.last_access_ms = now_ms
+        return value
+
+    def delete(self, key: str) -> bool:
+        removed = False
+        if key in self._memory:
+            del self._memory[key]
+            removed = True
+        if key in self._disk:
+            del self._disk[key]
+            removed = True
+        self._stats.pop(key, None)
+        return removed
+
+    def contains(self, key: str) -> bool:
+        return key in self._memory or key in self._disk
+
+    def tier_of(self, key: str) -> Optional[str]:
+        if key in self._memory:
+            return self.MEMORY_TIER
+        if key in self._disk:
+            return self.DISK_TIER
+        return None
+
+    # -- tier management ---------------------------------------------------------
+    def demote(self, key: str) -> bool:
+        """Move a key from the memory tier to the disk tier."""
+        if key not in self._memory:
+            return False
+        self._disk[key] = self._memory.pop(key)
+        return True
+
+    def promote(self, key: str) -> bool:
+        """Move a key from the disk tier to the memory tier."""
+        if key not in self._disk:
+            return False
+        self._memory[key] = self._disk.pop(key)
+        return True
+
+    def over_memory_capacity(self) -> bool:
+        return len(self._memory) > self.memory_capacity_keys
+
+    def coldest_memory_keys(self, count: int) -> List[str]:
+        """The ``count`` least-recently-accessed keys in the memory tier."""
+        in_memory = [key for key in self._memory]
+        in_memory.sort(key=lambda key: self._stats.get(key, KeyStats()).last_access_ms)
+        return in_memory[:count]
+
+    # -- introspection ------------------------------------------------------------
+    def keys(self) -> Iterable[str]:
+        yield from self._memory
+        yield from self._disk
+
+    def key_count(self) -> int:
+        return len(self._memory) + len(self._disk)
+
+    def memory_key_count(self) -> int:
+        return len(self._memory)
+
+    def stats(self, key: str) -> KeyStats:
+        return self._stats.setdefault(key, KeyStats())
+
+    def hot_keys(self, min_accesses: int) -> List[str]:
+        return [key for key, stats in self._stats.items()
+                if stats.accesses >= min_accesses and self.contains(key)]
+
+    def drain(self) -> Dict[str, Lattice]:
+        """Return and clear all stored data (used when removing a node)."""
+        everything = dict(self._memory)
+        everything.update(self._disk)
+        self._memory.clear()
+        self._disk.clear()
+        self._stats.clear()
+        return everything
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"StorageNode({self.node_id!r}, memory={len(self._memory)}, "
+                f"disk={len(self._disk)})")

@@ -1,0 +1,49 @@
+"""Application case studies from §6: prediction serving, Retwis, aggregation."""
+
+from .gossip import (
+    AggregationResult,
+    GatherAggregation,
+    GossipAggregation,
+    TARGET_RELATIVE_ERROR,
+)
+from .prediction import (
+    MODEL_KEY,
+    PIPELINE_DAG,
+    PredictionBaselines,
+    PredictionDeployment,
+    deploy_on_cloudburst,
+    make_image,
+    make_model_weights,
+    render_prediction,
+    resize_image,
+    run_model,
+)
+from .retwis import (
+    CLOUDBURST_FUNCTIONS,
+    RetwisOnCloudburst,
+    RetwisOnRedis,
+    RetwisStats,
+    TIMELINE_LENGTH,
+)
+
+__all__ = [
+    "AggregationResult",
+    "GatherAggregation",
+    "GossipAggregation",
+    "TARGET_RELATIVE_ERROR",
+    "MODEL_KEY",
+    "PIPELINE_DAG",
+    "PredictionBaselines",
+    "PredictionDeployment",
+    "deploy_on_cloudburst",
+    "make_image",
+    "make_model_weights",
+    "render_prediction",
+    "resize_image",
+    "run_model",
+    "CLOUDBURST_FUNCTIONS",
+    "RetwisOnCloudburst",
+    "RetwisOnRedis",
+    "RetwisStats",
+    "TIMELINE_LENGTH",
+]

@@ -1,0 +1,24 @@
+"""Baseline systems the paper's evaluation compares Cloudburst against."""
+
+from .aws_lambda import LambdaComposition, SimulatedLambda, StepFunctions
+from .platforms import DaskCluster, NativePython, SageMaker, SandPlatform
+from .storage import (
+    SimulatedDynamoDB,
+    SimulatedRedis,
+    SimulatedS3,
+    SimulatedStorageService,
+)
+
+__all__ = [
+    "LambdaComposition",
+    "SimulatedLambda",
+    "StepFunctions",
+    "DaskCluster",
+    "NativePython",
+    "SageMaker",
+    "SandPlatform",
+    "SimulatedDynamoDB",
+    "SimulatedRedis",
+    "SimulatedS3",
+    "SimulatedStorageService",
+]

@@ -1,0 +1,113 @@
+"""Simulated storage services used by the baselines (S3, DynamoDB, Redis).
+
+These model only what the paper's figures depend on: per-request latency,
+payload-size-dependent transfer time, and (for Redis) the single-master write
+serialization that penalises the "gather" aggregation pattern in §6.1.3.
+Values are stored for real so baseline pipelines compute correct results.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from ..errors import KeyNotFoundError
+from ..lattices.base import estimate_size
+from ..sim import LatencyModel, RequestContext
+
+
+class SimulatedStorageService:
+    """Shared plumbing for the simulated cloud storage services."""
+
+    service_name = "storage"
+
+    def __init__(self, latency_model: Optional[LatencyModel] = None):
+        self.latency_model = latency_model or LatencyModel()
+        self._data: Dict[str, Any] = {}
+        self.get_count = 0
+        self.put_count = 0
+
+    def put(self, key: str, value: Any, ctx: Optional[RequestContext] = None) -> None:
+        if ctx is not None:
+            self.latency_model.charge(ctx, self.service_name, "put",
+                                      size_bytes=estimate_size(value))
+        self._data[key] = value
+        self.put_count += 1
+
+    def get(self, key: str, ctx: Optional[RequestContext] = None) -> Any:
+        if key not in self._data:
+            if ctx is not None:
+                self.latency_model.charge(ctx, self.service_name, "get", size_bytes=0)
+            raise KeyNotFoundError(key)
+        value = self._data[key]
+        if ctx is not None:
+            self.latency_model.charge(ctx, self.service_name, "get",
+                                      size_bytes=estimate_size(value))
+        self.get_count += 1
+        return value
+
+    def contains(self, key: str) -> bool:
+        return key in self._data
+
+    def delete(self, key: str) -> bool:
+        return self._data.pop(key, None) is not None
+
+    def keys(self) -> List[str]:
+        return sorted(self._data)
+
+
+class SimulatedS3(SimulatedStorageService):
+    """AWS S3: high per-object latency, decent streaming bandwidth."""
+
+    service_name = "s3"
+
+
+class SimulatedDynamoDB(SimulatedStorageService):
+    """AWS DynamoDB: lower latency than S3 but item-size constrained.
+
+    DynamoDB rejects items above 400 KB; the Figure 5 baseline avoids it for
+    the larger array sizes for exactly this reason, so the limit is enforced.
+    """
+
+    service_name = "dynamodb"
+    MAX_ITEM_BYTES = 400 * 1024
+
+    def put(self, key: str, value: Any, ctx: Optional[RequestContext] = None) -> None:
+        if estimate_size(value) > self.MAX_ITEM_BYTES:
+            raise ValueError(
+                f"DynamoDB item limit exceeded ({estimate_size(value)} bytes > "
+                f"{self.MAX_ITEM_BYTES})")
+        super().put(key, value, ctx)
+
+
+class SimulatedRedis(SimulatedStorageService):
+    """AWS ElastiCache (Redis): fast, serverful, single-master.
+
+    Writes are serialized at the master.  When several writers publish in the
+    same round (the gather baseline in §6.1.3), each write queues behind the
+    previous ones; ``contention`` tells the model how many writes are queued
+    ahead of this one.
+    """
+
+    service_name = "redis"
+
+    def put(self, key: str, value: Any, ctx: Optional[RequestContext] = None,
+            contention: int = 0) -> None:
+        if ctx is not None and contention > 0:
+            for _ in range(contention):
+                self.latency_model.charge(ctx, "redis", "queue_delay")
+        super().put(key, value, ctx)
+
+    def mget(self, keys: List[str], ctx: Optional[RequestContext] = None) -> List[Any]:
+        """Batched read: one round trip, payload-sized transfer."""
+        values = []
+        missing = [key for key in keys if key not in self._data]
+        if missing:
+            raise KeyNotFoundError(missing[0])
+        total_size = 0
+        for key in keys:
+            values.append(self._data[key])
+            total_size += estimate_size(self._data[key])
+            self.get_count += 1
+        if ctx is not None:
+            self.latency_model.charge(ctx, "redis", "get", size_bytes=total_size)
+        return values

@@ -1,0 +1,67 @@
+"""Benchmark harness: one entry point per table/figure in the paper's §6."""
+
+from .ablations import (
+    ReplicationAblation,
+    SchedulingAblation,
+    run_caching_ablation,
+    run_hot_key_replication_ablation,
+    run_messaging_ablation,
+    run_scheduling_ablation,
+)
+from .casestudies import (
+    RetwisExperiment,
+    ScalingPoint,
+    ScalingResult,
+    measure_prediction_service_time,
+    measure_retwis_service_time,
+    run_figure9,
+    run_figure10,
+    run_figure11,
+    run_figure12,
+)
+from .consistency_bench import (
+    ConsistencyLatencyResult,
+    MetadataOverhead,
+    run_figure8,
+    run_table2,
+)
+from .harness import ComparisonResult, SweepResult, run_closed_loop
+from .microbenchmarks import (
+    AutoscalingExperiment,
+    measure_autoscaling_service_time,
+    run_figure1,
+    run_figure5,
+    run_figure6,
+    run_figure7,
+)
+
+__all__ = [
+    "ReplicationAblation",
+    "SchedulingAblation",
+    "run_caching_ablation",
+    "run_hot_key_replication_ablation",
+    "run_messaging_ablation",
+    "run_scheduling_ablation",
+    "RetwisExperiment",
+    "ScalingPoint",
+    "ScalingResult",
+    "measure_prediction_service_time",
+    "measure_retwis_service_time",
+    "run_figure9",
+    "run_figure10",
+    "run_figure11",
+    "run_figure12",
+    "ConsistencyLatencyResult",
+    "MetadataOverhead",
+    "run_figure8",
+    "run_table2",
+    "ComparisonResult",
+    "SweepResult",
+    "run_closed_loop",
+    "AutoscalingExperiment",
+    "measure_autoscaling_service_time",
+    "run_figure1",
+    "run_figure5",
+    "run_figure6",
+    "run_figure7",
+]

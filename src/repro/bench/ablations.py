@@ -1,0 +1,151 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+These are not figures from the paper; they quantify the contribution of the
+individual mechanisms the paper's design rests on:
+
+* locality-aware scheduling vs random placement,
+* executor-local caches vs always reading from Anna,
+* backpressure-driven hot-key replication,
+* direct TCP messaging vs the Anna-inbox fallback.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from ..cloudburst import CloudburstCluster, CloudburstReference
+from ..sim import LatencyRecorder, RandomSource
+from ..workloads.arrays import LocalityWorkloadKeys, make_arrays, sum_arrays_with_library
+from .harness import ComparisonResult, run_closed_loop
+
+
+@dataclass
+class SchedulingAblation:
+    """Locality-aware vs random placement."""
+
+    comparison: ComparisonResult
+    hit_rate_locality: float
+    hit_rate_random: float
+
+
+def run_scheduling_ablation(requests: int = 200, size_label: str = "800KB",
+                            executor_vms: int = 7, seed: int = 0) -> SchedulingAblation:
+    """Same reference-heavy workload with and without locality scheduling."""
+    comparison = ComparisonResult(title="Ablation: locality-aware vs random scheduling")
+    hit_rates: Dict[str, float] = {}
+    for label, locality in (("Locality scheduling", True), ("Random placement", False)):
+        cluster = CloudburstCluster(executor_vms=executor_vms, seed=seed)
+        cloud = cluster.connect()
+        arrays = make_arrays(size_label, seed=seed)
+        keys = LocalityWorkloadKeys.shared(size_label)
+        for key, array in zip(keys.keys, arrays):
+            cloud.put(key, array)
+        cloud.register(sum_arrays_with_library, name="sum_arrays")
+        for scheduler in cluster.schedulers:
+            scheduler.locality_scheduling = locality
+        references = [CloudburstReference(key) for key in keys.keys]
+        cloud.call("sum_arrays", references)  # warm one cache
+        comparison.add(run_closed_loop(
+            label, lambda i: cloud.call("sum_arrays", references).latency_ms, requests))
+        hit_rates[label] = cluster.cache_hit_rate()
+    return SchedulingAblation(
+        comparison=comparison,
+        hit_rate_locality=hit_rates["Locality scheduling"],
+        hit_rate_random=hit_rates["Random placement"],
+    )
+
+
+def run_caching_ablation(requests: int = 200, size_label: str = "800KB",
+                         seed: int = 0) -> ComparisonResult:
+    """Executor-local caches on vs off (every read forced through Anna)."""
+    comparison = ComparisonResult(title="Ablation: executor-local caches on vs off")
+    for label, caches_enabled in (("Caches enabled", True), ("Caches disabled", False)):
+        cluster = CloudburstCluster(executor_vms=3, seed=seed)
+        cloud = cluster.connect()
+        arrays = make_arrays(size_label, seed=seed)
+        keys = LocalityWorkloadKeys.shared(size_label)
+        for key, array in zip(keys.keys, arrays):
+            cloud.put(key, array)
+        cloud.register(sum_arrays_with_library, name="sum_arrays")
+        references = [CloudburstReference(key) for key in keys.keys]
+        cloud.call("sum_arrays", references)
+
+        def request(i: int) -> float:
+            if not caches_enabled:
+                for vm in cluster.vms:
+                    vm.cache.clear()
+            return cloud.call("sum_arrays", references).latency_ms
+
+        comparison.add(run_closed_loop(label, request, requests))
+    return comparison
+
+
+@dataclass
+class ReplicationAblation:
+    """How widely a hot key gets replicated with and without backpressure."""
+
+    caches_with_hot_key_backpressure: int
+    caches_with_hot_key_no_backpressure: int
+    total_caches: int
+
+
+def run_hot_key_replication_ablation(requests: int = 300, executor_vms: int = 6,
+                                     seed: int = 0) -> ReplicationAblation:
+    """Backpressure-driven replication of a hot key across executor caches.
+
+    With the overload threshold in place, the scheduler diverts requests away
+    from the saturated executor that first cached the hot key; the newly
+    chosen executors fetch and cache it, raising its replication factor.
+    """
+    counts: Dict[bool, int] = {}
+    total = 0
+    for backpressure in (True, False):
+        cluster = CloudburstCluster(executor_vms=executor_vms, seed=seed)
+        cloud = cluster.connect()
+        cloud.put("hot-key", list(range(256)))
+        cloud.register(lambda cloudburst, ref: len(cloudburst.get("hot-key")),
+                       name="touch_hot")
+        reference = CloudburstReference("hot-key")
+        for index in range(requests):
+            if backpressure:
+                # Saturate whichever VM currently caches the hot key so the
+                # scheduler's overload avoidance kicks in.
+                for vm in cluster.vms:
+                    if vm.cache.contains("hot-key"):
+                        vm.inflight = len(vm.threads)
+            result = cloud.call("touch_hot", [reference])
+            for vm in cluster.vms:
+                vm.inflight = 0
+            if index % 20 == 0:
+                cluster.publish_all_metrics()
+        counts[backpressure] = sum(
+            1 for vm in cluster.vms if vm.cache.contains("hot-key"))
+        total = len(cluster.vms)
+    return ReplicationAblation(
+        caches_with_hot_key_backpressure=counts[True],
+        caches_with_hot_key_no_backpressure=counts[False],
+        total_caches=total,
+    )
+
+
+def run_messaging_ablation(messages: int = 500, seed: int = 0) -> ComparisonResult:
+    """Direct TCP messaging vs falling back to the Anna inbox."""
+    from ..sim import RequestContext
+
+    comparison = ComparisonResult(title="Ablation: direct messaging vs Anna inbox")
+    for label, reachable in (("Direct TCP", True), ("Anna inbox fallback", False)):
+        cluster = CloudburstCluster(executor_vms=2, seed=seed)
+        threads = [t for vm in cluster.vms for t in vm.threads]
+        sender, receiver = threads[0], threads[1]
+        if not reachable:
+            cluster.router.mark_unreachable(receiver.thread_id)
+        recorder = LatencyRecorder(label=label)
+        for index in range(messages):
+            ctx = RequestContext()
+            cluster.router.send(sender.thread_id, receiver.thread_id,
+                                f"ping-{index}", ctx)
+            cluster.router.recv(receiver.thread_id, ctx)
+            recorder.record(ctx.clock.now_ms)
+        comparison.add(recorder)
+    return comparison

@@ -1,0 +1,234 @@
+"""Case-study experiments: prediction serving (Figures 9, 10) and Retwis
+(Figures 11, 12) from §6.3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..anna import AnnaCluster
+from ..apps.prediction import PredictionBaselines, deploy_on_cloudburst, make_image
+from ..apps.retwis import RetwisOnCloudburst, RetwisOnRedis
+from ..cloudburst import CloudburstCluster, ConsistencyLevel
+from ..sim import (
+    LatencyModel,
+    LatencyRecorder,
+    RandomSource,
+    RequestContext,
+    SimulationResult,
+    run_fixed_capacity,
+)
+from ..workloads.social import SocialWorkloadGenerator
+from .harness import ComparisonResult, run_closed_loop
+
+
+# --------------------------------------------------------------------------------------
+# Figure 9: prediction-serving latency across platforms
+# --------------------------------------------------------------------------------------
+def run_figure9(requests: int = 50, seed: int = 0,
+                image_side: int = 512) -> ComparisonResult:
+    """Cloudburst vs native Python, SageMaker, Lambda (mock) and Lambda (actual)."""
+    result = ComparisonResult(
+        title="Figure 9: prediction-serving latency (3-stage MobileNet-style pipeline)")
+    image = make_image(side=image_side, seed=seed)
+
+    cluster = CloudburstCluster(executor_vms=1, threads_per_vm=3, seed=seed)
+    deployment = deploy_on_cloudburst(cluster)
+    deployment.serve(image)  # warm the model into the executor cache
+
+    def cloudburst_request(i: int) -> float:
+        _, latency = deployment.serve(image)
+        return latency
+
+    result.add(run_closed_loop("Cloudburst", cloudburst_request, requests))
+
+    baselines = PredictionBaselines(LatencyModel(RandomSource(seed).spawn("figure9")))
+
+    def measure(runner, i: int) -> float:
+        ctx = RequestContext()
+        runner(image, ctx)
+        return ctx.clock.now_ms
+
+    result.add(run_closed_loop(
+        "Python", lambda i: measure(baselines.run_python, i), requests))
+    result.add(run_closed_loop(
+        "AWS Sagemaker", lambda i: measure(baselines.run_sagemaker, i), requests))
+    result.add(run_closed_loop(
+        "Lambda (Mock)", lambda i: measure(baselines.run_lambda_mock, i), requests))
+    result.add(run_closed_loop(
+        "Lambda (Actual)", lambda i: measure(baselines.run_lambda_actual, i), requests))
+    return result
+
+
+# --------------------------------------------------------------------------------------
+# Figures 10 and 12: throughput/latency scaling with executor thread count
+# --------------------------------------------------------------------------------------
+@dataclass
+class ScalingPoint:
+    """One point on a scaling curve."""
+
+    threads: int
+    clients: int
+    throughput_per_s: float
+    median_ms: float
+    p95_ms: float
+    p99_ms: float
+
+
+@dataclass
+class ScalingResult:
+    """A full scaling sweep (Figure 10 or 12)."""
+
+    title: str
+    points: List[ScalingPoint] = field(default_factory=list)
+
+    def throughput_curve(self) -> List[Tuple[int, float]]:
+        return [(p.threads, p.throughput_per_s) for p in self.points]
+
+    def as_rows(self) -> List[List[object]]:
+        return [[p.threads, p.clients, f"{p.throughput_per_s:.1f}",
+                 f"{p.median_ms:.2f}", f"{p.p95_ms:.2f}", f"{p.p99_ms:.2f}"]
+                for p in self.points]
+
+
+def _scaling_sweep(title: str, service_samples: List[float],
+                   thread_counts: Sequence[int], clients_for, requests_per_point: int,
+                   seed: int) -> ScalingResult:
+    """Closed-loop queueing sweep over executor thread counts."""
+    result = ScalingResult(title=title)
+    rng = RandomSource(seed)
+    for threads in thread_counts:
+        sampler_rng = rng.spawn(f"threads-{threads}")
+
+        def service_time(now_ms: float) -> float:
+            return sampler_rng.choice(service_samples)
+
+        clients = max(1, clients_for(threads))
+        sim: SimulationResult = run_fixed_capacity(
+            service_time, threads=threads, clients=clients,
+            total_requests=requests_per_point)
+        summary = sim.latencies.summary()
+        result.points.append(ScalingPoint(
+            threads=threads,
+            clients=clients,
+            throughput_per_s=sim.overall_throughput_per_s,
+            median_ms=summary.median_ms,
+            p95_ms=summary.p95_ms,
+            p99_ms=summary.p99_ms,
+        ))
+    return result
+
+
+def measure_prediction_service_time(samples: int = 60, seed: int = 0,
+                                    image_side: int = 512) -> List[float]:
+    """Per-request service time of the Cloudburst prediction pipeline."""
+    cluster = CloudburstCluster(executor_vms=2, threads_per_vm=3, seed=seed)
+    deployment = deploy_on_cloudburst(cluster)
+    image = make_image(side=image_side, seed=seed)
+    deployment.serve(image)
+    recorder = run_closed_loop("prediction-service-time",
+                               lambda i: deployment.serve(image)[1], samples)
+    return recorder.samples_ms
+
+
+def run_figure10(thread_counts: Sequence[int] = (10, 20, 40, 80, 160),
+                 requests_per_point: int = 2_000, seed: int = 0,
+                 service_samples: Optional[List[float]] = None) -> ScalingResult:
+    """Prediction-serving scaling: clients = threads / 3 (three functions/request)."""
+    samples = service_samples or measure_prediction_service_time(seed=seed)
+    return _scaling_sweep(
+        title="Figure 10: prediction-serving scaling",
+        service_samples=samples,
+        thread_counts=thread_counts,
+        clients_for=lambda threads: threads // 3,
+        requests_per_point=requests_per_point,
+        seed=seed,
+    )
+
+
+# --------------------------------------------------------------------------------------
+# Figure 11: Retwis latency and anomaly prevention
+# --------------------------------------------------------------------------------------
+@dataclass
+class RetwisExperiment:
+    """Figure 11's output: latency comparison plus anomaly rates."""
+
+    comparison: ComparisonResult
+    anomaly_rate_lww: float
+    anomaly_rate_causal: float
+    requests_per_system: int
+
+
+def run_figure11(requests: int = 2_000, user_count: int = 1_000,
+                 seed_tweets: int = 5_000, executor_vms: int = 4,
+                 flush_every: int = 25, seed: int = 0) -> RetwisExperiment:
+    """Cloudburst (LWW), Cloudburst (causal) and Retwis-over-Redis."""
+    comparison = ComparisonResult(title="Figure 11: Retwis request latency")
+    generator = SocialWorkloadGenerator(user_count=user_count,
+                                        seed_tweet_count=seed_tweets, seed=seed)
+    graph = generator.build_graph()
+    requests_stream = generator.request_stream(requests)
+
+    anomaly_rates: Dict[str, float] = {}
+    for label, level in (("Cloudburst (LWW)", ConsistencyLevel.LWW),
+                         ("Cloudburst (Causal)",
+                          ConsistencyLevel.DISTRIBUTED_SESSION_CAUSAL)):
+        cluster = CloudburstCluster(
+            executor_vms=executor_vms, consistency=level, seed=seed,
+            anna_propagation=AnnaCluster.PROPAGATE_PERIODIC)
+        app = RetwisOnCloudburst(cluster, consistency=level)
+        app.load_graph(graph)
+        cluster.kvs.flush_updates()
+        recorder = LatencyRecorder(label=label)
+        for index, request in enumerate(requests_stream):
+            recorder.record(app.execute(request))
+            if flush_every and (index + 1) % flush_every == 0:
+                cluster.kvs.flush_updates()
+        comparison.add(recorder)
+        anomaly_rates[label] = app.stats.anomaly_rate
+
+    redis_app = RetwisOnRedis(LatencyModel(RandomSource(seed).spawn("redis")))
+    redis_app.load_graph(graph)
+    recorder = LatencyRecorder(label="Redis")
+    for request in requests_stream:
+        recorder.record(redis_app.execute(request))
+    comparison.add(recorder)
+
+    return RetwisExperiment(
+        comparison=comparison,
+        anomaly_rate_lww=anomaly_rates["Cloudburst (LWW)"],
+        anomaly_rate_causal=anomaly_rates["Cloudburst (Causal)"],
+        requests_per_system=requests,
+    )
+
+
+def measure_retwis_service_time(samples: int = 300, seed: int = 0,
+                                user_count: int = 200,
+                                seed_tweets: int = 1_000) -> List[float]:
+    """Per-request service time of the causal-mode Retwis deployment."""
+    generator = SocialWorkloadGenerator(user_count=user_count,
+                                        seed_tweet_count=seed_tweets, seed=seed)
+    graph = generator.build_graph()
+    cluster = CloudburstCluster(
+        executor_vms=3, consistency=ConsistencyLevel.DISTRIBUTED_SESSION_CAUSAL,
+        seed=seed)
+    app = RetwisOnCloudburst(cluster)
+    app.load_graph(graph)
+    stream = generator.request_stream(samples)
+    return [app.execute(request) for request in stream]
+
+
+def run_figure12(thread_counts: Sequence[int] = (10, 20, 40, 80, 160),
+                 requests_per_point: int = 5_000, seed: int = 0,
+                 service_samples: Optional[List[float]] = None) -> ScalingResult:
+    """Retwis scaling in causal mode: clients = executor threads."""
+    samples = service_samples or measure_retwis_service_time(seed=seed)
+    return _scaling_sweep(
+        title="Figure 12: Retwis scaling (causal mode)",
+        service_samples=samples,
+        thread_counts=thread_counts,
+        clients_for=lambda threads: threads,
+        requests_per_point=requests_per_point,
+        seed=seed,
+    )

@@ -1,0 +1,82 @@
+"""Shared benchmark plumbing: closed-loop drivers and result tables."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..sim import LatencyRecorder, LatencySummary, format_table
+
+
+def run_closed_loop(label: str, request_fn: Callable[[int], float],
+                    requests: int) -> LatencyRecorder:
+    """Issue ``requests`` sequential requests; ``request_fn`` returns latency (ms)."""
+    recorder = LatencyRecorder(label=label)
+    for index in range(requests):
+        recorder.record(request_fn(index))
+    return recorder
+
+
+@dataclass
+class ComparisonResult:
+    """Latency recorders for several systems under one workload."""
+
+    title: str
+    recorders: Dict[str, LatencyRecorder] = field(default_factory=dict)
+    notes: List[str] = field(default_factory=list)
+
+    def add(self, recorder: LatencyRecorder) -> None:
+        self.recorders[recorder.label] = recorder
+
+    def summary(self, label: str) -> LatencySummary:
+        return self.recorders[label].summary()
+
+    def summaries(self) -> Dict[str, LatencySummary]:
+        return {label: recorder.summary() for label, recorder in self.recorders.items()}
+
+    def median(self, label: str) -> float:
+        return self.summary(label).median_ms
+
+    def p99(self, label: str) -> float:
+        return self.summary(label).p99_ms
+
+    def speedup(self, faster: str, slower: str, percentile: str = "median_ms") -> float:
+        """How many times faster ``faster`` is than ``slower`` at a percentile."""
+        fast = getattr(self.summary(faster), percentile)
+        slow = getattr(self.summary(slower), percentile)
+        return slow / fast if fast > 0 else float("inf")
+
+    def as_table(self) -> str:
+        headers = ["system", "n", "median (ms)", "p95 (ms)", "p99 (ms)"]
+        rows = []
+        for label, summary in self.summaries().items():
+            rows.append([
+                label,
+                summary.count,
+                f"{summary.median_ms:.2f}",
+                f"{summary.p95_ms:.2f}",
+                f"{summary.p99_ms:.2f}",
+            ])
+        rows.sort(key=lambda row: float(row[2]))
+        table = format_table(headers, rows, title=self.title)
+        if self.notes:
+            table += "\n" + "\n".join(f"  note: {note}" for note in self.notes)
+        return table
+
+
+@dataclass
+class SweepResult:
+    """Results of a parameter sweep (one ComparisonResult per sweep point)."""
+
+    title: str
+    points: Dict[str, ComparisonResult] = field(default_factory=dict)
+
+    def add(self, point: str, result: ComparisonResult) -> None:
+        self.points[point] = result
+
+    def as_table(self) -> str:
+        sections = [self.title]
+        for point, result in self.points.items():
+            sections.append("")
+            sections.append(result.as_table())
+        return "\n".join(sections)

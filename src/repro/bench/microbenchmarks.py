@@ -1,0 +1,345 @@
+"""Mechanism microbenchmarks: Figures 1, 5, 6 and 7 (§6.1).
+
+Each ``run_figure*`` function is self-contained: it builds the systems under
+test, drives the workload, and returns structured results that the
+``benchmarks/`` wrappers print and that the integration tests assert on.
+Parameters default to paper-scale values but can be shrunk for fast runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..anna import IndexOverhead
+from ..apps.gossip import GatherAggregation, GossipAggregation
+from ..baselines import (
+    DaskCluster,
+    LambdaComposition,
+    SandPlatform,
+    SimulatedDynamoDB,
+    SimulatedLambda,
+    SimulatedRedis,
+    SimulatedS3,
+    StepFunctions,
+)
+from ..cloudburst import CloudburstCluster, CloudburstReference
+from ..cloudburst.monitoring import AutoscalingPolicy, MonitoringConfig
+from ..sim import (
+    ClientGroup,
+    ClosedLoopSimulation,
+    LatencyModel,
+    LatencyRecorder,
+    RandomSource,
+    RequestContext,
+    SimulationResult,
+    ZipfGenerator,
+)
+from ..workloads.arrays import (
+    ARRAYS_PER_REQUEST,
+    ELEMENTS_PER_ARRAY,
+    FIGURE5_TOTAL_SIZES,
+    LocalityWorkloadKeys,
+    make_arrays,
+    sum_arrays,
+    sum_arrays_with_library,
+)
+from .harness import ComparisonResult, SweepResult, run_closed_loop
+
+
+# --------------------------------------------------------------------------------------
+# Figure 1: function composition latency across platforms
+# --------------------------------------------------------------------------------------
+def _increment(x: int) -> int:
+    return x + 1
+
+
+def _square(x: int) -> int:
+    return x * x
+
+
+def run_figure1(requests: int = 1000, seed: int = 0) -> ComparisonResult:
+    """square(increment(x)) on Cloudburst, Dask, SAND, Lambda variants, Step Functions."""
+    result = ComparisonResult(title="Figure 1: function composition latency "
+                                    "(median / p99 over serial requests)")
+    rng = RandomSource(seed)
+    shared_model = LatencyModel(rng.spawn("baselines"))
+
+    # -- Cloudburst (one executor VM with 3 worker threads, as in §6.1.1) ------------
+    cluster = CloudburstCluster(executor_vms=1, threads_per_vm=3, seed=seed)
+    cloud = cluster.connect()
+    cloud.register(_increment, name="increment")
+    cloud.register(_square, name="square")
+    cloud.register_dag("composition", ["increment", "square"],
+                       [("increment", "square")])
+
+    result.add(run_closed_loop(
+        "Cloudburst", lambda i: cloud.call_dag(
+            "composition", {"increment": [i]}, store_in_kvs=True).latency_ms, requests))
+    result.add(run_closed_loop(
+        "CB (Single)", lambda i: cloud.call(
+            "square", [i], store_in_kvs=True).latency_ms, requests))
+
+    # -- Dask and SAND -----------------------------------------------------------------
+    dask = DaskCluster(shared_model)
+    dask.register(_increment, "increment")
+    dask.register(_square, "square")
+
+    def dask_request(i: int) -> float:
+        ctx = RequestContext()
+        dask.run_pipeline(["increment", "square"], i, ctx)
+        return ctx.clock.now_ms
+
+    result.add(run_closed_loop("Dask", dask_request, requests))
+
+    sand = SandPlatform(shared_model, rng=rng.spawn("sand"))
+    sand.register(_increment, "increment")
+    sand.register(_square, "square")
+
+    def sand_request(i: int) -> float:
+        ctx = RequestContext()
+        sand.run_pipeline(["increment", "square"], i, ctx)
+        return ctx.clock.now_ms
+
+    result.add(run_closed_loop("SAND", sand_request, requests))
+
+    # -- AWS Lambda variants --------------------------------------------------------------
+    platform = SimulatedLambda(shared_model, rng=rng.spawn("lambda"))
+    platform.register(_increment, "increment")
+    platform.register(_square, "square")
+    s3 = SimulatedS3(shared_model)
+    dynamo = SimulatedDynamoDB(shared_model)
+    direct = LambdaComposition(platform)
+    via_s3 = LambdaComposition(platform, s3)
+    via_dynamo = LambdaComposition(platform, dynamo)
+    step_functions = StepFunctions(platform, shared_model)
+
+    def lambda_request(runner, i: int) -> float:
+        ctx = RequestContext()
+        runner(["increment", "square"], i, ctx)
+        return ctx.clock.now_ms
+
+    result.add(run_closed_loop(
+        "Lambda", lambda i: lambda_request(direct.run_direct, i), requests))
+    result.add(run_closed_loop(
+        "Lambda (Single)", lambda i: lambda_request(
+            lambda fns, arg, ctx: platform.invoke("square", (arg,), ctx), i), requests))
+    result.add(run_closed_loop(
+        "Lambda + S3", lambda i: lambda_request(via_s3.run_through_storage, i), requests))
+    result.add(run_closed_loop(
+        "Lambda + Dynamo",
+        lambda i: lambda_request(via_dynamo.run_through_storage, i), requests))
+    result.add(run_closed_loop(
+        "Step Functions", lambda i: lambda_request(step_functions.execute, i), requests))
+    return result
+
+
+# --------------------------------------------------------------------------------------
+# Figure 5: data locality (sum of 10 arrays, 80 KB - 80 MB total)
+# --------------------------------------------------------------------------------------
+def run_figure5(requests_per_size: int = 100,
+                sizes: Sequence[str] = FIGURE5_TOTAL_SIZES,
+                seed: int = 0) -> SweepResult:
+    """Cloudburst hot/cold caches vs Lambda over ElastiCache (Redis) and S3."""
+    sweep = SweepResult(title="Figure 5: data locality (sum of 10 arrays)")
+    rng = RandomSource(seed)
+    for label in sizes:
+        # Large inputs need fewer repetitions to keep runtime reasonable.
+        requests = requests_per_size if ELEMENTS_PER_ARRAY[label] <= 100_000 \
+            else max(10, requests_per_size // 5)
+        sweep.add(label, _figure5_one_size(label, requests, rng.spawn(label)))
+    return sweep
+
+
+def _figure5_one_size(label: str, requests: int, rng: RandomSource) -> ComparisonResult:
+    result = ComparisonResult(title=f"Figure 5 @ total input {label}")
+    arrays = make_arrays(label, seed=rng.randint(0, 1 << 16))
+    keys = LocalityWorkloadKeys.shared(label)
+    elements = sum(int(a.size) for a in arrays)
+
+    # -- Cloudburst: 7 executor VMs as in the paper --------------------------------------
+    cluster = CloudburstCluster(executor_vms=7, seed=rng.randint(0, 1 << 16))
+    cloud = cluster.connect()
+    for key, array in zip(keys.keys, arrays):
+        cloud.put(key, array)
+    cloud.register(sum_arrays_with_library, name="sum_arrays")
+    references = [CloudburstReference(key) for key in keys.keys]
+
+    def hot_request(i: int) -> float:
+        return cloud.call("sum_arrays", references).latency_ms
+
+    def cold_request(i: int) -> float:
+        # Cold: every retrieval misses the executor cache and goes to Anna.
+        for vm in cluster.vms:
+            vm.cache.clear()
+        return cloud.call("sum_arrays", references).latency_ms
+
+    # One warm-up request so "hot" measures steady-state cache hits.
+    cloud.call("sum_arrays", references)
+    result.add(run_closed_loop("Cloudburst (Hot)", hot_request, requests))
+    result.add(run_closed_loop("Cloudburst (Cold)", cold_request, requests))
+
+    # -- Lambda over Redis and S3 ------------------------------------------------------------
+    model = LatencyModel(rng.spawn("lambda-model"))
+    platform = SimulatedLambda(model, rng=rng.spawn("lambda"))
+    redis = SimulatedRedis(model)
+    s3 = SimulatedS3(model)
+    for key, array in zip(keys.keys, arrays):
+        redis.put(key, array)
+        s3.put(key, array)
+
+    compute_ms = elements * 4.0 / 1e6  # same per-element cost the executors charge
+
+    def summation(*args):
+        return sum_arrays(*args)
+
+    summation._cloudburst_compute_ms = compute_ms
+    platform.register(summation, "sum_arrays")
+
+    def lambda_storage_request(storage, i: int) -> float:
+        ctx = RequestContext()
+        fetched = [storage.get(key, ctx) for key in keys.keys]
+        platform.invoke("sum_arrays", fetched, ctx, payload_bytes=0)
+        return ctx.clock.now_ms
+
+    result.add(run_closed_loop(
+        "Lambda (Redis)", lambda i: lambda_storage_request(redis, i), requests))
+    result.add(run_closed_loop(
+        "Lambda (S3)", lambda i: lambda_storage_request(s3, i), requests))
+    return result
+
+
+# --------------------------------------------------------------------------------------
+# Figure 6: distributed aggregation (gossip vs gather)
+# --------------------------------------------------------------------------------------
+def run_figure6(repetitions: int = 100, actor_count: int = 10,
+                seed: int = 0) -> ComparisonResult:
+    """Gossip on Cloudburst vs centralized gather on Cloudburst/Redis/Dynamo/S3."""
+    result = ComparisonResult(
+        title="Figure 6: distributed aggregation latency (10 actors)")
+    rng = RandomSource(seed)
+    cluster = CloudburstCluster(executor_vms=4, threads_per_vm=3, seed=seed)
+    gossip = GossipAggregation(cluster, actor_count=actor_count, seed=seed)
+    gathers = {
+        "Cloudburst (gather)": GatherAggregation(
+            GatherAggregation.BACKEND_CLOUDBURST, actor_count, cluster=cluster,
+            seed=seed + 1),
+        "Lambda+Redis (gather)": GatherAggregation(
+            GatherAggregation.BACKEND_REDIS, actor_count,
+            latency_model=LatencyModel(rng.spawn("redis")), seed=seed + 2),
+        "Lambda+Dynamo (gather)": GatherAggregation(
+            GatherAggregation.BACKEND_DYNAMODB, actor_count,
+            latency_model=LatencyModel(rng.spawn("dynamo")), seed=seed + 3),
+        "Lambda+S3 (gather)": GatherAggregation(
+            GatherAggregation.BACKEND_S3, actor_count,
+            latency_model=LatencyModel(rng.spawn("s3")), seed=seed + 4),
+    }
+
+    result.add(run_closed_loop("Cloudburst (gossip)",
+                               lambda i: gossip.run().latency_ms, repetitions))
+    for label, gather in gathers.items():
+        result.add(run_closed_loop(label, lambda i, g=gather: g.run().latency_ms,
+                                   repetitions))
+    return result
+
+
+# --------------------------------------------------------------------------------------
+# Figure 7: autoscaling responsiveness
+# --------------------------------------------------------------------------------------
+@dataclass
+class AutoscalingExperiment:
+    """Everything reported for Figure 7."""
+
+    simulation: SimulationResult
+    index_overhead: IndexOverhead
+    service_time_samples_ms: List[float]
+
+    @property
+    def peak_throughput_per_s(self) -> float:
+        return max((p.requests_per_s for p in self.simulation.throughput_curve),
+                   default=0.0)
+
+    def throughput_at_minute(self, minute: float) -> float:
+        best = 0.0
+        for point in self.simulation.throughput_curve:
+            if point.time_s <= minute * 60.0:
+                best = point.requests_per_s
+        return best
+
+
+def _sleep_workload_function(cloudburst, key_a, key_b, write_key):
+    """The Figure 7 workload: sleep 50 ms, read two Zipf keys, write a third."""
+    a = cloudburst.get(key_a.key if hasattr(key_a, "key") else key_a)
+    b = cloudburst.get(key_b.key if hasattr(key_b, "key") else key_b)
+    cloudburst.simulate_compute(50.0)
+    cloudburst.put(write_key.key if hasattr(write_key, "key") else write_key,
+                   f"{a}/{b}")
+    return True
+
+
+def measure_autoscaling_service_time(samples: int = 200, key_count: int = 10_000,
+                                     seed: int = 0) -> List[float]:
+    """Measure the Figure 7 workload's per-request service time on a live cluster."""
+    cluster = CloudburstCluster(executor_vms=2, seed=seed)
+    cloud = cluster.connect()
+    zipf = ZipfGenerator(key_count, 1.0, RandomSource(seed).spawn("keys"))
+    for index in range(min(2_000, key_count)):
+        cloud.put(f"autoscale-{index}", index)
+    cloud.register(_sleep_workload_function, name="sleep_workload")
+
+    def request(i: int) -> float:
+        a = f"autoscale-{zipf.next() % 2_000}"
+        b = f"autoscale-{zipf.next() % 2_000}"
+        w = f"autoscale-{zipf.next() % 2_000}"
+        return cloud.call("sleep_workload", [a, b, w]).latency_ms
+
+    recorder = run_closed_loop("service-time", request, samples)
+    return recorder.samples_ms
+
+
+def run_figure7(initial_threads: int = 180, client_count: int = 400,
+                load_duration_minutes: float = 10.0,
+                total_duration_minutes: float = 12.0,
+                service_time_samples: Optional[List[float]] = None,
+                seed: int = 0) -> AutoscalingExperiment:
+    """Reproduce the Figure 7 timeline: load spike, stepwise scale-up, drain."""
+    samples = service_time_samples or measure_autoscaling_service_time(seed=seed)
+    rng = RandomSource(seed).spawn("service-time")
+
+    def service_time(now_ms: float) -> float:
+        return rng.choice(samples)
+
+    policy = AutoscalingPolicy(MonitoringConfig())
+    simulation = ClosedLoopSimulation(
+        service_time_fn=service_time,
+        initial_threads=initial_threads,
+        client_groups=[ClientGroup(count=client_count, start_ms=0.0,
+                                   stop_ms=load_duration_minutes * 60_000.0)],
+        policy=policy,
+        policy_interval_ms=5_000.0,
+        max_duration_ms=total_duration_minutes * 60_000.0,
+        throughput_bucket_ms=10_000.0,
+        min_threads=2,
+    )
+    sim_result = simulation.run()
+
+    # Per-key cache-index overhead (§6.1.4), measured on a live cluster where
+    # many caches hold overlapping Zipfian key sets.
+    index_cluster = CloudburstCluster(executor_vms=8, seed=seed + 1)
+    cloud = index_cluster.connect()
+    zipf = ZipfGenerator(5_000, 1.0, RandomSource(seed + 2))
+    for index in range(1_000):
+        cloud.put(f"idx-{index}", index)
+    for vm in index_cluster.vms:
+        for _ in range(400):
+            key = f"idx-{zipf.next() % 1_000}"
+            try:
+                vm.cache.get_or_fetch(key)
+            except Exception:
+                continue
+        vm.cache.publish_cached_keys()
+    overhead = index_cluster.kvs.cache_index.overhead()
+    return AutoscalingExperiment(simulation=sim_result, index_overhead=overhead,
+                                 service_time_samples_ms=samples)

@@ -1,0 +1,271 @@
+"""Executor-colocated caches (§4.2).
+
+Every function-execution VM runs one cache.  Executors talk to the cache over
+IPC, never directly to Anna; the cache fetches misses from Anna, absorbs
+writes locally and pushes them to Anna asynchronously, and periodically
+publishes its cached key set so Anna's key-to-cache index can propagate
+updates back to it.
+
+The cache also provides the building blocks the distributed-session
+consistency protocols need (§5.3):
+
+* *version snapshots* — on first read within a DAG the cache pins the exact
+  version it returned, for the lifetime of the DAG, so downstream executors
+  can fetch precisely that version ("fetch from upstream");
+* *causal-cut maintenance* — in the causal modes the cache implements the
+  bolt-on protocol: before exposing a causally wrapped key it makes sure every
+  dependency is present locally at a concurrent-or-newer version.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from ..anna import AnnaCluster
+from ..errors import ConsistencyError, KeyNotFoundError
+from ..lattices import CausalLattice, Lattice
+from ..sim import LatencyModel, RequestContext
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss and traffic counters for one cache."""
+
+    hits: int = 0
+    misses: int = 0
+    puts: int = 0
+    upstream_fetches: int = 0
+    update_pushes_received: int = 0
+    snapshots_created: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class ExecutorCache:
+    """The VM-local mutable cache colocated with function executors."""
+
+    def __init__(self, cache_id: str, kvs: AnnaCluster,
+                 latency_model: Optional[LatencyModel] = None,
+                 peer_registry: Optional[Dict[str, "ExecutorCache"]] = None):
+        self.cache_id = cache_id
+        self.kvs = kvs
+        self.latency_model = latency_model or kvs.latency_model
+        self._data: Dict[str, Lattice] = {}
+        # Snapshots pinned for in-flight DAGs: (execution_id, key) -> lattice.
+        self._snapshots: Dict[Tuple[str, str], Lattice] = {}
+        self._snapshot_keys_by_execution: Dict[str, Set[str]] = {}
+        self.stats = CacheStats()
+        # Shared registry so caches can serve upstream-version fetches to peers.
+        self._peers = peer_registry if peer_registry is not None else {}
+        self._peers[cache_id] = self
+        # Register for asynchronous update propagation from Anna (§4.2).
+        self.kvs.register_update_listener(cache_id, self.receive_update)
+
+    # -- basic data path ---------------------------------------------------------
+    def get_local(self, key: str) -> Optional[Lattice]:
+        """The locally cached lattice for ``key`` (no fetch, no charge)."""
+        return self._data.get(key)
+
+    def get_metadata(self, key: str):
+        """The version (timestamp or vector clock) of the local copy, if any."""
+        from .serialization import LatticeEncapsulator
+
+        local = self._data.get(key)
+        if local is None:
+            return None
+        return LatticeEncapsulator.version_of(local)
+
+    def get(self, key: str, ctx: Optional[RequestContext] = None) -> Lattice:
+        """Return the locally cached value, charging one IPC round trip."""
+        local = self._data.get(key)
+        if local is None:
+            raise KeyNotFoundError(key)
+        if ctx is not None:
+            self.latency_model.charge(ctx, "cache", "get", size_bytes=local.size_bytes())
+        self.stats.hits += 1
+        return local
+
+    def get_or_fetch(self, key: str, ctx: Optional[RequestContext] = None) -> Lattice:
+        """Return ``key`` from the cache, fetching it from Anna on a miss."""
+        local = self._data.get(key)
+        if local is not None:
+            if ctx is not None:
+                self.latency_model.charge(ctx, "cache", "get", size_bytes=local.size_bytes())
+            self.stats.hits += 1
+            return local
+        self.stats.misses += 1
+        value = self.kvs.get(key, ctx)
+        if ctx is not None:
+            self.latency_model.charge(ctx, "cache", "get", size_bytes=value.size_bytes())
+        self._store(key, value)
+        return value
+
+    def put(self, key: str, value: Lattice, ctx: Optional[RequestContext] = None) -> Lattice:
+        """Apply an executor's write.
+
+        The cache updates its local copy, acknowledges the request (one IPC
+        charge) and pushes the update to Anna asynchronously — the Anna merge
+        happens but costs the caller nothing, matching §4.2.
+        """
+        if ctx is not None:
+            self.latency_model.charge(ctx, "cache", "put", size_bytes=value.size_bytes())
+        merged = self._store(key, value)
+        self.stats.puts += 1
+        # Asynchronous write-back to the KVS (not charged to the request).
+        self.kvs.put(key, value, ctx=None, originating_cache=self.cache_id)
+        return merged
+
+    def contains(self, key: str) -> bool:
+        return key in self._data
+
+    def cached_keys(self) -> List[str]:
+        return sorted(self._data)
+
+    def evict(self, key: str) -> bool:
+        removed = self._data.pop(key, None) is not None
+        if removed:
+            self.kvs.cache_index.remove_entry(self.cache_id, key)
+        return removed
+
+    def clear(self) -> None:
+        for key in list(self._data):
+            self.kvs.cache_index.remove_entry(self.cache_id, key)
+        self._data.clear()
+        self._snapshots.clear()
+        self._snapshot_keys_by_execution.clear()
+
+    def _store(self, key: str, value: Lattice) -> Lattice:
+        existing = self._data.get(key)
+        merged = value if existing is None else existing.merge(value)
+        self._data[key] = merged
+        # Keep the key-to-cache index's view of this cache reasonably fresh
+        # (full snapshots still go out via publish_cached_keys).
+        self.kvs.cache_index.add_entry(self.cache_id, key)
+        return merged
+
+    # -- freshness: keyset publication and update propagation (§4.2) ---------------
+    def publish_cached_keys(self, ctx: Optional[RequestContext] = None) -> None:
+        """Periodically publish a snapshot of cached keys to Anna's index."""
+        self.kvs.ingest_cached_keys(self.cache_id, self.cached_keys(), ctx)
+
+    def receive_update(self, key: str, value: Lattice) -> None:
+        """Anna pushes an update for a key this cache holds; merge it in."""
+        if key in self._data:
+            self._data[key] = self._data[key].merge(value)
+            self.stats.update_pushes_received += 1
+
+    # -- version snapshots for the distributed-session protocols (§5.3) -------------
+    def create_snapshot(self, execution_id: str, key: str, value: Lattice,
+                        ctx: Optional[RequestContext] = None,
+                        overwrite: bool = False) -> None:
+        """Pin the exact version returned to a DAG's first read of ``key``.
+
+        ``overwrite`` replaces an existing snapshot; the session protocols use
+        it when the DAG itself writes the key, so later functions see the
+        DAG's most recent update rather than the originally pinned version.
+        """
+        snapshot_key = (execution_id, key)
+        if snapshot_key in self._snapshots and not overwrite:
+            return
+        if ctx is not None:
+            self.latency_model.charge(ctx, "cache", "snapshot")
+        self._snapshots[snapshot_key] = value
+        self._snapshot_keys_by_execution.setdefault(execution_id, set()).add(key)
+        self.stats.snapshots_created += 1
+
+    def get_snapshot(self, execution_id: str, key: str) -> Optional[Lattice]:
+        return self._snapshots.get((execution_id, key))
+
+    def evict_snapshots(self, execution_id: str) -> int:
+        """Called by the DAG sink on completion so snapshots can be reclaimed."""
+        keys = self._snapshot_keys_by_execution.pop(execution_id, set())
+        for key in keys:
+            self._snapshots.pop((execution_id, key), None)
+        return len(keys)
+
+    def snapshot_count(self) -> int:
+        return len(self._snapshots)
+
+    def fetch_from_upstream(self, upstream_cache_id: str, execution_id: str, key: str,
+                            ctx: Optional[RequestContext] = None) -> Lattice:
+        """Fetch the exact version snapshot held by an upstream cache.
+
+        Used when the local copy's version does not satisfy the session's
+        read-set or dependency constraints (Algorithm 1 line 5, Algorithm 2
+        lines 8 and 14).  Costs one cache-to-cache network round trip.
+        """
+        upstream = self._peers.get(upstream_cache_id)
+        if upstream is None:
+            raise ConsistencyError(
+                f"upstream cache {upstream_cache_id!r} is unknown to {self.cache_id!r}"
+            )
+        value = upstream.get_snapshot(execution_id, key)
+        if value is None:
+            value = upstream.get_local(key)
+        if value is None:
+            raise ConsistencyError(
+                f"upstream cache {upstream_cache_id!r} no longer holds {key!r} "
+                f"for execution {execution_id!r}"
+            )
+        if ctx is not None:
+            self.latency_model.charge(ctx, "cache", "fetch_from_upstream",
+                                      size_bytes=value.size_bytes())
+        self.stats.upstream_fetches += 1
+        # Cache the fetched version locally so repeated reads within this DAG hit.
+        self._store(key, value)
+        return value
+
+    # -- bolt-on causal cut maintenance (§5.3) ----------------------------------------
+    def ensure_causal_cut(self, lattice: Lattice,
+                          ctx: Optional[RequestContext] = None,
+                          _depth: int = 0) -> None:
+        """Make the local cache a causal cut that includes ``lattice``.
+
+        For every dependency ``l -> k`` of the given causally wrapped value,
+        the cache must hold a version of ``l`` that is concurrent with or
+        newer than the dependency's vector clock; otherwise it fetches a fresh
+        version from Anna.  This is the bolt-on causal consistency protocol
+        ([9]) run at the cache layer.
+        """
+        if not isinstance(lattice, CausalLattice) or _depth > 8:
+            return
+        for dep_key, dep_clock in lattice.dependencies.items():
+            local = self._data.get(dep_key)
+            if local is not None and isinstance(local, CausalLattice):
+                local_clock = local.vector_clock
+                if local_clock.dominates_or_equal(dep_clock) or \
+                        local_clock.concurrent_with(dep_clock):
+                    continue
+            # Local copy is missing or causally stale: fetch from the KVS.
+            fetched = self.kvs.get_or_none(dep_key, ctx)
+            if fetched is None:
+                continue
+            self._store(dep_key, fetched)
+            self.ensure_causal_cut(fetched, ctx, _depth=_depth + 1)
+
+    def violates_causal_cut(self) -> List[Tuple[str, str]]:
+        """Pairs (key, dependency) where the cut property does not hold.
+
+        Used by tests and by the anomaly accounting: an empty list means the
+        cache currently stores a causal cut.
+        """
+        violations: List[Tuple[str, str]] = []
+        for key, lattice in self._data.items():
+            if not isinstance(lattice, CausalLattice):
+                continue
+            for dep_key, dep_clock in lattice.dependencies.items():
+                local = self._data.get(dep_key)
+                if local is None or not isinstance(local, CausalLattice):
+                    continue
+                local_clock = local.vector_clock
+                if not (local_clock.dominates_or_equal(dep_clock)
+                        or local_clock.concurrent_with(dep_clock)):
+                    violations.append((key, dep_key))
+        return violations
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ExecutorCache({self.cache_id!r}, keys={len(self._data)})"

@@ -1,0 +1,159 @@
+"""The Cloudburst client (§3, Figure 2).
+
+The client is how applications interact with the platform: ``put``/``get``
+data in the KVS, ``register`` functions, ``register_dag`` compositions, and
+invoke both.  Registered functions behave like regular Python callables that
+trigger remote computation; results come back synchronously by default or as
+a :class:`~repro.cloudburst.references.CloudburstFuture` stored in the KVS.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..errors import KeyNotFoundError
+from ..sim import LatencyRecorder, RequestContext
+from .consistency.levels import ConsistencyLevel
+from .dag import Dag
+from .references import CloudburstFuture, CloudburstReference
+from .scheduler import ExecutionResult, Scheduler
+from .serialization import LatticeEncapsulator
+
+
+class RegisteredFunction:
+    """A handle to a registered function; calling it runs it on the cluster."""
+
+    def __init__(self, client: "CloudburstClient", name: str):
+        self.client = client
+        self.name = name
+
+    def __call__(self, *args: Any, store_in_kvs: bool = False,
+                 consistency: Optional[ConsistencyLevel] = None) -> Any:
+        result = self.client.call(self.name, args, store_in_kvs=store_in_kvs,
+                                  consistency=consistency)
+        if store_in_kvs:
+            return self.client._future_for(result)
+        return result.value
+
+    def __repr__(self) -> str:
+        return f"RegisteredFunction({self.name!r})"
+
+
+class CloudburstClient:
+    """User-facing entry point to a Cloudburst deployment."""
+
+    def __init__(self, schedulers: Sequence[Scheduler], client_id: str = "client-0",
+                 consistency: ConsistencyLevel = ConsistencyLevel.LWW):
+        if not schedulers:
+            raise ValueError("a client needs at least one scheduler address")
+        self._schedulers = list(schedulers)
+        self._scheduler_cycle = itertools.cycle(self._schedulers)
+        self.client_id = client_id
+        self.consistency = consistency
+        self._encapsulator = LatticeEncapsulator(client_id, consistency)
+        self.latencies = LatencyRecorder(label=client_id)
+        self.last_result: Optional[ExecutionResult] = None
+
+    # -- KVS access --------------------------------------------------------------------
+    @property
+    def kvs(self):
+        return self._schedulers[0].kvs
+
+    def put(self, key: str, value: Any, ctx: Optional[RequestContext] = None) -> None:
+        """Store a Python object in the KVS (wrapped in the appropriate lattice)."""
+        ctx = ctx or RequestContext()
+        prior = self.kvs.get_or_none(key)
+        lattice = self._encapsulator.encapsulate(value, clock_ms=self.kvs.wall_clock_ms(),
+                                                 prior=prior)
+        self.kvs.put(key, lattice, ctx)
+
+    def get(self, key: str, ctx: Optional[RequestContext] = None) -> Any:
+        """Fetch a Python object from the KVS."""
+        ctx = ctx or RequestContext()
+        return LatticeEncapsulator.de_encapsulate(self.kvs.get(key, ctx))
+
+    def delete(self, key: str, ctx: Optional[RequestContext] = None) -> bool:
+        return self.kvs.delete(key, ctx or RequestContext())
+
+    # -- registration ---------------------------------------------------------------------
+    def register(self, func: Callable, name: Optional[str] = None) -> RegisteredFunction:
+        """Register a Python function; returns a remotely callable handle."""
+        scheduler = self._next_scheduler()
+        registered_name = scheduler.register_function(func, name)
+        # Make the function visible to every scheduler the client knows about.
+        for other in self._schedulers:
+            other.functions.setdefault(registered_name, func)
+        return RegisteredFunction(self, registered_name)
+
+    def register_dag(self, name: str, functions: Sequence[str],
+                     connections: Sequence[Tuple[str, str]] = (),
+                     replicas_per_function: int = 1) -> Dag:
+        """Register a DAG of previously registered functions."""
+        dag = Dag(name, functions, connections)
+        for scheduler in self._schedulers:
+            scheduler.register_dag(dag, replicas_per_function=replicas_per_function)
+        return dag
+
+    # -- invocation ----------------------------------------------------------------------
+    def call(self, function_name: str, args: Sequence[Any] = (),
+             store_in_kvs: bool = False,
+             consistency: Optional[ConsistencyLevel] = None) -> ExecutionResult:
+        """Invoke a single registered function and record its latency."""
+        scheduler = self._next_scheduler()
+        result = scheduler.call(function_name, args,
+                                consistency=consistency or self.consistency,
+                                store_in_kvs=store_in_kvs)
+        self._record(result)
+        return result
+
+    def call_dag(self, dag_name: str,
+                 function_args: Optional[Dict[str, Sequence[Any]]] = None,
+                 store_in_kvs: bool = False,
+                 consistency: Optional[ConsistencyLevel] = None) -> ExecutionResult:
+        """Invoke a registered DAG and record its latency."""
+        scheduler = self._next_scheduler()
+        result = scheduler.call_dag(dag_name, function_args,
+                                    consistency=consistency or self.consistency,
+                                    store_in_kvs=store_in_kvs)
+        self._record(result)
+        return result
+
+    def call_dag_async(self, dag_name: str,
+                       function_args: Optional[Dict[str, Sequence[Any]]] = None,
+                       consistency: Optional[ConsistencyLevel] = None) -> CloudburstFuture:
+        """Invoke a DAG, storing the result in the KVS, and return a future."""
+        result = self.call_dag(dag_name, function_args, store_in_kvs=True,
+                               consistency=consistency)
+        return self._future_for(result)
+
+    # -- helpers -------------------------------------------------------------------------
+    def reference(self, key: str) -> CloudburstReference:
+        """Convenience constructor mirroring ``CloudburstReference(key)``."""
+        return CloudburstReference(key)
+
+    @property
+    def last_latency_ms(self) -> float:
+        if self.last_result is None:
+            raise ValueError("no request has been issued yet")
+        return self.last_result.latency_ms
+
+    def _record(self, result: ExecutionResult) -> None:
+        self.last_result = result
+        self.latencies.record(result.latency_ms)
+
+    def _future_for(self, result: ExecutionResult) -> CloudburstFuture:
+        if result.result_key is None:
+            raise ValueError("result was not stored in the KVS; no future available")
+
+        def fetch(key: str):
+            stored = self.kvs.get_or_none(key)
+            if stored is None:
+                return (False, None)
+            return (True, stored.reveal())
+
+        return CloudburstFuture(result.result_key, fetch)
+
+    def _next_scheduler(self) -> Scheduler:
+        return next(self._scheduler_cycle)

@@ -1,0 +1,179 @@
+"""Cluster assembly: everything in Figure 3 wired together.
+
+A :class:`CloudburstCluster` owns the Anna KVS, the executor VMs (threads +
+VM-local caches), the message router, one or more schedulers and the
+monitoring system, and hands out clients.  It is the single entry point used
+by the examples, tests and benchmarks:
+
+    cluster = CloudburstCluster(executor_vms=3)
+    cloud = cluster.connect()
+    sq = cloud.register(lambda x: x * x, name="square")
+    assert sq(3) == 9
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..anna import AnnaCluster
+from ..sim import ComputeModel, LatencyModel, RandomSource
+from .cache import ExecutorCache
+from .client import CloudburstClient
+from .consistency.anomalies import AnomalyTracker
+from .consistency.levels import ConsistencyLevel
+from .dag import DagRegistry
+from .executor import ExecutorVM
+from .messaging import MessageRouter
+from .monitoring import MonitoringConfig, MonitoringSystem
+from .scheduler import Scheduler
+
+
+class CloudburstCluster:
+    """An in-process Cloudburst deployment."""
+
+    def __init__(self,
+                 executor_vms: int = 3,
+                 threads_per_vm: int = 3,
+                 scheduler_count: int = 1,
+                 anna_nodes: int = 4,
+                 anna_replication: int = 2,
+                 consistency: ConsistencyLevel = ConsistencyLevel.LWW,
+                 seed: int = 0,
+                 latency_model: Optional[LatencyModel] = None,
+                 compute_model: Optional[ComputeModel] = None,
+                 anomaly_tracker: Optional[AnomalyTracker] = None,
+                 monitoring_config: Optional[MonitoringConfig] = None,
+                 anna_propagation: str = AnnaCluster.PROPAGATE_IMMEDIATE):
+        if executor_vms <= 0:
+            raise ValueError("executor_vms must be positive")
+        if scheduler_count <= 0:
+            raise ValueError("scheduler_count must be positive")
+        self.rng = RandomSource(seed)
+        self.latency_model = latency_model or LatencyModel(self.rng.spawn("latency"))
+        self.compute_model = compute_model or ComputeModel(rng=self.rng.spawn("compute"))
+        self.consistency = consistency
+        self.threads_per_vm = threads_per_vm
+        self.anomaly_tracker = anomaly_tracker
+
+        self.kvs = AnnaCluster(node_count=anna_nodes, replication_factor=anna_replication,
+                               latency_model=self.latency_model,
+                               propagation_mode=anna_propagation)
+        self.router = MessageRouter(self.kvs, self.latency_model)
+        self.cache_registry: Dict[str, ExecutorCache] = {}
+        self.vms: List[ExecutorVM] = []
+        self._vm_sequence = 0
+        for _ in range(executor_vms):
+            self.add_vm(publish_metrics=False)
+
+        self.dag_registry = DagRegistry()
+        self.schedulers: List[Scheduler] = []
+        for index in range(scheduler_count):
+            scheduler = Scheduler(
+                scheduler_id=f"scheduler-{index}",
+                kvs=self.kvs,
+                vms=self.vms,
+                dag_registry=self.dag_registry,
+                latency_model=self.latency_model,
+                rng=self.rng.spawn(f"scheduler-{index}"),
+                default_consistency=consistency,
+                anomaly_tracker=anomaly_tracker,
+            )
+            self.schedulers.append(scheduler)
+
+        self.monitoring = MonitoringSystem(self, monitoring_config)
+        self._client_sequence = 0
+        self.publish_all_metrics()
+
+    # -- compute-tier membership ------------------------------------------------------
+    def add_vm(self, vm_id: Optional[str] = None, publish_metrics: bool = True) -> ExecutorVM:
+        """Add one executor VM (threads + local cache) to the cluster."""
+        if vm_id is None:
+            vm_id = f"vm-{self._vm_sequence}"
+            self._vm_sequence += 1
+        vm = ExecutorVM(
+            vm_id=vm_id,
+            kvs=self.kvs,
+            router=self.router,
+            threads_per_vm=self.threads_per_vm,
+            latency_model=self.latency_model,
+            compute_model=self.compute_model,
+            consistency_level=self.consistency,
+            cache_registry=self.cache_registry,
+        )
+        self.vms.append(vm)
+        if publish_metrics:
+            vm.publish_metrics()
+        return vm
+
+    def remove_vm(self, vm_id: Optional[str] = None) -> ExecutorVM:
+        """Deallocate an executor VM (the last one by default)."""
+        if not self.vms:
+            raise ValueError("no executor VMs to remove")
+        if vm_id is None:
+            vm = self.vms.pop()
+        else:
+            matches = [v for v in self.vms if v.vm_id == vm_id]
+            if not matches:
+                raise KeyError(f"unknown VM: {vm_id!r}")
+            vm = matches[0]
+            self.vms.remove(vm)
+        for thread in vm.threads:
+            self.router.unregister_thread(thread.thread_id)
+        self.kvs.unregister_update_listener(vm.cache.cache_id)
+        self.cache_registry.pop(vm.cache.cache_id, None)
+        # Drop stale pins referring to the departed VM's threads.
+        departed = set(vm.thread_ids())
+        for scheduler in self.schedulers:
+            for name, pins in scheduler.function_pins.items():
+                scheduler.function_pins[name] = [p for p in pins if p not in departed]
+        return vm
+
+    def fail_vm(self, vm_id: str) -> ExecutorVM:
+        """Fault injection: kill a VM mid-flight (its cache contents are lost)."""
+        vm = self.vm(vm_id)
+        vm.fail()
+        return vm
+
+    def recover_vm(self, vm_id: str) -> ExecutorVM:
+        vm = self.vm(vm_id)
+        vm.recover()
+        return vm
+
+    def vm(self, vm_id: str) -> ExecutorVM:
+        for vm in self.vms:
+            if vm.vm_id == vm_id:
+                return vm
+        raise KeyError(f"unknown VM: {vm_id!r}")
+
+    # -- clients and observability -------------------------------------------------------
+    def connect(self, client_id: Optional[str] = None,
+                consistency: Optional[ConsistencyLevel] = None) -> CloudburstClient:
+        """Create a client bound to this cluster's schedulers (Figure 2, line 2)."""
+        if client_id is None:
+            client_id = f"client-{self._client_sequence}"
+            self._client_sequence += 1
+        return CloudburstClient(self.schedulers, client_id=client_id,
+                                consistency=consistency or self.consistency)
+
+    def publish_all_metrics(self) -> None:
+        """Have every VM publish its metrics and cached-key snapshot (§4.1)."""
+        for vm in self.vms:
+            vm.publish_metrics()
+
+    def total_threads(self) -> int:
+        return sum(len(vm.threads) for vm in self.vms if vm.alive)
+
+    def total_invocations(self) -> int:
+        return sum(vm.invocation_count() for vm in self.vms)
+
+    def cache_hit_rate(self) -> float:
+        hits = sum(vm.cache.stats.hits for vm in self.vms)
+        misses = sum(vm.cache.stats.misses for vm in self.vms)
+        total = hits + misses
+        return hits / total if total else 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"CloudburstCluster(vms={len(self.vms)}, "
+                f"threads={self.total_threads()}, "
+                f"schedulers={len(self.schedulers)}, "
+                f"anna_nodes={self.kvs.node_count()})")

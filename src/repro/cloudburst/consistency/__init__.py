@@ -1,0 +1,37 @@
+"""Distributed session consistency: levels, protocols and anomaly accounting."""
+
+from .anomalies import AnomalyReport, AnomalyTracker, ObservedRead, ShadowVersion
+from .levels import CAUSAL_STRICTNESS_ORDER, ConsistencyLevel
+from .protocols import (
+    ConsistencyProtocol,
+    DependencyEntry,
+    DistributedSessionCausalProtocol,
+    LWWProtocol,
+    MultiKeyCausalProtocol,
+    ObservingProtocol,
+    ReadSetEntry,
+    RepeatableReadProtocol,
+    SessionState,
+    SingleKeyCausalProtocol,
+    make_protocol,
+)
+
+__all__ = [
+    "AnomalyReport",
+    "AnomalyTracker",
+    "ObservedRead",
+    "ShadowVersion",
+    "CAUSAL_STRICTNESS_ORDER",
+    "ConsistencyLevel",
+    "ConsistencyProtocol",
+    "DependencyEntry",
+    "DistributedSessionCausalProtocol",
+    "LWWProtocol",
+    "MultiKeyCausalProtocol",
+    "ObservingProtocol",
+    "ReadSetEntry",
+    "RepeatableReadProtocol",
+    "SessionState",
+    "SingleKeyCausalProtocol",
+    "make_protocol",
+]

@@ -1,0 +1,396 @@
+"""Distributed session consistency protocols (§5.3).
+
+A DAG ("session") may execute its functions on different executor VMs, each
+with its own cache.  These protocols guarantee that the reads and writes of
+the whole session observe the chosen consistency level even though they hit
+different caches:
+
+* :class:`RepeatableReadProtocol` implements Algorithm 1: the cache pins a
+  version snapshot on a DAG's first read of each key; downstream executors
+  ship the read-set metadata and fetch the exact snapshot from the upstream
+  cache whenever their local copy has a different version.
+* :class:`DistributedSessionCausalProtocol` implements Algorithm 2: in
+  addition to the read set, executors ship the causal dependency set of all
+  keys read so far; downstream caches serve a local version only if it is
+  concurrent with or newer than the shipped version, otherwise they fetch the
+  snapshot from upstream.  Caches maintain causal cuts via the bolt-on
+  protocol.
+* :class:`SingleKeyCausalProtocol` and :class:`MultiKeyCausalProtocol` are the
+  weaker levels measured in §6.2 for comparison.
+* :class:`LWWProtocol` is the last-writer-wins default.
+"""
+
+from __future__ import annotations
+
+import uuid
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Set
+
+from ...lattices import CausalLattice, Lattice, VectorClock, estimate_size
+from ...sim import RequestContext
+from ..cache import ExecutorCache
+from ..serialization import LatticeEncapsulator
+from .levels import ConsistencyLevel
+
+
+@dataclass
+class ReadSetEntry:
+    """One key the session has read: its pinned version and snapshot holder."""
+
+    key: str
+    version: Any  # Timestamp (LWW/RR) or VectorClock (causal levels)
+    cache_id: str
+
+
+@dataclass
+class DependencyEntry:
+    """One causal dependency shipped down the DAG (Algorithm 2)."""
+
+    key: str
+    clock: VectorClock
+    cache_id: str
+
+
+@dataclass
+class SessionState:
+    """Consistency metadata carried along a DAG execution."""
+
+    execution_id: str
+    level: ConsistencyLevel
+    read_set: Dict[str, ReadSetEntry] = field(default_factory=dict)
+    dependencies: Dict[str, DependencyEntry] = field(default_factory=dict)
+    caches_involved: Set[str] = field(default_factory=set)
+    reads: int = 0
+    writes: int = 0
+    upstream_fetches: int = 0
+
+    @classmethod
+    def create(cls, level: ConsistencyLevel,
+               execution_id: Optional[str] = None) -> "SessionState":
+        return cls(execution_id=execution_id or uuid.uuid4().hex, level=level)
+
+    def metadata_bytes(self) -> int:
+        """Approximate size of the metadata shipped to a downstream executor.
+
+        Repeatable read ships only the read-set versions; the distributed
+        session causal level additionally ships the dependency set, which is
+        what makes its tail latency higher (§6.2.1).
+        """
+        if not self.level.ships_read_set:
+            return 0
+        total = 0
+        for entry in self.read_set.values():
+            total += len(entry.key.encode("utf-8")) + 16
+            if isinstance(entry.version, VectorClock):
+                total += entry.version.size_bytes()
+            else:
+                total += 8
+        if self.level == ConsistencyLevel.DISTRIBUTED_SESSION_CAUSAL:
+            for dep in self.dependencies.values():
+                total += len(dep.key.encode("utf-8")) + 16 + dep.clock.size_bytes()
+        return total
+
+
+class ConsistencyProtocol:
+    """Base class: how a session reads and writes keys through a cache."""
+
+    level = ConsistencyLevel.LWW
+
+    def read(self, cache: ExecutorCache, key: str, ctx: Optional[RequestContext],
+             state: SessionState) -> Lattice:
+        raise NotImplementedError
+
+    def write(self, cache: ExecutorCache, key: str, lattice: Lattice,
+              ctx: Optional[RequestContext], state: SessionState) -> Lattice:
+        raise NotImplementedError
+
+    def finalize(self, state: SessionState,
+                 caches: Dict[str, ExecutorCache]) -> None:
+        """Sink-side cleanup: notify upstream caches the DAG completed."""
+        for cache_id in state.caches_involved:
+            cache = caches.get(cache_id)
+            if cache is not None:
+                cache.evict_snapshots(state.execution_id)
+
+    # -- shared helpers ------------------------------------------------------------
+    @staticmethod
+    def _record_read(state: SessionState, cache: ExecutorCache, key: str,
+                     value: Lattice) -> None:
+        state.reads += 1
+        state.caches_involved.add(cache.cache_id)
+        state.read_set[key] = ReadSetEntry(
+            key=key,
+            version=LatticeEncapsulator.version_of(value),
+            cache_id=cache.cache_id,
+        )
+
+    @staticmethod
+    def _record_write(state: SessionState, cache: ExecutorCache, key: str,
+                      value: Lattice) -> None:
+        state.writes += 1
+        state.caches_involved.add(cache.cache_id)
+        state.read_set[key] = ReadSetEntry(
+            key=key,
+            version=LatticeEncapsulator.version_of(value),
+            cache_id=cache.cache_id,
+        )
+
+
+class LWWProtocol(ConsistencyProtocol):
+    """Last-writer-wins: plain cache reads and writes, no session metadata."""
+
+    level = ConsistencyLevel.LWW
+
+    def read(self, cache, key, ctx, state):
+        value = cache.get_or_fetch(key, ctx)
+        state.reads += 1
+        state.caches_involved.add(cache.cache_id)
+        return value
+
+    def write(self, cache, key, lattice, ctx, state):
+        state.writes += 1
+        state.caches_involved.add(cache.cache_id)
+        return cache.put(key, lattice, ctx)
+
+
+class RepeatableReadProtocol(ConsistencyProtocol):
+    """Algorithm 1: distributed session repeatable read."""
+
+    level = ConsistencyLevel.DISTRIBUTED_SESSION_RR
+
+    def read(self, cache, key, ctx, state):
+        if key in state.read_set:
+            entry = state.read_set[key]
+            cache_version = cache.get_metadata(key)
+            if cache_version is None or cache_version != entry.version:
+                # Version mismatch: query the upstream cache that pinned the
+                # snapshot (Algorithm 1, line 5).
+                state.upstream_fetches += 1
+                value = cache.fetch_from_upstream(entry.cache_id, state.execution_id,
+                                                  key, ctx)
+            else:
+                value = cache.get(key, ctx)
+            # The local cache now also holds the snapshot for later functions.
+            cache.create_snapshot(state.execution_id, key, value)
+            state.reads += 1
+            state.caches_involved.add(cache.cache_id)
+            return value
+        # First read of this key in the DAG: any available version is fine
+        # (Algorithm 1, line 9); pin it as the session's snapshot.
+        value = cache.get_or_fetch(key, ctx)
+        cache.create_snapshot(state.execution_id, key, value, ctx)
+        self._record_read(state, cache, key, value)
+        return value
+
+    def write(self, cache, key, lattice, ctx, state):
+        merged = cache.put(key, lattice, ctx)
+        # Later reads in the DAG must see this update (the RR invariant).
+        cache.create_snapshot(state.execution_id, key, merged, overwrite=True)
+        self._record_write(state, cache, key, merged)
+        return merged
+
+
+class SingleKeyCausalProtocol(ConsistencyProtocol):
+    """Causal ordering per key (vector clocks), no cross-key dependencies."""
+
+    level = ConsistencyLevel.SINGLE_KEY_CAUSAL
+
+    def read(self, cache, key, ctx, state):
+        value = cache.get_or_fetch(key, ctx)
+        state.reads += 1
+        state.caches_involved.add(cache.cache_id)
+        return value
+
+    def write(self, cache, key, lattice, ctx, state):
+        state.writes += 1
+        state.caches_involved.add(cache.cache_id)
+        return cache.put(key, lattice, ctx)
+
+
+class MultiKeyCausalProtocol(ConsistencyProtocol):
+    """Bolt-on causal consistency within each cache (no cross-cache session)."""
+
+    level = ConsistencyLevel.MULTI_KEY_CAUSAL
+
+    def read(self, cache, key, ctx, state):
+        value = cache.get_or_fetch(key, ctx)
+        # Maintain the causal-cut property of the local cache ([9]).
+        cache.ensure_causal_cut(value, ctx)
+        state.reads += 1
+        state.caches_involved.add(cache.cache_id)
+        self._track_dependencies(state, cache, key, value)
+        return value
+
+    def write(self, cache, key, lattice, ctx, state):
+        merged = cache.put(key, lattice, ctx)
+        self._record_write(state, cache, key, merged)
+        return merged
+
+    @staticmethod
+    def _track_dependencies(state: SessionState, cache: ExecutorCache, key: str,
+                            value: Lattice) -> None:
+        if isinstance(value, CausalLattice):
+            state.read_set[key] = ReadSetEntry(key, value.vector_clock, cache.cache_id)
+            for dep_key, dep_clock in value.dependencies.items():
+                existing = state.dependencies.get(dep_key)
+                merged_clock = dep_clock if existing is None else existing.clock.merge(dep_clock)
+                state.dependencies[dep_key] = DependencyEntry(dep_key, merged_clock,
+                                                              cache.cache_id)
+
+
+class DistributedSessionCausalProtocol(ConsistencyProtocol):
+    """Algorithm 2: causal consistency across every cache a DAG touches."""
+
+    level = ConsistencyLevel.DISTRIBUTED_SESSION_CAUSAL
+
+    def read(self, cache, key, ctx, state):
+        if key in state.read_set or key in state.dependencies:
+            # The session constrains valid versions of this key: it must be
+            # concurrent with or newer than both the version read earlier in
+            # the DAG and any version the read set causally depends on.
+            required = None
+            upstream_cache_id = cache.cache_id
+            if key in state.read_set:
+                entry = state.read_set[key]
+                required = entry.version
+                upstream_cache_id = entry.cache_id
+            if key in state.dependencies:
+                dep = state.dependencies[key]
+                if required is None:
+                    required, upstream_cache_id = dep.clock, dep.cache_id
+                elif isinstance(required, VectorClock) and isinstance(dep.clock, VectorClock):
+                    required = required.merge(dep.clock)
+            value = self._read_constrained(cache, key, required, upstream_cache_id,
+                                           ctx, state)
+        else:
+            value = cache.get_or_fetch(key, ctx)
+            cache.ensure_causal_cut(value, ctx)
+        cache.create_snapshot(state.execution_id, key, value)
+        self._record_causal_read(state, cache, key, value)
+        return value
+
+    def _read_constrained(self, cache: ExecutorCache, key: str, required,
+                          upstream_cache_id: str, ctx, state: SessionState) -> Lattice:
+        """Lines 2-14 of Algorithm 2: serve locally only if causally valid."""
+        from ...errors import ConsistencyError
+
+        cache_version = cache.get_metadata(key)
+        if _causally_valid(cache_version, required):
+            return cache.get(key, ctx)
+        state.upstream_fetches += 1
+        value: Optional[Lattice] = None
+        try:
+            value = cache.fetch_from_upstream(upstream_cache_id, state.execution_id,
+                                              key, ctx)
+        except ConsistencyError:
+            # The upstream cache never held this key (the constraint came from
+            # a shipped dependency rather than a read snapshot).
+            value = None
+        if value is not None and _causally_valid(
+                LatticeEncapsulator.version_of(value), required):
+            return value
+        # Neither the local cache nor the upstream snapshot satisfies the
+        # constraint (e.g. the constraint came from a freshly shipped
+        # dependency); fall back to the KVS, which holds the merged truth.
+        fresh = cache.kvs.get_or_none(key, ctx)
+        if fresh is not None:
+            cache.receive_update(key, fresh)
+            local = cache.get_local(key)
+            if local is None:
+                local = cache.get_or_fetch(key, ctx)
+            return local
+        if value is not None:
+            return value
+        return cache.get_or_fetch(key, ctx)
+
+    def write(self, cache, key, lattice, ctx, state):
+        merged = cache.put(key, lattice, ctx)
+        cache.create_snapshot(state.execution_id, key, merged, overwrite=True)
+        self._record_causal_write(state, cache, key, merged)
+        return merged
+
+    # -- metadata tracking --------------------------------------------------------
+    @staticmethod
+    def _record_causal_read(state: SessionState, cache: ExecutorCache, key: str,
+                            value: Lattice) -> None:
+        state.reads += 1
+        state.caches_involved.add(cache.cache_id)
+        if isinstance(value, CausalLattice):
+            state.read_set[key] = ReadSetEntry(key, value.vector_clock, cache.cache_id)
+            for dep_key, dep_clock in value.dependencies.items():
+                existing = state.dependencies.get(dep_key)
+                merged_clock = dep_clock if existing is None else existing.clock.merge(dep_clock)
+                state.dependencies[dep_key] = DependencyEntry(dep_key, merged_clock,
+                                                              cache.cache_id)
+        else:
+            state.read_set[key] = ReadSetEntry(
+                key, LatticeEncapsulator.version_of(value), cache.cache_id)
+
+    @staticmethod
+    def _record_causal_write(state: SessionState, cache: ExecutorCache, key: str,
+                             value: Lattice) -> None:
+        state.writes += 1
+        state.caches_involved.add(cache.cache_id)
+        if isinstance(value, CausalLattice):
+            state.read_set[key] = ReadSetEntry(key, value.vector_clock, cache.cache_id)
+        else:
+            state.read_set[key] = ReadSetEntry(
+                key, LatticeEncapsulator.version_of(value), cache.cache_id)
+
+
+def _causally_valid(cache_version, required) -> bool:
+    """True when a locally cached version may be served (Algorithm 2's valid()).
+
+    The local version must be concurrent with or dominate the version required
+    by the session (the snapshot read upstream or a shipped dependency).
+    """
+    if cache_version is None:
+        return False
+    if not isinstance(cache_version, VectorClock) or not isinstance(required, VectorClock):
+        return cache_version == required
+    return (cache_version == required
+            or cache_version.dominates(required)
+            or cache_version.concurrent_with(required))
+
+
+class ObservingProtocol(ConsistencyProtocol):
+    """Decorator protocol that reports reads and writes to an anomaly tracker.
+
+    Used by the Table 2 experiment: the system runs under one level (usually
+    LWW) while the tracker records what stricter levels would have flagged.
+    """
+
+    def __init__(self, inner: ConsistencyProtocol, tracker) -> None:
+        self.inner = inner
+        self.tracker = tracker
+        self.level = inner.level
+
+    def read(self, cache, key, ctx, state):
+        value = self.inner.read(cache, key, ctx, state)
+        self.tracker.observe_read(state.execution_id, cache.cache_id, key, value)
+        return value
+
+    def write(self, cache, key, lattice, ctx, state):
+        merged = self.inner.write(cache, key, lattice, ctx, state)
+        self.tracker.observe_write(state.execution_id, cache.cache_id, key, lattice)
+        return merged
+
+    def finalize(self, state, caches):
+        self.inner.finalize(state, caches)
+
+
+_PROTOCOLS = {
+    ConsistencyLevel.LWW: LWWProtocol,
+    ConsistencyLevel.DISTRIBUTED_SESSION_RR: RepeatableReadProtocol,
+    ConsistencyLevel.SINGLE_KEY_CAUSAL: SingleKeyCausalProtocol,
+    ConsistencyLevel.MULTI_KEY_CAUSAL: MultiKeyCausalProtocol,
+    ConsistencyLevel.DISTRIBUTED_SESSION_CAUSAL: DistributedSessionCausalProtocol,
+}
+
+
+def make_protocol(level: ConsistencyLevel) -> ConsistencyProtocol:
+    """Instantiate the protocol object for a consistency level."""
+    try:
+        return _PROTOCOLS[level]()
+    except KeyError:
+        raise ValueError(f"no protocol registered for {level!r}") from None

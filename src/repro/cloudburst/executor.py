@@ -1,0 +1,380 @@
+"""Function executors (§4.1).
+
+Each Cloudburst executor is a long-running worker: schedulers route function
+invocation requests to it; before each invocation it retrieves and
+deserializes the requested function (caching it for repeated execution) and
+transparently resolves KVS-reference arguments in parallel through the
+VM-local cache; after each DAG function it triggers the downstream functions.
+Executors publish metrics (cached functions, utilization, recent latencies)
+to the KVS for the schedulers and the monitoring system.
+
+Executor *threads* are packed into executor *VMs*; every VM hosts one cache
+shared by its threads (the paper uses 3 worker threads + 1 cache core per
+c5.2xlarge VM).
+"""
+
+from __future__ import annotations
+
+import inspect
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..anna import AnnaCluster
+from ..errors import ExecutorFailedError, FunctionNotFoundError
+from ..lattices import Lattice, SetLattice
+from ..sim import ComputeModel, LatencyModel, RequestContext
+from .cache import ExecutorCache
+from .consistency.levels import ConsistencyLevel
+from .consistency.protocols import ConsistencyProtocol, SessionState
+from .messaging import MessageRouter
+from .references import CloudburstReference
+from .serialization import LatticeEncapsulator
+
+#: Anna key prefixes for Cloudburst system metadata.
+FUNCTION_KEY_PREFIX = "__cloudburst_functions__/"
+FUNCTION_LIST_KEY = "__cloudburst_function_list__"
+EXECUTOR_METRICS_PREFIX = "__cloudburst_executor_metrics__/"
+
+
+def function_key(name: str) -> str:
+    return FUNCTION_KEY_PREFIX + name
+
+
+def simulated_compute(duration_ms: float) -> Callable[[Callable], Callable]:
+    """Decorator: declare a function's simulated CPU cost.
+
+    The wrapped function still runs for real; ``duration_ms`` is charged to
+    the request's virtual clock, standing in for CPU time the function would
+    have consumed on the paper's c5.2xlarge executors (e.g. the 50 ms sleep
+    in the autoscaling experiment or model inference in §6.3.1).
+    """
+
+    def decorate(func: Callable) -> Callable:
+        func._cloudburst_compute_ms = float(duration_ms)
+        return func
+
+    return decorate
+
+
+@dataclass
+class InvocationRecord:
+    """Bookkeeping for one finished invocation (feeds executor metrics)."""
+
+    function_name: str
+    latency_ms: float
+    utilization_sample: float
+
+
+class UserLibrary:
+    """The API object handed to user functions (Table 1).
+
+    A function that names its first parameter ``cloudburst`` receives one of
+    these, giving it ``get``/``put``/``delete`` access to the KVS (through the
+    VM-local cache, under the session's consistency protocol) plus ``send``/
+    ``recv`` direct messaging and its own unique invocation ID.
+    """
+
+    def __init__(self, executor: "ExecutorThread", ctx: Optional[RequestContext],
+                 state: SessionState, protocol: ConsistencyProtocol):
+        self._executor = executor
+        self._ctx = ctx
+        self._state = state
+        self._protocol = protocol
+
+    # -- KVS access (Table 1: get / put / delete) -----------------------------------
+    def get(self, key: str) -> Any:
+        lattice = self._protocol.read(self._executor.cache, key, self._ctx, self._state)
+        return LatticeEncapsulator.de_encapsulate(lattice)
+
+    def get_all_versions(self, key: str) -> Tuple[Any, ...]:
+        """All concurrent versions (causal modes expose conflicts on request)."""
+        lattice = self._protocol.read(self._executor.cache, key, self._ctx, self._state)
+        return LatticeEncapsulator.concurrent_versions(lattice)
+
+    def get_dependencies(self, key: str) -> Dict[str, Any]:
+        """The causal dependency set of the locally read version of ``key``.
+
+        Empty outside the causal consistency modes.  Applications use this to
+        walk causal chains explicitly (e.g. Retwis locating the original tweet
+        a reply depends on).
+        """
+        from ..lattices import CausalLattice
+
+        local = self._executor.cache.get_local(key)
+        if isinstance(local, CausalLattice):
+            return dict(local.dependencies)
+        return {}
+
+    def put(self, key: str, value: Any) -> None:
+        executor = self._executor
+        prior = executor.cache.get_local(key)
+        dependencies = {
+            dep_key: entry.version
+            for dep_key, entry in self._state.read_set.items()
+            if hasattr(entry.version, "dominates")  # vector-clock versions only
+        }
+        lattice = executor.encapsulator.encapsulate(
+            value,
+            # LWW timestamps concatenate the node's (cluster-wide monotonic)
+            # local clock with its unique id (§5.2).
+            clock_ms=executor.kvs.wall_clock_ms(),
+            prior=prior,
+            dependencies=dependencies,
+        )
+        self._protocol.write(executor.cache, key, lattice, self._ctx, self._state)
+
+    def delete(self, key: str) -> None:
+        self._executor.cache.evict(key)
+        self._executor.kvs.delete(key, self._ctx)
+
+    # -- messaging (Table 1: send / recv / get_id) ------------------------------------
+    def get_id(self) -> str:
+        return self._executor.thread_id
+
+    def send(self, recipient_id: str, message: Any) -> bool:
+        return self._executor.router.send(self._executor.thread_id, recipient_id,
+                                          message, self._ctx)
+
+    def recv(self) -> List[Any]:
+        return self._executor.router.recv(self._executor.thread_id, self._ctx)
+
+    # -- extras used by applications and benchmarks ------------------------------------
+    def simulate_compute(self, duration_ms: float) -> None:
+        """Charge ``duration_ms`` of simulated CPU time to this request."""
+        if self._ctx is not None and duration_ms > 0:
+            cost = self._executor.compute_model.fixed_ms(duration_ms)
+            self._ctx.charge("compute", "user_function", cost)
+
+    @property
+    def consistency_level(self) -> ConsistencyLevel:
+        return self._state.level
+
+    @property
+    def execution_id(self) -> str:
+        return self._state.execution_id
+
+
+class ExecutorThread:
+    """One executor worker thread."""
+
+    def __init__(self, thread_id: str, vm: "ExecutorVM"):
+        self.thread_id = thread_id
+        self.vm = vm
+        self._function_cache: Dict[str, Callable] = {}
+        self.invocation_count = 0
+        self.busy_ms = 0.0
+        self.recent_latencies_ms: List[float] = []
+        self.alive = True
+
+    # -- conveniences delegating to the VM ------------------------------------------
+    @property
+    def cache(self) -> ExecutorCache:
+        return self.vm.cache
+
+    @property
+    def kvs(self) -> AnnaCluster:
+        return self.vm.kvs
+
+    @property
+    def router(self) -> MessageRouter:
+        return self.vm.router
+
+    @property
+    def latency_model(self) -> LatencyModel:
+        return self.vm.latency_model
+
+    @property
+    def compute_model(self) -> ComputeModel:
+        return self.vm.compute_model
+
+    @property
+    def encapsulator(self) -> LatticeEncapsulator:
+        return self.vm.encapsulator_for(self.thread_id)
+
+    # -- function management ------------------------------------------------------------
+    def has_function(self, name: str) -> bool:
+        return name in self._function_cache
+
+    def cached_functions(self) -> List[str]:
+        return sorted(self._function_cache)
+
+    def pin_function(self, name: str, func: Optional[Callable] = None,
+                     ctx: Optional[RequestContext] = None) -> None:
+        """Cache a function body locally (deserialization happens once)."""
+        if func is None:
+            func = self._fetch_function(name, ctx)
+        self._function_cache[name] = func
+
+    def _fetch_function(self, name: str, ctx: Optional[RequestContext]) -> Callable:
+        stored = self.kvs.get_or_none(function_key(name), ctx)
+        if stored is None:
+            raise FunctionNotFoundError(name)
+        if ctx is not None:
+            self.latency_model.charge(ctx, "cloudburst", "deserialize_function")
+        return stored.reveal()
+
+    # -- invocation ----------------------------------------------------------------------
+    def execute(self, function_name: str, args: Sequence[Any],
+                ctx: Optional[RequestContext], state: SessionState,
+                protocol: ConsistencyProtocol) -> Any:
+        """Run one function invocation on this thread."""
+        if not self.alive or not self.vm.alive:
+            raise ExecutorFailedError(self.thread_id, "executor is down")
+        start_ms = ctx.clock.now_ms if ctx is not None else 0.0
+        if ctx is not None:
+            self.latency_model.charge(ctx, "cloudburst", "invoke")
+        func = self._function_cache.get(function_name)
+        if func is None:
+            func = self._fetch_function(function_name, ctx)
+            self._function_cache[function_name] = func
+        resolved_args = self._resolve_references(args, ctx, state, protocol)
+        library = UserLibrary(self, ctx, state, protocol)
+        result = self._call(func, library, resolved_args)
+        declared_compute = getattr(func, "_cloudburst_compute_ms", 0.0)
+        if ctx is not None and declared_compute:
+            ctx.charge("compute", "user_function",
+                       self.compute_model.fixed_ms(declared_compute))
+        self.invocation_count += 1
+        if ctx is not None:
+            elapsed = ctx.clock.now_ms - start_ms
+            self.busy_ms += elapsed
+            self.recent_latencies_ms.append(elapsed)
+            if len(self.recent_latencies_ms) > 256:
+                self.recent_latencies_ms.pop(0)
+        return result
+
+    def _resolve_references(self, args: Sequence[Any], ctx: Optional[RequestContext],
+                            state: SessionState,
+                            protocol: ConsistencyProtocol) -> List[Any]:
+        """Resolve KVS reference arguments before invoking the function.
+
+        The paper resolves references in parallel; because all fetches for one
+        invocation share the VM's NIC, their transfer times serialise in
+        practice, so charging them sequentially is the faithful approximation
+        for anything beyond trivially small payloads.
+        """
+        resolved = list(args)
+        for index, arg in enumerate(args):
+            if isinstance(arg, CloudburstReference):
+                lattice = protocol.read(self.cache, arg.key, ctx, state)
+                resolved[index] = LatticeEncapsulator.de_encapsulate(lattice)
+        return resolved
+
+    @staticmethod
+    def _call(func: Callable, library: UserLibrary, args: List[Any]) -> Any:
+        """Invoke the user function, injecting the API object if requested."""
+        try:
+            parameters = list(inspect.signature(func).parameters)
+        except (TypeError, ValueError):
+            parameters = []
+        if parameters and parameters[0] == "cloudburst":
+            return func(library, *args)
+        return func(*args)
+
+    # -- metrics ------------------------------------------------------------------------
+    def utilization(self, window_ms: float) -> float:
+        if window_ms <= 0:
+            return 0.0
+        return min(1.0, self.busy_ms / window_ms)
+
+    def reset_window(self) -> None:
+        self.busy_ms = 0.0
+        self.recent_latencies_ms.clear()
+
+
+class ExecutorVM:
+    """A function-execution VM: several worker threads plus one local cache."""
+
+    def __init__(self, vm_id: str, kvs: AnnaCluster, router: MessageRouter,
+                 threads_per_vm: int = 3,
+                 latency_model: Optional[LatencyModel] = None,
+                 compute_model: Optional[ComputeModel] = None,
+                 consistency_level: ConsistencyLevel = ConsistencyLevel.LWW,
+                 cache_registry: Optional[Dict[str, ExecutorCache]] = None):
+        if threads_per_vm <= 0:
+            raise ValueError("threads_per_vm must be positive")
+        self.vm_id = vm_id
+        self.kvs = kvs
+        self.router = router
+        self.latency_model = latency_model or kvs.latency_model
+        self.compute_model = compute_model or ComputeModel()
+        self.consistency_level = consistency_level
+        self.cache = ExecutorCache(f"cache-{vm_id}", kvs, self.latency_model,
+                                   peer_registry=cache_registry)
+        self.threads: List[ExecutorThread] = []
+        self.alive = True
+        self.inflight = 0
+        self._encapsulators: Dict[str, LatticeEncapsulator] = {}
+        for index in range(threads_per_vm):
+            thread = ExecutorThread(f"{vm_id}:{index}", self)
+            self.threads.append(thread)
+            router.register_thread(thread.thread_id)
+
+    # -- lifecycle ------------------------------------------------------------------
+    def fail(self) -> None:
+        """Kill the VM (fault injection): threads stop, the cache is lost."""
+        self.alive = False
+        for thread in self.threads:
+            thread.alive = False
+            self.router.mark_unreachable(thread.thread_id)
+
+    def recover(self) -> None:
+        """Bring the VM back with a cold cache (as a restarted container would)."""
+        self.alive = True
+        self.cache.clear()
+        for thread in self.threads:
+            thread.alive = True
+            self.router.mark_reachable(thread.thread_id)
+
+    # -- helpers -----------------------------------------------------------------------
+    def encapsulator_for(self, thread_id: str) -> LatticeEncapsulator:
+        encapsulator = self._encapsulators.get(thread_id)
+        if encapsulator is None:
+            encapsulator = LatticeEncapsulator(thread_id, self.consistency_level)
+            self._encapsulators[thread_id] = encapsulator
+        return encapsulator
+
+    def thread(self, index: int) -> ExecutorThread:
+        return self.threads[index]
+
+    def thread_ids(self) -> List[str]:
+        return [thread.thread_id for thread in self.threads]
+
+    def pick_thread(self, rng=None) -> ExecutorThread:
+        """Least-loaded thread on this VM (ties broken deterministically)."""
+        candidates = [t for t in self.threads if t.alive]
+        if not candidates:
+            raise ExecutorFailedError(self.vm_id, "no live threads")
+        return min(candidates, key=lambda t: (t.invocation_count, t.thread_id))
+
+    # -- metrics (§4.1: executors publish these to the KVS) ------------------------------
+    def utilization(self) -> float:
+        """Fraction of threads currently occupied by in-flight requests."""
+        if not self.threads:
+            return 0.0
+        return min(1.0, self.inflight / len(self.threads))
+
+    def cached_functions(self) -> List[str]:
+        functions = set()
+        for thread in self.threads:
+            functions.update(thread.cached_functions())
+        return sorted(functions)
+
+    def invocation_count(self) -> int:
+        return sum(thread.invocation_count for thread in self.threads)
+
+    def publish_metrics(self, ctx: Optional[RequestContext] = None) -> None:
+        """Publish cached-function and load metrics to the KVS (§4.1)."""
+        metrics = {
+            "vm_id": self.vm_id,
+            "alive": self.alive,
+            "utilization": self.utilization(),
+            "invocations": self.invocation_count(),
+            "cached_functions": self.cached_functions(),
+            "cached_keys": len(self.cache.cached_keys()),
+        }
+        self.kvs.put_plain(EXECUTOR_METRICS_PREFIX + self.vm_id, metrics, ctx)
+        self.cache.publish_cached_keys(ctx)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ExecutorVM({self.vm_id!r}, threads={len(self.threads)}, alive={self.alive})"

@@ -1,0 +1,173 @@
+"""Monitoring and resource management (§4.4).
+
+Cloudburst uses Anna as the substrate for metric collection: executors and
+schedulers publish metrics to well-known KVS keys, and the monitoring system
+asynchronously aggregates them and feeds a policy engine.  The policy:
+
+* if a DAG's incoming request rate significantly exceeds its completion rate,
+  pin the DAG's functions onto more executors;
+* if overall executor CPU utilization exceeds 70 %, add compute nodes (EC2
+  instance startup takes ~2.5 minutes, which produces the plateaus in
+  Figure 7);
+* if utilization drops below 20 %, deallocate resources.
+
+Two interfaces are provided: :class:`MonitoringSystem` operates directly on a
+:class:`~repro.cloudburst.cluster.CloudburstCluster` (used by tests and the
+examples), and :class:`AutoscalingPolicy` packages the same thresholds as a
+policy function for the discrete-event simulation that regenerates Figure 7.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..sim import AutoscalerDecision, LatencyModel
+from .executor import EXECUTOR_METRICS_PREFIX
+
+
+@dataclass
+class MonitoringConfig:
+    """Thresholds of the §4.4 policy."""
+
+    scale_up_utilization: float = 0.70
+    scale_down_utilization: float = 0.20
+    #: VMs added per scale-up event (the paper adds 20 EC2 instances at a time).
+    vms_per_scale_up: int = 20
+    #: Worker threads per VM (c5.2xlarge: 3 Python cores + 1 cache core).
+    threads_per_vm: int = 3
+    #: EC2 instance spin-up delay in ms (~2.5 minutes in the paper).
+    node_startup_delay_ms: float = 150_000.0
+    #: Pin a function to more executors when arrivals exceed completions by this ratio.
+    backlog_ratio_threshold: float = 1.2
+    max_vms: int = 200
+    min_vms: int = 1
+    #: Threads to keep for a function when its load disappears (paper drains to 2).
+    min_pinned_threads: int = 2
+
+
+@dataclass
+class MonitoringReport:
+    """What one monitoring tick decided."""
+
+    utilization: float = 0.0
+    vms_added: int = 0
+    vms_removed: int = 0
+    functions_repinned: Dict[str, int] = field(default_factory=dict)
+
+
+class MonitoringSystem:
+    """Aggregates executor metrics from the KVS and applies the §4.4 policy."""
+
+    def __init__(self, cluster, config: Optional[MonitoringConfig] = None):
+        self.cluster = cluster
+        self.config = config or MonitoringConfig()
+
+    # -- metric aggregation -------------------------------------------------------
+    def collect_utilization(self) -> float:
+        """Mean executor-VM utilization, read from the published KVS metrics."""
+        samples: List[float] = []
+        for vm in self.cluster.vms:
+            metrics = self.cluster.kvs.get_or_none(EXECUTOR_METRICS_PREFIX + vm.vm_id)
+            if metrics is not None:
+                samples.append(float(metrics.reveal().get("utilization", 0.0)))
+            else:
+                samples.append(vm.utilization())
+        return sum(samples) / len(samples) if samples else 0.0
+
+    def collect_metrics(self) -> Dict[str, float]:
+        return {
+            "utilization": self.collect_utilization(),
+            "vm_count": float(len(self.cluster.vms)),
+            "thread_count": float(sum(len(vm.threads) for vm in self.cluster.vms)),
+        }
+
+    # -- policy -----------------------------------------------------------------------
+    def tick(self, arrival_rate_per_s: float = 0.0,
+             completion_rate_per_s: float = 0.0) -> MonitoringReport:
+        """Run one policy evaluation against the live cluster."""
+        report = MonitoringReport()
+        report.utilization = self.collect_utilization()
+        config = self.config
+
+        # Function-level pinning: backlogged DAG functions get more replicas.
+        if completion_rate_per_s > 0 and arrival_rate_per_s > 0:
+            ratio = arrival_rate_per_s / completion_rate_per_s
+            if ratio > config.backlog_ratio_threshold:
+                for scheduler in self.cluster.schedulers:
+                    for name in list(scheduler.function_pins):
+                        before = len(scheduler.function_pins[name])
+                        scheduler.pin_function(name, replicas=before + 1)
+                        report.functions_repinned[name] = len(
+                            scheduler.function_pins[name])
+
+        # Cluster-level elasticity.
+        if (report.utilization > config.scale_up_utilization
+                and len(self.cluster.vms) < config.max_vms):
+            for _ in range(config.vms_per_scale_up):
+                if len(self.cluster.vms) >= config.max_vms:
+                    break
+                self.cluster.add_vm()
+                report.vms_added += 1
+        elif (report.utilization < config.scale_down_utilization
+                and len(self.cluster.vms) > config.min_vms):
+            removable = len(self.cluster.vms) - config.min_vms
+            to_remove = min(removable, config.vms_per_scale_up)
+            for _ in range(to_remove):
+                self.cluster.remove_vm()
+                report.vms_removed += 1
+        return report
+
+
+class AutoscalingPolicy:
+    """The §4.4 policy expressed for the discrete-event simulation (Figure 7).
+
+    The simulation models executor threads as an abstract capacity pool; this
+    policy watches utilization and arrival/completion rates and decides when
+    to add VMs (after the EC2 startup delay) and when to drain capacity.
+    """
+
+    def __init__(self, config: Optional[MonitoringConfig] = None):
+        self.config = config or MonitoringConfig()
+        self.pending_threads = 0
+        self.decisions: List[AutoscalerDecision] = []
+        self._pending_until_ms = 0.0
+
+    def __call__(self, now_ms: float, metrics: Dict[str, float]) -> Optional[AutoscalerDecision]:
+        config = self.config
+        utilization = metrics.get("utilization", 0.0)
+        arrival = metrics.get("arrival_rate_per_s", 0.0)
+        completion = metrics.get("completion_rate_per_s", 0.0)
+        capacity = int(metrics.get("capacity_threads", 0))
+        decision: Optional[AutoscalerDecision] = None
+
+        scale_up_pending = now_ms < self._pending_until_ms
+        if (utilization >= config.scale_up_utilization and arrival > 0
+                and not scale_up_pending):
+            # One batch of EC2 instances at a time: while the previous batch is
+            # still booting (the ~2.5 minute plateaus in Figure 7), the policy
+            # waits rather than requesting ever more capacity.
+            add = config.vms_per_scale_up * config.threads_per_vm
+            decision = AutoscalerDecision(
+                add_threads=add,
+                add_delay_ms=config.node_startup_delay_ms,
+                note=f"utilization {utilization:.2f} >= {config.scale_up_utilization}: "
+                     f"adding {config.vms_per_scale_up} VMs",
+            )
+            self.pending_threads += add
+            self._pending_until_ms = now_ms + config.node_startup_delay_ms
+        elif arrival == 0.0 and completion == 0.0 and capacity > config.min_pinned_threads:
+            # Load disappeared: drain down to the minimum pinned threads.
+            decision = AutoscalerDecision(
+                remove_threads=capacity - config.min_pinned_threads,
+                note="request rate dropped to zero: draining executors",
+            )
+        elif (utilization < config.scale_down_utilization and arrival > 0
+                and capacity > config.threads_per_vm * config.min_vms):
+            decision = AutoscalerDecision(
+                remove_threads=config.threads_per_vm,
+                note=f"utilization {utilization:.2f} < {config.scale_down_utilization}",
+            )
+        if decision is not None:
+            self.decisions.append(decision)
+        return decision

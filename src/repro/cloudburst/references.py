@@ -1,0 +1,84 @@
+"""Client-facing handles: KVS references and futures (§3, Figure 2).
+
+* A :class:`CloudburstReference` names a KVS key in a function's argument
+  list.  The runtime resolves it (through the executor-local cache) before
+  invoking the function, and the scheduler uses references to make
+  locality-aware placement decisions.
+* A :class:`CloudburstFuture` is returned when the caller asks for the result
+  to be stored in the KVS instead of returned synchronously; ``get()`` blocks
+  (in virtual time) until the result key is populated.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, List, Optional, Tuple
+
+from ..errors import KeyNotFoundError
+
+
+class CloudburstReference:
+    """A reference to a KVS key, resolved by the runtime at invocation time."""
+
+    __slots__ = ("key", "deserialize")
+
+    def __init__(self, key: str, deserialize: bool = True):
+        if not key:
+            raise ValueError("a CloudburstReference needs a non-empty key")
+        self.key = key
+        self.deserialize = deserialize
+
+    def __repr__(self) -> str:
+        return f"CloudburstReference({self.key!r})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CloudburstReference):
+            return NotImplemented
+        return self.key == other.key and self.deserialize == other.deserialize
+
+    def __hash__(self) -> int:
+        return hash((self.key, self.deserialize))
+
+
+def extract_references(args: Iterable[Any]) -> List[CloudburstReference]:
+    """All KVS references appearing (possibly nested) in an argument list."""
+    found: List[CloudburstReference] = []
+    stack = list(args)
+    while stack:
+        item = stack.pop()
+        if isinstance(item, CloudburstReference):
+            found.append(item)
+        elif isinstance(item, (list, tuple, set)):
+            stack.extend(item)
+        elif isinstance(item, dict):
+            stack.extend(item.values())
+    return found
+
+
+class CloudburstFuture:
+    """Handle to a result that will appear at a KVS key."""
+
+    def __init__(self, result_key: str, fetch: Callable[[str], Tuple[bool, Any]]):
+        """``fetch`` returns ``(ready, value)`` for the result key."""
+        self.result_key = result_key
+        self._fetch = fetch
+        self._resolved = False
+        self._value: Any = None
+
+    def is_ready(self) -> bool:
+        if self._resolved:
+            return True
+        ready, value = self._fetch(self.result_key)
+        if ready:
+            self._value = value
+            self._resolved = True
+        return self._resolved
+
+    def get(self) -> Any:
+        """Return the result, polling the KVS until the key is populated."""
+        if not self.is_ready():
+            raise KeyNotFoundError(self.result_key)
+        return self._value
+
+    def __repr__(self) -> str:
+        state = "ready" if self._resolved else "pending"
+        return f"CloudburstFuture({self.result_key!r}, {state})"

@@ -1,0 +1,355 @@
+"""Function schedulers (§4.3).
+
+Schedulers handle function/DAG registration and invocation requests.  They
+make heuristic placement decisions from metadata reported by executors:
+cached key sets (for data locality) and executor load (for backpressure).
+Hot data and functions end up replicated across executors because the
+scheduler avoids saturated nodes, and the newly chosen nodes fetch and cache
+the hot keys themselves.
+"""
+
+from __future__ import annotations
+
+import uuid
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..anna import AnnaCluster
+from ..errors import (
+    DagExecutionError,
+    ExecutorFailedError,
+    FunctionNotFoundError,
+    SchedulingError,
+)
+from ..lattices import SetLattice
+from ..sim import LatencyModel, RandomSource, RequestContext, SimClock
+from .consistency.levels import ConsistencyLevel
+from .consistency.protocols import ObservingProtocol, SessionState, make_protocol
+from .dag import Dag, DagRegistry
+from .executor import (
+    EXECUTOR_METRICS_PREFIX,
+    ExecutorThread,
+    ExecutorVM,
+    FUNCTION_LIST_KEY,
+    function_key,
+)
+from .references import CloudburstReference, extract_references
+from .serialization import LatticeEncapsulator
+
+#: Executors above this utilization are avoided by the scheduling policy (§4.3).
+OVERLOAD_THRESHOLD = 0.70
+
+#: How long the platform waits before re-executing a DAG whose executor died (§4.5).
+DEFAULT_FAULT_TIMEOUT_MS = 5_000.0
+
+
+@dataclass
+class ExecutionResult:
+    """What a scheduler returns for one invocation (single function or DAG)."""
+
+    value: Any
+    latency_ms: float
+    execution_id: str
+    ctx: RequestContext
+    retries: int = 0
+    result_key: Optional[str] = None
+    session: Optional[SessionState] = None
+
+
+@dataclass
+class SchedulerStats:
+    """Per-scheduler call statistics (stored in the KVS in the paper)."""
+
+    calls_per_function: Dict[str, int] = field(default_factory=dict)
+    calls_per_dag: Dict[str, int] = field(default_factory=dict)
+    locality_hits: int = 0
+    locality_misses: int = 0
+
+    def record_function_call(self, name: str) -> None:
+        self.calls_per_function[name] = self.calls_per_function.get(name, 0) + 1
+
+    def record_dag_call(self, name: str) -> None:
+        self.calls_per_dag[name] = self.calls_per_dag.get(name, 0) + 1
+
+
+class Scheduler:
+    """One Cloudburst scheduler (the system runs several, independently)."""
+
+    def __init__(self, scheduler_id: str, kvs: AnnaCluster, vms: List[ExecutorVM],
+                 dag_registry: Optional[DagRegistry] = None,
+                 latency_model: Optional[LatencyModel] = None,
+                 rng: Optional[RandomSource] = None,
+                 default_consistency: ConsistencyLevel = ConsistencyLevel.LWW,
+                 fault_timeout_ms: float = DEFAULT_FAULT_TIMEOUT_MS,
+                 max_retries: int = 2,
+                 anomaly_tracker=None):
+        self.scheduler_id = scheduler_id
+        self.kvs = kvs
+        self.vms = vms  # shared, mutable list owned by the cluster
+        self.dag_registry = dag_registry or DagRegistry()
+        self.latency_model = latency_model or kvs.latency_model
+        self.rng = rng or RandomSource(23)
+        self.default_consistency = default_consistency
+        self.fault_timeout_ms = fault_timeout_ms
+        self.max_retries = max_retries
+        self.stats = SchedulerStats()
+        #: Ablation switch: when False the scheduler ignores KVS references and
+        #: places every request randomly (used by the scheduling ablation bench).
+        self.locality_scheduling = True
+        self.functions: Dict[str, Callable] = {}
+        #: function name -> executor thread ids the function is pinned on.
+        self.function_pins: Dict[str, List[str]] = {}
+        self.anomaly_tracker = anomaly_tracker
+
+    # -- registration (§4.3 "Scheduling Mechanisms") -----------------------------------
+    def register_function(self, func: Callable, name: Optional[str] = None,
+                          ctx: Optional[RequestContext] = None) -> str:
+        """Store a function in Anna and add it to the registered-function list."""
+        name = name or func.__name__
+        self.functions[name] = func
+        self.kvs.put_plain(function_key(name), func, ctx)
+        self.kvs.put(FUNCTION_LIST_KEY, SetLattice({name}), ctx)
+        return name
+
+    def register_dag(self, dag: Dag, ctx: Optional[RequestContext] = None,
+                     replicas_per_function: int = 1) -> None:
+        """Verify the DAG's functions exist, pin them on executors, persist it."""
+        for name in dag.functions:
+            if not self.kvs.contains(function_key(name)):
+                raise FunctionNotFoundError(name)
+        self.dag_registry.register(dag)
+        for name in dag.functions:
+            self.pin_function(name, replicas=replicas_per_function, ctx=ctx)
+        # DAG topologies are the scheduler's only persistent metadata (§4.3).
+        topology = {
+            "name": dag.name,
+            "functions": list(dag.functions),
+            "edges": [(edge.source, edge.target) for edge in dag.edges],
+        }
+        self.kvs.put_plain(f"__cloudburst_dags__/{dag.name}", topology, ctx)
+
+    def pin_function(self, name: str, replicas: int = 1,
+                     ctx: Optional[RequestContext] = None) -> List[str]:
+        """Cache ``name`` on ``replicas`` executor threads (monitoring adds more)."""
+        pins = self.function_pins.setdefault(name, [])
+        live_threads = self._live_threads()
+        if not live_threads:
+            raise SchedulingError("no live executors to pin functions on")
+        candidates = self.rng.shuffle(
+            [t for t in live_threads if t.thread_id not in pins])
+        needed = max(0, replicas - len(pins))
+        for thread in candidates[:needed]:
+            thread.pin_function(name, self.functions.get(name), ctx)
+            pins.append(thread.thread_id)
+        # Ensure at least one pin exists even if every thread was already pinned
+        # for some other caller (or replicas == 0 was requested).
+        if not pins:
+            thread = self.rng.choice(live_threads)
+            thread.pin_function(name, self.functions.get(name), ctx)
+            pins.append(thread.thread_id)
+        return list(pins)
+
+    def pinned_threads(self, name: str) -> List[ExecutorThread]:
+        by_id = {thread.thread_id: thread for thread in self._live_threads()}
+        return [by_id[tid] for tid in self.function_pins.get(name, []) if tid in by_id]
+
+    # -- invocation: single functions ------------------------------------------------------
+    def call(self, function_name: str, args: Sequence[Any] = (),
+             consistency: Optional[ConsistencyLevel] = None,
+             store_in_kvs: bool = False,
+             ctx: Optional[RequestContext] = None) -> ExecutionResult:
+        """Schedule and execute a single function invocation."""
+        level = consistency or self.default_consistency
+        ctx = ctx or RequestContext()
+        start_ms = ctx.clock.now_ms
+        self.stats.record_function_call(function_name)
+        self.latency_model.charge(ctx, "cloudburst", "client_to_scheduler")
+        self.latency_model.charge(ctx, "cloudburst", "schedule")
+        state = SessionState.create(level)
+        protocol = self._make_protocol(level)
+        retries = 0
+        while True:
+            thread = self._pick_executor(function_name, args)
+            self.latency_model.charge(ctx, "cloudburst", "scheduler_to_executor")
+            try:
+                value = self._run_on_thread(thread, function_name, args, ctx, state, protocol)
+                break
+            except ExecutorFailedError:
+                retries += 1
+                if retries > self.max_retries:
+                    raise DagExecutionError(
+                        f"function {function_name!r} failed after {retries} attempts")
+                ctx.charge("cloudburst", "fault_timeout", self.fault_timeout_ms)
+        result_key = None
+        if store_in_kvs:
+            result_key = f"__cloudburst_results__/{state.execution_id}"
+            self.kvs.put_plain(result_key, value, ctx)
+        else:
+            self.latency_model.charge(ctx, "cloudburst", "result_to_client")
+        protocol.finalize(state, self._cache_registry())
+        self._complete_anomaly_tracking(state)
+        return ExecutionResult(value=value, latency_ms=ctx.clock.now_ms - start_ms,
+                               execution_id=state.execution_id, ctx=ctx,
+                               retries=retries, result_key=result_key, session=state)
+
+    # -- invocation: DAGs ---------------------------------------------------------------------
+    def call_dag(self, dag_name: str, function_args: Optional[Dict[str, Sequence[Any]]] = None,
+                 consistency: Optional[ConsistencyLevel] = None,
+                 store_in_kvs: bool = False,
+                 ctx: Optional[RequestContext] = None) -> ExecutionResult:
+        """Schedule and execute a registered DAG.
+
+        ``function_args`` supplies extra arguments per function; results of
+        upstream functions are automatically prepended to downstream argument
+        lists (§3).
+        """
+        level = consistency or self.default_consistency
+        function_args = function_args or {}
+        ctx = ctx or RequestContext()
+        start_ms = ctx.clock.now_ms
+        dag = self.dag_registry.get(dag_name)
+        self.dag_registry.record_call(dag_name)
+        self.stats.record_dag_call(dag_name)
+        self.latency_model.charge(ctx, "cloudburst", "client_to_scheduler")
+        self.latency_model.charge(ctx, "cloudburst", "schedule")
+        retries = 0
+        while True:
+            state = SessionState.create(level)
+            protocol = self._make_protocol(level)
+            try:
+                value = self._execute_dag(dag, function_args, ctx, state, protocol)
+                break
+            except ExecutorFailedError:
+                # §4.5: if a machine fails mid-DAG, the whole DAG re-executes
+                # after a configurable timeout.
+                retries += 1
+                if retries > self.max_retries:
+                    raise DagExecutionError(
+                        f"DAG {dag_name!r} failed after {retries} attempts")
+                ctx.charge("cloudburst", "fault_timeout", self.fault_timeout_ms)
+        result_key = None
+        if store_in_kvs:
+            result_key = f"__cloudburst_results__/{state.execution_id}"
+            self.kvs.put_plain(result_key, value, ctx)
+        else:
+            self.latency_model.charge(ctx, "cloudburst", "result_to_client")
+        protocol.finalize(state, self._cache_registry())
+        self._complete_anomaly_tracking(state)
+        return ExecutionResult(value=value, latency_ms=ctx.clock.now_ms - start_ms,
+                               execution_id=state.execution_id, ctx=ctx,
+                               retries=retries, result_key=result_key, session=state)
+
+    def _execute_dag(self, dag: Dag, function_args: Dict[str, Sequence[Any]],
+                     ctx: RequestContext, state: SessionState, protocol) -> Any:
+        """Run every DAG function in dependency order with fork/join timing."""
+        schedule = self._schedule_dag(dag, function_args)
+        order = dag.topological_order()
+        results: Dict[str, Any] = {}
+        finish_time: Dict[str, float] = {}
+        branches: List[RequestContext] = []
+        base_time = ctx.clock.now_ms
+        for index, name in enumerate(order):
+            upstream = dag.upstream_of(name)
+            ready_at = max([finish_time[u] for u in upstream], default=base_time)
+            branch = RequestContext(clock=SimClock(max(base_time, ready_at)),
+                                    metadata=dict(ctx.metadata))
+            thread = schedule[name]
+            if not upstream:
+                self.latency_model.charge(branch, "cloudburst", "scheduler_to_executor")
+            else:
+                # Downstream trigger ships the session's consistency metadata.
+                self.latency_model.charge(branch, "cloudburst", "dag_trigger",
+                                          size_bytes=state.metadata_bytes())
+            args = [results[u] for u in upstream] + list(function_args.get(name, ()))
+            value = self._run_on_thread(thread, name, args, branch, state, protocol)
+            results[name] = value
+            finish_time[name] = branch.clock.now_ms
+            branches.append(branch)
+        ctx.join(branches)
+        sinks = dag.sinks
+        if len(sinks) == 1:
+            return results[sinks[0]]
+        return {sink: results[sink] for sink in sinks}
+
+    def _run_on_thread(self, thread: ExecutorThread, function_name: str,
+                       args: Sequence[Any], ctx: RequestContext,
+                       state: SessionState, protocol) -> Any:
+        vm = thread.vm
+        vm.inflight += 1
+        try:
+            value = thread.execute(function_name, args, ctx, state, protocol)
+        finally:
+            vm.inflight -= 1
+        return value
+
+    # -- scheduling policy (§4.3 "Scheduling Policy") ---------------------------------------
+    def _schedule_dag(self, dag: Dag, function_args: Dict[str, Sequence[Any]]
+                      ) -> Dict[str, ExecutorThread]:
+        schedule: Dict[str, ExecutorThread] = {}
+        for name in dag.functions:
+            pinned = self.pinned_threads(name)
+            args = function_args.get(name, ())
+            schedule[name] = self._pick_executor(name, args, candidates=pinned or None)
+        return schedule
+
+    def _pick_executor(self, function_name: str, args: Sequence[Any],
+                       candidates: Optional[List[ExecutorThread]] = None) -> ExecutorThread:
+        threads = candidates if candidates else self._live_threads()
+        threads = [t for t in threads if t.alive and t.vm.alive]
+        if not threads:
+            # Fall back to any live executor (e.g. all pinned replicas died).
+            threads = self._live_threads()
+        if not threads:
+            raise SchedulingError("no live executors available")
+        references = extract_references(args) if self.locality_scheduling else []
+        if references:
+            chosen = self._pick_by_locality(threads, references)
+            if chosen is not None:
+                self.stats.locality_hits += 1
+                return chosen
+            self.stats.locality_misses += 1
+        # No references (or no cache holds them): pick an unsaturated executor
+        # at random; saturated executors are avoided, which is what replicates
+        # hot functions/data onto new nodes over time (backpressure).
+        unsaturated = [t for t in threads if t.vm.utilization() <= OVERLOAD_THRESHOLD]
+        pool = unsaturated or threads
+        return self.rng.choice(pool)
+
+    def _pick_by_locality(self, threads: List[ExecutorThread],
+                          references: List[CloudburstReference]) -> Optional[ExecutorThread]:
+        """Pick the executor whose VM cache holds the most referenced keys."""
+        index = self.kvs.cache_index
+        scores: List[Tuple[int, str, ExecutorThread]] = []
+        for thread in threads:
+            cache_id = thread.vm.cache.cache_id
+            cached = sum(1 for ref in references if cache_id in index.caches_for(ref.key))
+            scores.append((cached, thread.thread_id, thread))
+        scores.sort(key=lambda item: (-item[0], item[1]))
+        for cached, _, thread in scores:
+            if cached <= 0:
+                break
+            if thread.vm.utilization() <= OVERLOAD_THRESHOLD:
+                return thread
+        return None
+
+    # -- helpers ----------------------------------------------------------------------------
+    def _live_threads(self) -> List[ExecutorThread]:
+        threads: List[ExecutorThread] = []
+        for vm in self.vms:
+            if not vm.alive:
+                continue
+            threads.extend(t for t in vm.threads if t.alive)
+        return threads
+
+    def _cache_registry(self) -> Dict[str, Any]:
+        return {vm.cache.cache_id: vm.cache for vm in self.vms}
+
+    def _make_protocol(self, level: ConsistencyLevel):
+        protocol = make_protocol(level)
+        if self.anomaly_tracker is not None:
+            protocol = ObservingProtocol(protocol, self.anomaly_tracker)
+        return protocol
+
+    def _complete_anomaly_tracking(self, state: SessionState) -> None:
+        if self.anomaly_tracker is not None:
+            self.anomaly_tracker.complete_execution(state.execution_id)

@@ -1,0 +1,95 @@
+"""Lattice encapsulation (§5.2).
+
+Users write vanilla Python; Anna stores lattices.  This module bridges the
+two: ``encapsulate`` wraps an opaque Python value in the lattice appropriate
+for the deployment's consistency level, and ``de_encapsulate`` unwraps it.
+
+* In LWW (and repeatable-read) mode, values are wrapped in an
+  :class:`~repro.lattices.lww.LWWLattice` whose timestamp concatenates the
+  local clock and the writing node's unique id.
+* In the causal modes, values are wrapped in a
+  :class:`~repro.lattices.causal.CausalLattice` whose vector clock is bumped
+  at the writing executor and whose dependency set records the key versions
+  the writer had read (for the multi-key and distributed-session levels).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Mapping, Optional
+
+from ..lattices import (
+    CausalLattice,
+    Lattice,
+    LWWLattice,
+    Timestamp,
+    TimestampGenerator,
+    VectorClock,
+)
+from .consistency.levels import ConsistencyLevel
+
+
+class LatticeEncapsulator:
+    """Wraps and unwraps user values for one writing node (executor thread)."""
+
+    def __init__(self, node_id: str, level: ConsistencyLevel = ConsistencyLevel.LWW):
+        self.node_id = node_id
+        self.level = level
+        self._timestamps = TimestampGenerator(node_id)
+
+    # -- wrapping --------------------------------------------------------------
+    def encapsulate(self, value: Any, clock_ms: float = 0.0,
+                    prior: Optional[Lattice] = None,
+                    dependencies: Optional[Mapping[str, VectorClock]] = None) -> Lattice:
+        """Wrap ``value`` for storage in Anna.
+
+        ``prior`` is the lattice currently stored for the key (if known); the
+        causal modes use it to extend the key's vector clock rather than start
+        a fresh causal history.  ``dependencies`` is the writer's current
+        dependency set (key -> vector clock of the version read), shipped only
+        by the levels that track cross-key dependencies.
+        """
+        if value is None or isinstance(value, Lattice):
+            # Already a lattice (system metadata) — store as-is.
+            if isinstance(value, Lattice):
+                return value
+        if self.level.is_causal:
+            return self._encapsulate_causal(value, prior, dependencies)
+        return LWWLattice(self._timestamps.next(clock_ms), value)
+
+    def _encapsulate_causal(self, value: Any, prior: Optional[Lattice],
+                            dependencies: Optional[Mapping[str, VectorClock]]) -> Lattice:
+        base_clock = VectorClock()
+        if isinstance(prior, CausalLattice):
+            base_clock = prior.vector_clock
+        new_clock = base_clock.increment(self.node_id)
+        deps: Dict[str, VectorClock] = {}
+        if self.level.tracks_dependencies and dependencies:
+            deps = dict(dependencies)
+        return CausalLattice(new_clock, value, dependencies=deps)
+
+    # -- unwrapping -------------------------------------------------------------
+    @staticmethod
+    def de_encapsulate(lattice: Lattice) -> Any:
+        """Extract the user-visible value from a stored lattice."""
+        return lattice.reveal()
+
+    @staticmethod
+    def concurrent_versions(lattice: Lattice) -> tuple:
+        """All concurrent versions (causal mode); a 1-tuple otherwise."""
+        if isinstance(lattice, CausalLattice):
+            return lattice.concurrent_values
+        return (lattice.reveal(),)
+
+    @staticmethod
+    def version_of(lattice: Lattice):
+        """The comparable version identifier of a stored lattice.
+
+        LWW lattices are versioned by timestamp; causal lattices by vector
+        clock.  The distributed-session protocols ship these versions along
+        the DAG.
+        """
+        if isinstance(lattice, CausalLattice):
+            return lattice.vector_clock
+        if isinstance(lattice, LWWLattice):
+            return lattice.timestamp
+        return None

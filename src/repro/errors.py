@@ -1,0 +1,72 @@
+"""Exception hierarchy shared across the Cloudburst reproduction.
+
+Every subsystem raises exceptions derived from :class:`ReproError` so callers
+can distinguish reproduction-library failures from ordinary Python errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class KeyNotFoundError(ReproError, KeyError):
+    """A requested key does not exist in the key-value store."""
+
+    def __init__(self, key: str):
+        super().__init__(f"key not found: {key!r}")
+        self.key = key
+
+
+class LatticeTypeError(ReproError, TypeError):
+    """Two lattice values of incompatible types were merged."""
+
+
+class FunctionNotFoundError(ReproError):
+    """A function name was invoked before being registered."""
+
+    def __init__(self, name: str):
+        super().__init__(f"function not registered: {name!r}")
+        self.name = name
+
+
+class DagNotFoundError(ReproError):
+    """A DAG name was invoked before being registered."""
+
+    def __init__(self, name: str):
+        super().__init__(f"DAG not registered: {name!r}")
+        self.name = name
+
+
+class InvalidDagError(ReproError):
+    """A DAG definition is malformed (cycles, unknown functions, ...)."""
+
+
+class SchedulingError(ReproError):
+    """The scheduler could not place a function on any executor."""
+
+
+class ExecutorFailedError(ReproError):
+    """An executor crashed (or was killed by fault injection) mid-request."""
+
+    def __init__(self, executor_id: str, message: str = ""):
+        detail = f": {message}" if message else ""
+        super().__init__(f"executor {executor_id} failed{detail}")
+        self.executor_id = executor_id
+
+
+class DagExecutionError(ReproError):
+    """A DAG failed even after the configured number of retries."""
+
+
+class ConsistencyError(ReproError):
+    """A consistency-protocol invariant could not be satisfied."""
+
+
+class CapacityError(ReproError):
+    """The cluster has no free resources for the requested operation."""
+
+
+class MessagingError(ReproError):
+    """Direct executor-to-executor messaging failed."""

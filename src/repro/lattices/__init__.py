@@ -1,0 +1,29 @@
+"""Lattice data types (the CRDT-style merge substrate used by Anna).
+
+Every value stored in the reproduction's Anna KVS is a :class:`Lattice`:
+merge is associative, commutative and idempotent, so replicas converge
+without coordination regardless of delivery order, batching or duplication.
+"""
+
+from .base import Lattice, estimate_size
+from .causal import CausalLattice
+from .counters import BoolOrLattice, MaxIntLattice, MinIntLattice
+from .lww import LWWLattice, Timestamp, TimestampGenerator
+from .sets import MapLattice, OrderedSetLattice, SetLattice
+from .vector_clock import VectorClock
+
+__all__ = [
+    "Lattice",
+    "estimate_size",
+    "CausalLattice",
+    "BoolOrLattice",
+    "MaxIntLattice",
+    "MinIntLattice",
+    "LWWLattice",
+    "Timestamp",
+    "TimestampGenerator",
+    "MapLattice",
+    "OrderedSetLattice",
+    "SetLattice",
+    "VectorClock",
+]

@@ -1,0 +1,152 @@
+"""Causal lattice: vector clock + dependency set + value (§5.2).
+
+In causal-consistency mode, Cloudburst encapsulates each key ``k`` in the
+composition of
+
+* an Anna-provided :class:`~repro.lattices.vector_clock.VectorClock`
+  identifying ``k``'s version,
+* a *dependency set* mapping each key version that ``k`` causally depends on
+  to its vector clock, and
+* the value itself.
+
+Merge keeps the version whose vector clock dominates; concurrent versions are
+both retained.  Internally the lattice is a *multi-value register*: an
+antichain of ``(vector clock, value)`` siblings.  Merge unions the siblings
+and discards any sibling dominated by another — this construction is
+associative, commutative and idempotent (property-tested), which is exactly
+the contract Anna requires.  The user-visible ``reveal`` presents one version
+chosen by a deterministic tie break; all concurrent versions remain available
+to the consistency protocols and to applications that resolve conflicts
+manually.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Mapping, Optional, Tuple
+
+from .base import Lattice, estimate_size
+from .vector_clock import VectorClock
+
+#: One concurrent version of a key: (vector clock, payload).
+Sibling = Tuple[VectorClock, Any]
+
+
+class CausalLattice(Lattice):
+    """A causally versioned value (multi-value register plus dependency set)."""
+
+    __slots__ = ("dependencies", "_siblings")
+
+    def __init__(self, vector_clock: Optional[VectorClock] = None, value: Any = None,
+                 dependencies: Optional[Mapping[str, VectorClock]] = None,
+                 siblings: Optional[Iterable[Sibling]] = None):
+        self.dependencies: Dict[str, VectorClock] = dict(dependencies or {})
+        if siblings is not None:
+            candidate = list(siblings)
+        else:
+            candidate = [(vector_clock or VectorClock(), value)]
+        self._siblings: Tuple[Sibling, ...] = _prune(candidate)
+
+    # -- lattice interface ---------------------------------------------------
+    def merge(self, other: "CausalLattice") -> "CausalLattice":
+        other = self._check_type(other)
+        merged_deps = dict(self.dependencies)
+        for key, clock in other.dependencies.items():
+            merged_deps[key] = merged_deps[key].merge(clock) if key in merged_deps else clock
+        return CausalLattice(dependencies=merged_deps,
+                             siblings=list(self._siblings) + list(other._siblings))
+
+    def reveal(self) -> Any:
+        """Return one version via a deterministic tie break (§5.2)."""
+        if len(self._siblings) == 1:
+            return self._siblings[0][1]
+        return min((value for _, value in self._siblings), key=_tie_break_key)
+
+    # -- accessors -------------------------------------------------------------
+    @property
+    def vector_clock(self) -> VectorClock:
+        """The key's version: the join of all concurrent siblings' clocks."""
+        clock = VectorClock()
+        for sibling_clock, _ in self._siblings:
+            clock = clock.merge(sibling_clock)
+        return clock
+
+    @property
+    def concurrent_values(self) -> Tuple[Any, ...]:
+        """Every concurrent version retained by the lattice."""
+        return tuple(value for _, value in self._siblings)
+
+    @property
+    def siblings(self) -> Tuple[Sibling, ...]:
+        return self._siblings
+
+    @property
+    def is_conflicted(self) -> bool:
+        return len(self._siblings) > 1
+
+    def with_dependency(self, key: str, clock: VectorClock) -> "CausalLattice":
+        deps = dict(self.dependencies)
+        deps[key] = deps[key].merge(clock) if key in deps else clock
+        return CausalLattice(dependencies=deps, siblings=self._siblings)
+
+    def metadata_bytes(self) -> int:
+        """Size of the causal metadata (vector clocks + dependency set).
+
+        This is the quantity reported in §6.2.1 (median 624 B, p99 7.1 KB in
+        the paper's deployment).
+        """
+        deps_bytes = sum(
+            len(key.encode("utf-8")) + clock.size_bytes()
+            for key, clock in self.dependencies.items()
+        )
+        clock_bytes = sum(clock.size_bytes() for clock, _ in self._siblings)
+        return clock_bytes + deps_bytes
+
+    def size_bytes(self) -> int:
+        return self.metadata_bytes() + sum(estimate_size(v) for _, v in self._siblings)
+
+    def _identity(self) -> Any:
+        return (
+            tuple(sorted(self.dependencies.items())),
+            tuple(sorted(((clock, _tie_break_key(value)) for clock, value in self._siblings),
+                         key=lambda pair: (pair[0]._identity(), pair[1]))),
+        )
+
+
+def _prune(siblings: Iterable[Sibling]) -> Tuple[Sibling, ...]:
+    """Reduce a set of versions to its antichain (drop dominated/duplicate ones)."""
+    unique: list = []
+    for clock, value in siblings:
+        if not any(c == clock and _values_equal(v, value) for c, v in unique):
+            unique.append((clock, value))
+    kept = []
+    for index, (clock, value) in enumerate(unique):
+        dominated = False
+        for other_index, (other_clock, other_value) in enumerate(unique):
+            if index == other_index:
+                continue
+            if other_clock.dominates(clock):
+                dominated = True
+                break
+            if other_clock == clock:
+                # Same clock, different payload: keep only the deterministically
+                # smallest payload (ties broken by list position).
+                other_key, self_key = _tie_break_key(other_value), _tie_break_key(value)
+                if other_key < self_key or (other_key == self_key and other_index < index):
+                    dominated = True
+                    break
+        if not dominated:
+            kept.append((clock, value))
+    kept.sort(key=lambda pair: (pair[0]._identity(), _tie_break_key(pair[1])))
+    return tuple(kept)
+
+
+def _values_equal(a: Any, b: Any) -> bool:
+    try:
+        return bool(a == b)
+    except Exception:  # e.g. numpy arrays with ambiguous truth values
+        return a is b
+
+
+def _tie_break_key(value: Any) -> str:
+    """Arbitrary but deterministic ordering over opaque Python values."""
+    return f"{type(value).__name__}:{value!r}"

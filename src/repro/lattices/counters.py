@@ -1,0 +1,65 @@
+"""Scalar lattices: max/min integers and a boolean "or" lattice.
+
+These mirror the simple lattices Anna composes (max-int clocks, boolean
+flags).  They are used internally for metadata (logical clocks, tombstones)
+and exposed to users who want explicitly mergeable counters instead of the
+default last-writer-wins wrapping.
+"""
+
+from __future__ import annotations
+
+from .base import Lattice
+
+
+class MaxIntLattice(Lattice):
+    """Integer lattice under ``max`` (a monotonically growing counter)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: int = 0):
+        self.value = int(value)
+
+    def merge(self, other: "MaxIntLattice") -> "MaxIntLattice":
+        other = self._check_type(other)
+        return MaxIntLattice(max(self.value, other.value))
+
+    def reveal(self) -> int:
+        return self.value
+
+    def increment(self, amount: int = 1) -> "MaxIntLattice":
+        """Return a new lattice advanced by ``amount`` (must be positive)."""
+        if amount < 0:
+            raise ValueError("MaxIntLattice can only grow")
+        return MaxIntLattice(self.value + amount)
+
+
+class MinIntLattice(Lattice):
+    """Integer lattice under ``min`` (useful for low-watermarks)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: int):
+        self.value = int(value)
+
+    def merge(self, other: "MinIntLattice") -> "MinIntLattice":
+        other = self._check_type(other)
+        return MinIntLattice(min(self.value, other.value))
+
+    def reveal(self) -> int:
+        return self.value
+
+
+class BoolOrLattice(Lattice):
+    """Boolean lattice under logical OR (a one-way flag)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: bool = False):
+        self.value = bool(value)
+
+    def merge(self, other: "BoolOrLattice") -> "BoolOrLattice":
+        other = self._check_type(other)
+        return BoolOrLattice(self.value or other.value)
+
+    def reveal(self) -> bool:
+        return self.value

@@ -1,0 +1,102 @@
+"""Last-writer-wins lattice.
+
+Cloudburst's default encapsulation (§5.2): each bare program value is wrapped
+in a composition of an Anna-provided global timestamp and the value.  The
+global timestamp is generated coordination-free by concatenating the local
+clock and the writing node's unique ID; merge keeps the value with the higher
+timestamp, giving eventual consistency.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from functools import total_ordering
+from typing import Any
+
+from .base import Lattice, estimate_size
+
+
+@total_ordering
+@dataclass(frozen=True)
+class Timestamp:
+    """A coordination-free global timestamp: (local clock, node id, sequence).
+
+    The sequence number disambiguates multiple writes from the same node at
+    the same (virtual) clock value, which happens constantly in a simulation
+    where many requests share a millisecond.
+    """
+
+    clock_ms: float
+    node_id: str
+    sequence: int = 0
+
+    def _key(self):
+        return (self.clock_ms, self.node_id, self.sequence)
+
+    def __lt__(self, other: "Timestamp") -> bool:
+        if not isinstance(other, Timestamp):
+            return NotImplemented
+        return self._key() < other._key()
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Timestamp):
+            return NotImplemented
+        return self._key() == other._key()
+
+    def __hash__(self) -> int:
+        return hash(self._key())
+
+
+class TimestampGenerator:
+    """Generates strictly increasing timestamps for one node."""
+
+    def __init__(self, node_id: str):
+        self.node_id = node_id
+        self._sequence = itertools.count()
+
+    def next(self, clock_ms: float) -> Timestamp:
+        return Timestamp(clock_ms=clock_ms, node_id=self.node_id,
+                         sequence=next(self._sequence))
+
+
+class LWWLattice(Lattice):
+    """Last-writer-wins register: keeps the value with the larger timestamp."""
+
+    __slots__ = ("timestamp", "value")
+
+    def __init__(self, timestamp: Timestamp, value: Any):
+        self.timestamp = timestamp
+        self.value = value
+
+    def merge(self, other: "LWWLattice") -> "LWWLattice":
+        other = self._check_type(other)
+        if other.timestamp > self.timestamp:
+            return LWWLattice(other.timestamp, other.value)
+        if other.timestamp < self.timestamp:
+            return LWWLattice(self.timestamp, self.value)
+        # Identical timestamps (possible only across pathological clock
+        # collisions): break the tie deterministically so merge stays
+        # commutative.
+        winner = min((self.value, other.value),
+                     key=lambda v: f"{type(v).__name__}:{v!r}")
+        return LWWLattice(self.timestamp, winner)
+
+    def reveal(self) -> Any:
+        return self.value
+
+    def size_bytes(self) -> int:
+        # 8-byte timestamp plus payload, matching the paper's observation that
+        # LWW "only stores the 8-byte timestamp associated with each key".
+        return 8 + estimate_size(self.value)
+
+    def _identity(self) -> Any:
+        return (self.timestamp, id(self.value) if _unhashable(self.value) else self.value)
+
+
+def _unhashable(value: Any) -> bool:
+    try:
+        hash(value)
+    except TypeError:
+        return True
+    return False

@@ -1,0 +1,136 @@
+"""Collection lattices: grow-only sets, merge-by-value maps, ordered sets.
+
+Anna composes simple lattices into richer ones (set union, maps whose values
+are themselves lattices).  Cloudburst uses these for system metadata — cached
+key sets, executor status maps, message inboxes — and exposes them to user
+programs that want richer conflict resolution than last-writer-wins.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, FrozenSet, Iterable, Iterator, Mapping, Tuple
+
+from ..errors import LatticeTypeError
+from .base import Lattice, estimate_size
+
+
+class SetLattice(Lattice):
+    """Grow-only set lattice; merge is set union."""
+
+    __slots__ = ("_items",)
+
+    def __init__(self, items: Iterable[Any] = ()):
+        self._items: FrozenSet[Any] = frozenset(items)
+
+    def merge(self, other: "SetLattice") -> "SetLattice":
+        other = self._check_type(other)
+        return SetLattice(self._items | other._items)
+
+    def reveal(self) -> FrozenSet[Any]:
+        return self._items
+
+    def add(self, item: Any) -> "SetLattice":
+        return SetLattice(self._items | {item})
+
+    def __contains__(self, item: Any) -> bool:
+        return item in self._items
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self._items)
+
+
+class MapLattice(Lattice):
+    """Map lattice whose values are lattices; merge is key-wise lattice merge."""
+
+    __slots__ = ("_entries",)
+
+    def __init__(self, entries: Mapping[str, Lattice] = None):
+        entries = dict(entries or {})
+        for key, value in entries.items():
+            if not isinstance(value, Lattice):
+                raise LatticeTypeError(
+                    f"MapLattice values must be lattices; got {type(value).__name__} "
+                    f"for key {key!r}"
+                )
+        self._entries: Dict[str, Lattice] = entries
+
+    def merge(self, other: "MapLattice") -> "MapLattice":
+        other = self._check_type(other)
+        merged: Dict[str, Lattice] = dict(self._entries)
+        for key, value in other._entries.items():
+            if key in merged:
+                merged[key] = merged[key].merge(value)
+            else:
+                merged[key] = value
+        return MapLattice(merged)
+
+    def reveal(self) -> Dict[str, Any]:
+        return {key: value.reveal() for key, value in self._entries.items()}
+
+    def get(self, key: str) -> Lattice:
+        return self._entries[key]
+
+    def insert(self, key: str, value: Lattice) -> "MapLattice":
+        """Return a new map with ``value`` merged into ``key``."""
+        if key in self._entries:
+            merged_value = self._entries[key].merge(value)
+        else:
+            merged_value = value
+        entries = dict(self._entries)
+        entries[key] = merged_value
+        return MapLattice(entries)
+
+    def items(self) -> Iterable[Tuple[str, Lattice]]:
+        return self._entries.items()
+
+    def keys(self) -> Iterable[str]:
+        return self._entries.keys()
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def size_bytes(self) -> int:
+        return sum(estimate_size(key) + value.size_bytes()
+                   for key, value in self._entries.items())
+
+    def _identity(self) -> Any:
+        return tuple(sorted((key, value) for key, value in self._entries.items()))
+
+
+class OrderedSetLattice(Lattice):
+    """Grow-only set that reveals its contents in a deterministic sort order.
+
+    Used by the Retwis application for timelines: merge is still set union
+    (associative, commutative, idempotent) but ``reveal`` returns a list sorted
+    by the items' natural ordering so readers see a stable timeline.
+    """
+
+    __slots__ = ("_items",)
+
+    def __init__(self, items: Iterable[Any] = ()):
+        self._items: FrozenSet[Any] = frozenset(items)
+
+    def merge(self, other: "OrderedSetLattice") -> "OrderedSetLattice":
+        other = self._check_type(other)
+        return OrderedSetLattice(self._items | other._items)
+
+    def reveal(self) -> list:
+        return sorted(self._items)
+
+    def add(self, item: Any) -> "OrderedSetLattice":
+        return OrderedSetLattice(self._items | {item})
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __contains__(self, item: Any) -> bool:
+        return item in self._items
+
+    def _identity(self) -> Any:
+        return self._items

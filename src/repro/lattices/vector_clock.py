@@ -1,0 +1,93 @@
+"""Vector clocks.
+
+Cloudburst's causal mode versions each key with a vector clock: a set of
+``(executor id, logical clock)`` pairs (§5.2).  Merge takes the pairwise
+maximum.  Two clocks are comparable when one dominates the other (greater or
+equal in every entry and strictly greater in at least one); otherwise they are
+concurrent.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Tuple
+
+from .base import Lattice
+
+
+class VectorClock(Lattice):
+    """An immutable vector clock mapping node ids to logical clock values."""
+
+    __slots__ = ("_entries",)
+
+    def __init__(self, entries: Mapping[str, int] = None):
+        cleaned: Dict[str, int] = {}
+        for node, clock in dict(entries or {}).items():
+            clock = int(clock)
+            if clock < 0:
+                raise ValueError(f"vector clock entries must be non-negative, got {clock}")
+            if clock > 0:
+                cleaned[str(node)] = clock
+        self._entries = cleaned
+
+    # -- lattice interface -------------------------------------------------
+    def merge(self, other: "VectorClock") -> "VectorClock":
+        other = self._check_type(other)
+        merged = dict(self._entries)
+        for node, clock in other._entries.items():
+            merged[node] = max(merged.get(node, 0), clock)
+        return VectorClock(merged)
+
+    def reveal(self) -> Dict[str, int]:
+        return dict(self._entries)
+
+    # -- ordering ------------------------------------------------------------
+    def increment(self, node_id: str) -> "VectorClock":
+        entries = dict(self._entries)
+        entries[node_id] = entries.get(node_id, 0) + 1
+        return VectorClock(entries)
+
+    def get(self, node_id: str) -> int:
+        return self._entries.get(node_id, 0)
+
+    def dominates(self, other: "VectorClock") -> bool:
+        """True when ``self`` >= ``other`` in every entry and > in at least one."""
+        at_least_equal = all(
+            self.get(node) >= clock for node, clock in other._entries.items()
+        )
+        strictly_greater = any(
+            self.get(node) > other.get(node)
+            for node in set(self._entries) | set(other._entries)
+        )
+        return at_least_equal and strictly_greater
+
+    def dominates_or_equal(self, other: "VectorClock") -> bool:
+        return self == other or self.dominates(other)
+
+    def concurrent_with(self, other: "VectorClock") -> bool:
+        return (
+            self != other
+            and not self.dominates(other)
+            and not other.dominates(self)
+        )
+
+    def happened_before(self, other: "VectorClock") -> bool:
+        """True when ``self`` -> ``other`` in Lamport's happens-before order."""
+        return other.dominates(self)
+
+    # -- sizing ----------------------------------------------------------------
+    def size_bytes(self) -> int:
+        # Each entry is a node-id string plus an 8-byte counter.
+        return sum(len(node.encode("utf-8")) + 8 for node in self._entries)
+
+    def entries(self) -> Iterable[Tuple[str, int]]:
+        return self._entries.items()
+
+    def _identity(self) -> Dict[str, int]:
+        return tuple(sorted(self._entries.items()))
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        inner = ", ".join(f"{node}:{clock}" for node, clock in sorted(self._entries.items()))
+        return f"VectorClock({{{inner}}})"

@@ -1,0 +1,54 @@
+"""Simulation substrate: virtual clocks, latency models, statistics, queueing.
+
+This package replaces the AWS infrastructure of the original Cloudburst
+deployment with deterministic, seeded models so the rest of the reproduction
+(the Anna KVS, the Cloudburst compute tier, the baselines and the benchmark
+harness) can run on a laptop while preserving the shape of the paper's
+evaluation.
+"""
+
+from .clock import ChargeRecord, RequestContext, SimClock
+from .latency import ComputeModel, DEFAULT_COSTS, LatencyModel, OperationCost
+from .rng import RandomSource, ZipfGenerator
+from .stats import (
+    LatencyRecorder,
+    LatencySummary,
+    ThroughputPoint,
+    format_table,
+    mean,
+    median,
+    percentile,
+)
+from .timeline import (
+    AutoscalerDecision,
+    CapacityChange,
+    ClientGroup,
+    ClosedLoopSimulation,
+    SimulationResult,
+    run_fixed_capacity,
+)
+
+__all__ = [
+    "ChargeRecord",
+    "RequestContext",
+    "SimClock",
+    "ComputeModel",
+    "DEFAULT_COSTS",
+    "LatencyModel",
+    "OperationCost",
+    "RandomSource",
+    "ZipfGenerator",
+    "LatencyRecorder",
+    "LatencySummary",
+    "ThroughputPoint",
+    "format_table",
+    "mean",
+    "median",
+    "percentile",
+    "AutoscalerDecision",
+    "CapacityChange",
+    "ClientGroup",
+    "ClosedLoopSimulation",
+    "SimulationResult",
+    "run_fixed_capacity",
+]

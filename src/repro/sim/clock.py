@@ -1,0 +1,142 @@
+"""Simulated time.
+
+Every Cloudburst request in this reproduction carries a :class:`SimClock`.
+Instead of sleeping or measuring wall time, components *charge* the clock the
+latency an operation would have cost in the paper's AWS deployment (network
+hops, storage round trips, Lambda invocation overhead, model compute, ...).
+At the end of the request the clock's elapsed time is the request latency.
+
+This keeps benchmarks deterministic and fast while preserving the *structure*
+of each protocol: a protocol that performs one extra round trip is charged one
+extra round trip.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+class SimClock:
+    """A monotonically advancing virtual clock measured in milliseconds."""
+
+    def __init__(self, start_ms: float = 0.0):
+        self._now_ms = float(start_ms)
+
+    @property
+    def now_ms(self) -> float:
+        """Current virtual time in milliseconds."""
+        return self._now_ms
+
+    def advance(self, delta_ms: float) -> float:
+        """Advance the clock by ``delta_ms`` and return the new time.
+
+        Negative advances are rejected: virtual time never runs backwards.
+        """
+        if delta_ms < 0:
+            raise ValueError(f"cannot advance clock by negative delta {delta_ms}")
+        self._now_ms += float(delta_ms)
+        return self._now_ms
+
+    def advance_to(self, timestamp_ms: float) -> float:
+        """Advance to an absolute timestamp (no-op if already past it)."""
+        if timestamp_ms > self._now_ms:
+            self._now_ms = float(timestamp_ms)
+        return self._now_ms
+
+    def copy(self) -> "SimClock":
+        return SimClock(self._now_ms)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SimClock(now_ms={self._now_ms:.3f})"
+
+
+@dataclass
+class ChargeRecord:
+    """One latency charge applied to a request: which service/op, how long."""
+
+    service: str
+    operation: str
+    latency_ms: float
+    at_ms: float
+
+
+@dataclass
+class RequestContext:
+    """Per-request accounting: virtual clock plus an itemised charge log.
+
+    The charge log makes it possible for tests to assert on protocol structure
+    ("this request performed exactly one remote version fetch") rather than on
+    opaque latency totals.
+    """
+
+    clock: SimClock = field(default_factory=SimClock)
+    charges: List[ChargeRecord] = field(default_factory=list)
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def start_ms(self) -> float:
+        if not self.charges:
+            return self.clock.now_ms
+        return self.charges[0].at_ms
+
+    @property
+    def elapsed_ms(self) -> float:
+        """Total latency charged to this request so far."""
+        return sum(charge.latency_ms for charge in self.charges)
+
+    def charge(self, service: str, operation: str, latency_ms: float) -> float:
+        """Record a latency charge and advance the clock."""
+        if latency_ms < 0:
+            raise ValueError(
+                f"negative latency charge {latency_ms} for {service}.{operation}"
+            )
+        record = ChargeRecord(
+            service=service,
+            operation=operation,
+            latency_ms=float(latency_ms),
+            at_ms=self.clock.now_ms,
+        )
+        self.charges.append(record)
+        self.clock.advance(latency_ms)
+        return latency_ms
+
+    def charges_for(self, service: str, operation: Optional[str] = None) -> List[ChargeRecord]:
+        """Return charges filtered by service (and optionally operation)."""
+        return [
+            charge
+            for charge in self.charges
+            if charge.service == service
+            and (operation is None or charge.operation == operation)
+        ]
+
+    def count(self, service: str, operation: Optional[str] = None) -> int:
+        return len(self.charges_for(service, operation))
+
+    def total(self, service: str, operation: Optional[str] = None) -> float:
+        return sum(charge.latency_ms for charge in self.charges_for(service, operation))
+
+    def breakdown(self) -> Dict[Tuple[str, str], float]:
+        """Aggregate charged latency by (service, operation)."""
+        totals: Dict[Tuple[str, str], float] = {}
+        for charge in self.charges:
+            key = (charge.service, charge.operation)
+            totals[key] = totals.get(key, 0.0) + charge.latency_ms
+        return totals
+
+    def fork(self) -> "RequestContext":
+        """Create a child context sharing the current virtual time.
+
+        Used when a DAG fans out: parallel branches each get their own context
+        starting at the parent's current time; the parent later joins on the
+        maximum of the branch clocks.
+        """
+        return RequestContext(clock=self.clock.copy(), metadata=dict(self.metadata))
+
+    def join(self, branches: List["RequestContext"]) -> None:
+        """Join parallel branches: advance to the slowest branch's clock."""
+        for branch in branches:
+            self.charges.extend(branch.charges)
+        if branches:
+            slowest = max(branch.clock.now_ms for branch in branches)
+            self.clock.advance_to(slowest)

@@ -1,0 +1,134 @@
+"""Latency statistics shared by tests and benchmark harnesses."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+
+def percentile(values: Sequence[float], pct: float) -> float:
+    """Linear-interpolation percentile (pct in [0, 100])."""
+    if not values:
+        raise ValueError("cannot take a percentile of an empty sequence")
+    if not 0.0 <= pct <= 100.0:
+        raise ValueError(f"percentile must be in [0, 100], got {pct}")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (pct / 100.0) * (len(ordered) - 1)
+    low = math.floor(rank)
+    high = math.ceil(rank)
+    if low == high:
+        return ordered[low]
+    fraction = rank - low
+    interpolated = ordered[low] * (1.0 - fraction) + ordered[high] * fraction
+    # Clamp: floating-point rounding must never push the result outside the
+    # two samples it interpolates between.
+    return min(max(interpolated, ordered[low]), ordered[high])
+
+
+def median(values: Sequence[float]) -> float:
+    return percentile(values, 50.0)
+
+
+def mean(values: Sequence[float]) -> float:
+    if not values:
+        raise ValueError("cannot take the mean of an empty sequence")
+    return sum(values) / len(values)
+
+
+@dataclass
+class LatencySummary:
+    """Summary statistics for one experimental configuration."""
+
+    label: str
+    count: int
+    mean_ms: float
+    median_ms: float
+    p95_ms: float
+    p99_ms: float
+    min_ms: float
+    max_ms: float
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "mean_ms": self.mean_ms,
+            "median_ms": self.median_ms,
+            "p95_ms": self.p95_ms,
+            "p99_ms": self.p99_ms,
+            "min_ms": self.min_ms,
+            "max_ms": self.max_ms,
+        }
+
+    def __str__(self) -> str:
+        return (
+            f"{self.label:<28s} n={self.count:<6d} median={self.median_ms:9.2f}ms "
+            f"p95={self.p95_ms:9.2f}ms p99={self.p99_ms:9.2f}ms"
+        )
+
+
+@dataclass
+class LatencyRecorder:
+    """Accumulates per-request latencies for one labelled configuration."""
+
+    label: str = "unnamed"
+    samples_ms: List[float] = field(default_factory=list)
+
+    def record(self, latency_ms: float) -> None:
+        if latency_ms < 0:
+            raise ValueError("latency cannot be negative")
+        self.samples_ms.append(float(latency_ms))
+
+    def extend(self, latencies_ms: Iterable[float]) -> None:
+        for value in latencies_ms:
+            self.record(value)
+
+    def __len__(self) -> int:
+        return len(self.samples_ms)
+
+    def summary(self) -> LatencySummary:
+        if not self.samples_ms:
+            raise ValueError(f"no samples recorded for {self.label!r}")
+        return LatencySummary(
+            label=self.label,
+            count=len(self.samples_ms),
+            mean_ms=mean(self.samples_ms),
+            median_ms=median(self.samples_ms),
+            p95_ms=percentile(self.samples_ms, 95.0),
+            p99_ms=percentile(self.samples_ms, 99.0),
+            min_ms=min(self.samples_ms),
+            max_ms=max(self.samples_ms),
+        )
+
+    def merge(self, other: "LatencyRecorder") -> "LatencyRecorder":
+        merged = LatencyRecorder(label=self.label)
+        merged.samples_ms = list(self.samples_ms) + list(other.samples_ms)
+        return merged
+
+
+@dataclass
+class ThroughputPoint:
+    """One point on a throughput-over-time curve (Figure 7)."""
+
+    time_s: float
+    requests_per_s: float
+    allocated_threads: int
+    allocated_nodes: int
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
+                 title: Optional[str] = None) -> str:
+    """Render a plain-text table for benchmark output."""
+    columns = [list(map(str, column)) for column in zip(*([headers] + [list(r) for r in rows]))]
+    widths = [max(len(cell) for cell in column) for column in columns]
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(str(cell).ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)

@@ -1,0 +1,278 @@
+"""Discrete-event closed-loop queueing simulation.
+
+The latency microbenchmarks (Figures 1, 5, 6, 8, 9, 11) are measured with
+sequential closed-loop clients, so per-request latency accounting via
+:class:`~repro.sim.clock.RequestContext` is sufficient.  The *throughput*
+experiments (Figures 7, 10 and 12) additionally depend on contention: many
+clients share a bounded pool of executor threads, and the paper's autoscaler
+changes that pool size over time.  This module provides the event-driven
+simulation used by those experiments.
+
+Model: a FIFO queue in front of ``capacity`` identical executor threads.
+Clients are closed-loop — each client has at most one outstanding request and
+issues the next one as soon as the previous completes.  Service times are
+drawn from a caller-provided function so experiments can reuse the same
+request paths that the latency benchmarks exercise.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from .stats import LatencyRecorder, ThroughputPoint
+
+
+@dataclass
+class ClientGroup:
+    """A set of closed-loop clients that arrive and depart together."""
+
+    count: int
+    start_ms: float = 0.0
+    stop_ms: Optional[float] = None
+
+
+@dataclass
+class CapacityChange:
+    """A scheduled change in the number of available executor threads."""
+
+    at_ms: float
+    delta_threads: int
+    reason: str = ""
+
+
+@dataclass
+class AutoscalerDecision:
+    """What an autoscaling policy wants the cluster to do at one tick."""
+
+    add_threads: int = 0
+    remove_threads: int = 0
+    add_delay_ms: float = 0.0
+    note: str = ""
+
+
+#: Signature of an autoscaling policy: (now_ms, metrics) -> decision or None.
+PolicyFn = Callable[[float, Dict[str, float]], Optional[AutoscalerDecision]]
+
+#: Signature of a service-time sampler: (now_ms) -> service time in ms.
+ServiceTimeFn = Callable[[float], float]
+
+
+@dataclass
+class SimulationResult:
+    """Everything a throughput experiment needs to report."""
+
+    latencies: LatencyRecorder
+    throughput_curve: List[ThroughputPoint]
+    completed_requests: int
+    duration_ms: float
+    capacity_timeline: List[Tuple[float, int]]
+
+    @property
+    def overall_throughput_per_s(self) -> float:
+        if self.duration_ms <= 0:
+            return 0.0
+        return self.completed_requests / (self.duration_ms / 1000.0)
+
+
+class ClosedLoopSimulation:
+    """Event-driven simulation of closed-loop clients over a thread pool."""
+
+    _ARRIVAL = 0
+    _COMPLETION = 1
+    _CLIENT_STOP = 2
+    _POLICY_TICK = 3
+    _CAPACITY_CHANGE = 4
+
+    def __init__(self,
+                 service_time_fn: ServiceTimeFn,
+                 initial_threads: int,
+                 client_groups: List[ClientGroup],
+                 policy: Optional[PolicyFn] = None,
+                 policy_interval_ms: float = 5_000.0,
+                 max_duration_ms: float = 720_000.0,
+                 max_requests: Optional[int] = None,
+                 throughput_bucket_ms: float = 5_000.0,
+                 min_threads: int = 1):
+        if initial_threads <= 0:
+            raise ValueError("initial_threads must be positive")
+        self._service_time_fn = service_time_fn
+        self._capacity = initial_threads
+        self._min_threads = min_threads
+        self._client_groups = client_groups
+        self._policy = policy
+        self._policy_interval_ms = policy_interval_ms
+        self._max_duration_ms = max_duration_ms
+        self._max_requests = max_requests
+        self._bucket_ms = throughput_bucket_ms
+
+        self._events: List[Tuple[float, int, int, dict]] = []
+        self._event_counter = itertools.count()
+        self._busy_threads = 0
+        self._wait_queue: List[Tuple[float, int]] = []  # (enqueue_time, client_id)
+        self._active_clients: Dict[int, bool] = {}
+        self._completed = 0
+        self._completion_buckets: Dict[int, int] = {}
+        self._latencies = LatencyRecorder(label="closed-loop")
+        self._capacity_timeline: List[Tuple[float, int]] = [(0.0, initial_threads)]
+        # Metrics window for the autoscaling policy.
+        self._window_arrivals = 0
+        self._window_completions = 0
+
+    # -- event plumbing ----------------------------------------------------
+    def _push(self, at_ms: float, kind: int, payload: dict) -> None:
+        heapq.heappush(self._events, (at_ms, kind, next(self._event_counter), payload))
+
+    def run(self) -> SimulationResult:
+        client_id = itertools.count()
+        for group in self._client_groups:
+            for _ in range(group.count):
+                cid = next(client_id)
+                self._push(group.start_ms, self._ARRIVAL, {"client": cid})
+                if group.stop_ms is not None:
+                    self._push(group.stop_ms, self._CLIENT_STOP, {"client": cid})
+                self._active_clients[cid] = False  # becomes True at arrival
+        if self._policy is not None:
+            self._push(self._policy_interval_ms, self._POLICY_TICK, {})
+
+        now = 0.0
+        while self._events:
+            now, kind, _, payload = heapq.heappop(self._events)
+            if now > self._max_duration_ms:
+                now = self._max_duration_ms
+                break
+            if self._max_requests is not None and self._completed >= self._max_requests:
+                break
+            if kind == self._ARRIVAL:
+                self._handle_arrival(now, payload["client"])
+            elif kind == self._COMPLETION:
+                self._handle_completion(now, payload)
+            elif kind == self._CLIENT_STOP:
+                self._active_clients[payload["client"]] = False
+            elif kind == self._POLICY_TICK:
+                self._handle_policy_tick(now)
+            elif kind == self._CAPACITY_CHANGE:
+                self._apply_capacity_change(now, payload["delta"])
+        return self._build_result(now)
+
+    # -- handlers ----------------------------------------------------------
+    def _handle_arrival(self, now: float, client: int) -> None:
+        if self._active_clients.get(client) is False and now > 0 and not self._client_is_starting(client, now):
+            return
+        self._active_clients[client] = True
+        self._window_arrivals += 1
+        if self._busy_threads < self._capacity:
+            self._start_service(now, now, client)
+        else:
+            self._wait_queue.append((now, client))
+
+    def _client_is_starting(self, client: int, now: float) -> bool:
+        # Arrival events created at t=group.start_ms always start the client.
+        return True
+
+    def _start_service(self, now: float, enqueued_at: float, client: int) -> None:
+        self._busy_threads += 1
+        service_ms = max(0.0, self._service_time_fn(now))
+        self._push(now + service_ms, self._COMPLETION, {
+            "client": client,
+            "enqueued_at": enqueued_at,
+        })
+
+    def _handle_completion(self, now: float, payload: dict) -> None:
+        self._busy_threads -= 1
+        self._completed += 1
+        self._window_completions += 1
+        latency = now - payload["enqueued_at"]
+        self._latencies.record(latency)
+        bucket = int(now // self._bucket_ms)
+        self._completion_buckets[bucket] = self._completion_buckets.get(bucket, 0) + 1
+        client = payload["client"]
+        # Closed loop: the client immediately issues its next request if still active.
+        if self._active_clients.get(client, False):
+            self._push(now, self._ARRIVAL, {"client": client})
+        # A freed thread can serve the next queued request.
+        self._drain_queue(now)
+
+    def _drain_queue(self, now: float) -> None:
+        while self._wait_queue and self._busy_threads < self._capacity:
+            enqueued_at, client = self._wait_queue.pop(0)
+            if not self._active_clients.get(client, False):
+                continue
+            self._start_service(now, enqueued_at, client)
+
+    def _handle_policy_tick(self, now: float) -> None:
+        interval_s = self._policy_interval_ms / 1000.0
+        metrics = {
+            "arrival_rate_per_s": self._window_arrivals / interval_s,
+            "completion_rate_per_s": self._window_completions / interval_s,
+            "utilization": (self._busy_threads / self._capacity) if self._capacity else 0.0,
+            "queue_length": float(len(self._wait_queue)),
+            "capacity_threads": float(self._capacity),
+        }
+        self._window_arrivals = 0
+        self._window_completions = 0
+        decision = self._policy(now, metrics) if self._policy else None
+        if decision is not None:
+            if decision.add_threads > 0:
+                self._push(now + decision.add_delay_ms, self._CAPACITY_CHANGE,
+                           {"delta": decision.add_threads})
+            if decision.remove_threads > 0:
+                self._push(now, self._CAPACITY_CHANGE,
+                           {"delta": -decision.remove_threads})
+        self._push(now + self._policy_interval_ms, self._POLICY_TICK, {})
+
+    def _apply_capacity_change(self, now: float, delta: int) -> None:
+        new_capacity = max(self._min_threads, self._capacity + delta)
+        self._capacity = new_capacity
+        self._capacity_timeline.append((now, new_capacity))
+        self._drain_queue(now)
+
+    # -- results -----------------------------------------------------------
+    def _build_result(self, end_ms: float) -> SimulationResult:
+        curve: List[ThroughputPoint] = []
+        if end_ms > 0:
+            last_bucket = int(end_ms // self._bucket_ms)
+            for bucket in range(last_bucket + 1):
+                completions = self._completion_buckets.get(bucket, 0)
+                time_s = (bucket * self._bucket_ms) / 1000.0
+                capacity = self._capacity_at((bucket + 1) * self._bucket_ms)
+                curve.append(ThroughputPoint(
+                    time_s=time_s,
+                    requests_per_s=completions / (self._bucket_ms / 1000.0),
+                    allocated_threads=capacity,
+                    allocated_nodes=max(1, capacity // 3),
+                ))
+        return SimulationResult(
+            latencies=self._latencies,
+            throughput_curve=curve,
+            completed_requests=self._completed,
+            duration_ms=end_ms,
+            capacity_timeline=list(self._capacity_timeline),
+        )
+
+    def _capacity_at(self, at_ms: float) -> int:
+        capacity = self._capacity_timeline[0][1]
+        for timestamp, value in self._capacity_timeline:
+            if timestamp <= at_ms:
+                capacity = value
+            else:
+                break
+        return capacity
+
+
+def run_fixed_capacity(service_time_fn: ServiceTimeFn, threads: int, clients: int,
+                       total_requests: int,
+                       throughput_bucket_ms: float = 1_000.0) -> SimulationResult:
+    """Convenience wrapper for the scaling experiments (Figures 10 and 12)."""
+    sim = ClosedLoopSimulation(
+        service_time_fn=service_time_fn,
+        initial_threads=threads,
+        client_groups=[ClientGroup(count=clients)],
+        policy=None,
+        max_requests=total_requests,
+        max_duration_ms=float("inf"),
+        throughput_bucket_ms=throughput_bucket_ms,
+    )
+    return sim.run()

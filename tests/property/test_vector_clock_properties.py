@@ -1,0 +1,56 @@
+"""Property-based tests for the vector-clock partial order."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.lattices import VectorClock
+
+clocks = st.builds(
+    VectorClock,
+    st.dictionaries(st.sampled_from(["a", "b", "c", "d", "e"]),
+                    st.integers(min_value=0, max_value=6), max_size=5),
+)
+
+
+@settings(max_examples=100, deadline=None)
+@given(clocks, clocks)
+def test_exactly_one_ordering_relation_holds(a, b):
+    """For any two clocks: equal, a<b, b<a, or concurrent — exactly one."""
+    relations = [a == b, a.dominates(b), b.dominates(a), a.concurrent_with(b)]
+    assert sum(bool(r) for r in relations) == 1
+
+
+@settings(max_examples=100, deadline=None)
+@given(clocks, clocks)
+def test_merge_is_least_upper_bound(a, b):
+    merged = a.merge(b)
+    assert merged.dominates_or_equal(a)
+    assert merged.dominates_or_equal(b)
+    # Least: no entry exceeds the pairwise maximum.
+    for node, value in merged.reveal().items():
+        assert value == max(a.get(node), b.get(node))
+
+
+@settings(max_examples=100, deadline=None)
+@given(clocks, clocks, clocks)
+def test_dominance_is_transitive(a, b, c):
+    if a.dominates_or_equal(b) and b.dominates_or_equal(c):
+        assert a.dominates_or_equal(c)
+
+
+@settings(max_examples=100, deadline=None)
+@given(clocks)
+def test_dominance_is_irreflexive(a):
+    assert not a.dominates(a)
+    assert a.dominates_or_equal(a)
+
+
+@settings(max_examples=100, deadline=None)
+@given(clocks, st.sampled_from(["a", "b", "z"]))
+def test_increment_strictly_advances(clock, node):
+    assert clock.increment(node).dominates(clock)
+
+
+@settings(max_examples=100, deadline=None)
+@given(clocks, clocks)
+def test_happened_before_is_antisymmetric(a, b):
+    assert not (a.happened_before(b) and b.happened_before(a))

@@ -1,0 +1,130 @@
+"""Unit tests for the Table 2 anomaly tracker."""
+
+import pytest
+
+from repro.cloudburst import AnomalyTracker
+from repro.lattices import LWWLattice, Timestamp
+
+
+def lww(value, clock, node="writer"):
+    return LWWLattice(Timestamp(clock, node), value)
+
+
+class TestSingleKeyAnomalies:
+    def test_no_anomaly_without_concurrent_writes(self):
+        tracker = AnomalyTracker()
+        v1 = lww("v1", 1.0)
+        tracker.observe_write("e1", "cache-a", "k", v1)
+        tracker.observe_read("e2", "cache-a", "k", v1)
+        tracker.complete_execution("e1")
+        tracker.complete_execution("e2")
+        assert tracker.report.single_key == 0
+
+    def test_concurrent_writes_flag_reads(self):
+        tracker = AnomalyTracker()
+        # Two executions write k without either having read the other's version.
+        a = lww("a", 1.0, "writer-a")
+        b = lww("b", 1.0, "writer-b")
+        tracker.observe_write("e1", "cache-a", "k", a)
+        tracker.observe_write("e2", "cache-b", "k", b)
+        tracker.observe_read("e3", "cache-a", "k", b)
+        tracker.complete_execution("e3")
+        assert tracker.report.single_key == 1
+
+    def test_causally_ordered_writes_do_not_flag(self):
+        tracker = AnomalyTracker()
+        first = lww("v1", 1.0, "writer-a")
+        tracker.observe_write("e1", "cache-a", "k", first)
+        # e2 reads v1 before writing, so its write causally follows v1.
+        tracker.observe_read("e2", "cache-b", "k", first)
+        second = lww("v2", 2.0, "writer-b")
+        tracker.observe_write("e2", "cache-b", "k", second)
+        tracker.observe_read("e3", "cache-a", "k", second)
+        tracker.complete_execution("e3")
+        assert tracker.report.single_key == 0
+
+
+class TestRepeatableReadAnomalies:
+    def test_same_key_two_versions_in_one_execution(self):
+        tracker = AnomalyTracker()
+        v1, v2 = lww("v1", 1.0), lww("v2", 2.0)
+        tracker.observe_write("w1", "cache-a", "k", v1)
+        tracker.observe_write("w2", "cache-a", "k", v2)
+        tracker.observe_read("e1", "cache-a", "k", v1)
+        tracker.observe_read("e1", "cache-b", "k", v2)
+        tracker.complete_execution("e1")
+        assert tracker.report.repeatable_read == 1
+
+    def test_same_version_twice_is_fine(self):
+        tracker = AnomalyTracker()
+        v1 = lww("v1", 1.0)
+        tracker.observe_write("w1", "cache-a", "k", v1)
+        tracker.observe_read("e1", "cache-a", "k", v1)
+        tracker.observe_read("e1", "cache-b", "k", v1)
+        tracker.complete_execution("e1")
+        assert tracker.report.repeatable_read == 0
+
+
+class TestCausalCutAnomalies:
+    def _write_dependency_chain(self, tracker):
+        """writer reads l@old, then l@new is written, then k depends on l@new."""
+        l_old = lww("l-old", 1.0, "w1")
+        tracker.observe_write("setup-old", "cache-a", "l", l_old)
+        l_new = lww("l-new", 2.0, "w1")
+        # The new l causally follows the old one.
+        tracker.observe_read("setup-new", "cache-a", "l", l_old)
+        tracker.observe_write("setup-new", "cache-a", "l", l_new)
+        # k is written by a session that read the *new* l.
+        tracker.observe_read("setup-k", "cache-a", "l", l_new)
+        k_v = lww("k-v", 3.0, "w2")
+        tracker.observe_write("setup-k", "cache-a", "k", k_v)
+        for execution in ("setup-old", "setup-new", "setup-k"):
+            tracker.complete_execution(execution)
+        return l_old, l_new, k_v
+
+    def test_reading_k_with_stale_l_in_same_cache_is_multi_key_anomaly(self):
+        tracker = AnomalyTracker()
+        l_old, _, k_v = self._write_dependency_chain(tracker)
+        baseline = tracker.report.multi_key_additional
+        tracker.observe_read("e1", "cache-x", "k", k_v)
+        tracker.observe_read("e1", "cache-x", "l", l_old)
+        tracker.complete_execution("e1")
+        assert tracker.report.multi_key_additional == baseline + 1
+
+    def test_violation_across_caches_counts_as_distributed_session(self):
+        tracker = AnomalyTracker()
+        l_old, _, k_v = self._write_dependency_chain(tracker)
+        dsc_before = tracker.report.distributed_session_additional
+        mk_before = tracker.report.multi_key_additional
+        tracker.observe_read("e1", "cache-x", "k", k_v)
+        tracker.observe_read("e1", "cache-y", "l", l_old)
+        tracker.complete_execution("e1")
+        assert tracker.report.distributed_session_additional == dsc_before + 1
+        assert tracker.report.multi_key_additional == mk_before
+
+    def test_fresh_dependency_read_is_not_anomalous(self):
+        tracker = AnomalyTracker()
+        _, l_new, k_v = self._write_dependency_chain(tracker)
+        tracker.observe_read("e1", "cache-x", "k", k_v)
+        tracker.observe_read("e1", "cache-x", "l", l_new)
+        tracker.complete_execution("e1")
+        assert tracker.report.multi_key_additional == 0
+        assert tracker.report.distributed_session_additional == 0
+
+
+class TestReport:
+    def test_cumulative_counts_accrue_left_to_right(self):
+        tracker = AnomalyTracker()
+        tracker.report.single_key = 10
+        tracker.report.multi_key_additional = 3
+        tracker.report.distributed_session_additional = 2
+        row = tracker.report.as_row()
+        assert row["LWW"] == 0
+        assert row["SK"] == 10
+        assert row["MK"] == 13
+        assert row["DSC"] == 15
+
+    def test_execution_counter(self):
+        tracker = AnomalyTracker()
+        tracker.complete_execution("nothing-read")
+        assert tracker.report.executions == 1

@@ -1,0 +1,179 @@
+"""Unit tests for the executor-colocated cache."""
+
+import pytest
+
+from repro.anna import AnnaCluster
+from repro.cloudburst import ExecutorCache
+from repro.errors import ConsistencyError, KeyNotFoundError
+from repro.lattices import CausalLattice, LWWLattice, Timestamp, VectorClock
+from repro.sim import LatencyModel, RequestContext
+
+
+@pytest.fixture
+def anna():
+    return AnnaCluster(node_count=2, replication_factor=1,
+                       latency_model=LatencyModel(jitter_enabled=False))
+
+
+@pytest.fixture
+def peers():
+    return {}
+
+
+@pytest.fixture
+def cache(anna, peers):
+    return ExecutorCache("cache-a", anna, peer_registry=peers)
+
+
+def lww(value, clock=1.0, node="n"):
+    return LWWLattice(Timestamp(clock, node), value)
+
+
+class TestBasicDataPath:
+    def test_get_missing_raises(self, cache):
+        with pytest.raises(KeyNotFoundError):
+            cache.get("ghost")
+
+    def test_get_or_fetch_miss_goes_to_anna(self, cache, anna):
+        anna.put("k", lww("v"))
+        ctx = RequestContext()
+        value = cache.get_or_fetch("k", ctx)
+        assert value.reveal() == "v"
+        assert ctx.count("anna", "get") == 1
+        assert cache.stats.misses == 1
+        assert cache.contains("k")
+
+    def test_get_or_fetch_hit_stays_local(self, cache, anna):
+        anna.put("k", lww("v"))
+        cache.get_or_fetch("k")
+        ctx = RequestContext()
+        cache.get_or_fetch("k", ctx)
+        assert ctx.count("anna", "get") == 0
+        assert ctx.count("cache", "get") == 1
+        assert cache.stats.hits == 1
+
+    def test_put_updates_local_and_writes_back_to_anna(self, cache, anna):
+        ctx = RequestContext()
+        cache.put("k", lww("v"), ctx)
+        assert cache.get_local("k").reveal() == "v"
+        assert anna.get("k").reveal() == "v"
+        # Write-back is asynchronous: only the IPC put is charged.
+        assert ctx.count("cache", "put") == 1
+        assert ctx.count("anna", "put") == 0
+
+    def test_put_merges_with_existing(self, cache):
+        cache.put("k", lww("old", clock=1.0))
+        cache.put("k", lww("new", clock=2.0))
+        assert cache.get_local("k").reveal() == "new"
+
+    def test_evict_and_clear_update_index(self, cache, anna):
+        cache.put("k", lww("v"))
+        assert "cache-a" in anna.cache_index.caches_for("k")
+        cache.evict("k")
+        assert "cache-a" not in anna.cache_index.caches_for("k")
+        cache.put("x", lww(1))
+        cache.clear()
+        assert cache.cached_keys() == []
+
+    def test_hit_rate(self, cache, anna):
+        anna.put("k", lww("v"))
+        cache.get_or_fetch("k")
+        cache.get_or_fetch("k")
+        assert cache.stats.hit_rate == pytest.approx(0.5)
+
+
+class TestFreshness:
+    def test_publish_cached_keys_feeds_index(self, cache, anna):
+        cache.put("a", lww(1))
+        cache.publish_cached_keys()
+        assert "cache-a" in anna.cache_index.caches_for("a")
+
+    def test_receive_update_merges_newer_value(self, cache):
+        cache.put("k", lww("old", clock=1.0))
+        cache.receive_update("k", lww("new", clock=5.0))
+        assert cache.get_local("k").reveal() == "new"
+        assert cache.stats.update_pushes_received == 1
+
+    def test_receive_update_ignores_unknown_keys(self, cache):
+        cache.receive_update("ghost", lww("x"))
+        assert not cache.contains("ghost")
+
+    def test_anna_propagates_updates_to_holding_cache(self, cache, anna):
+        cache.put("k", lww("v1", clock=1.0))
+        other = ExecutorCache("cache-b", anna, peer_registry={})
+        other.put("k", lww("v2", clock=9.0))
+        # cache-a held "k", so Anna pushed the newer version to it.
+        assert cache.get_local("k").reveal() == "v2"
+
+
+class TestSnapshotsAndUpstreamFetch:
+    def test_snapshot_roundtrip_and_eviction(self, cache):
+        value = lww("v")
+        cache.create_snapshot("exec-1", "k", value)
+        assert cache.get_snapshot("exec-1", "k") is value
+        assert cache.snapshot_count() == 1
+        assert cache.evict_snapshots("exec-1") == 1
+        assert cache.get_snapshot("exec-1", "k") is None
+
+    def test_duplicate_snapshot_is_ignored(self, cache):
+        cache.create_snapshot("exec-1", "k", lww("v1"))
+        cache.create_snapshot("exec-1", "k", lww("v2"))
+        assert cache.get_snapshot("exec-1", "k").reveal() == "v1"
+
+    def test_fetch_from_upstream_returns_snapshot(self, anna, peers):
+        upstream = ExecutorCache("up", anna, peer_registry=peers)
+        downstream = ExecutorCache("down", anna, peer_registry=peers)
+        pinned = lww("pinned", clock=1.0)
+        upstream.create_snapshot("exec-1", "k", pinned)
+        ctx = RequestContext()
+        value = downstream.fetch_from_upstream("up", "exec-1", "k", ctx)
+        assert value.reveal() == "pinned"
+        assert ctx.count("cache", "fetch_from_upstream") == 1
+        assert downstream.contains("k")
+
+    def test_fetch_from_upstream_falls_back_to_live_copy(self, anna, peers):
+        upstream = ExecutorCache("up", anna, peer_registry=peers)
+        downstream = ExecutorCache("down", anna, peer_registry=peers)
+        upstream.put("k", lww("live"))
+        assert downstream.fetch_from_upstream("up", "exec-1", "k").reveal() == "live"
+
+    def test_fetch_from_unknown_upstream_raises(self, cache):
+        with pytest.raises(ConsistencyError):
+            cache.fetch_from_upstream("ghost-cache", "exec-1", "k")
+
+    def test_fetch_missing_key_raises(self, anna, peers):
+        ExecutorCache("up", anna, peer_registry=peers)
+        downstream = ExecutorCache("down", anna, peer_registry=peers)
+        with pytest.raises(ConsistencyError):
+            downstream.fetch_from_upstream("up", "exec-1", "missing")
+
+
+class TestCausalCut:
+    def test_ensure_causal_cut_fetches_missing_dependency(self, cache, anna):
+        dep = CausalLattice(VectorClock({"w": 1}), "dep-value")
+        anna.put("dep", dep)
+        value = CausalLattice(VectorClock({"w": 2}), "value",
+                              dependencies={"dep": VectorClock({"w": 1})})
+        cache.ensure_causal_cut(value)
+        assert cache.contains("dep")
+        assert cache.violates_causal_cut() == []
+
+    def test_ensure_causal_cut_refreshes_stale_dependency(self, cache, anna):
+        stale = CausalLattice(VectorClock({"w": 1}), "stale")
+        cache.put("dep", stale)
+        fresh = CausalLattice(VectorClock({"w": 5}), "fresh")
+        anna.put("dep", fresh)
+        value = CausalLattice(VectorClock({"x": 1}), "v",
+                              dependencies={"dep": VectorClock({"w": 5})})
+        cache.ensure_causal_cut(value)
+        assert cache.get_local("dep").vector_clock.dominates_or_equal(VectorClock({"w": 5}))
+
+    def test_violates_causal_cut_detects_stale_dependency(self, cache):
+        cache._data["dep"] = CausalLattice(VectorClock({"w": 1}), "stale")
+        cache._data["k"] = CausalLattice(VectorClock({"x": 1}), "v",
+                                         dependencies={"dep": VectorClock({"w": 5})})
+        assert ("k", "dep") in cache.violates_causal_cut()
+
+    def test_non_causal_values_are_ignored(self, cache):
+        cache.ensure_causal_cut(lww("x"))
+        assert cache.violates_causal_cut() == []

@@ -1,0 +1,100 @@
+"""Unit tests for the Cloudburst client API (Figure 2 semantics)."""
+
+import pytest
+
+from repro import CloudburstCluster, CloudburstReference
+from repro.cloudburst import CloudburstClient
+from repro.errors import KeyNotFoundError
+
+
+@pytest.fixture
+def cluster():
+    return CloudburstCluster(executor_vms=2, scheduler_count=2, seed=3)
+
+
+@pytest.fixture
+def cloud(cluster):
+    return cluster.connect()
+
+
+class TestClientConstruction:
+    def test_requires_schedulers(self):
+        with pytest.raises(ValueError):
+            CloudburstClient([])
+
+    def test_connect_assigns_unique_ids(self, cluster):
+        a = cluster.connect()
+        b = cluster.connect()
+        assert a.client_id != b.client_id
+
+
+class TestKVSAccess:
+    def test_put_get_roundtrip(self, cloud):
+        cloud.put("key", {"x": [1, 2, 3]})
+        assert cloud.get("key") == {"x": [1, 2, 3]}
+
+    def test_get_missing_raises(self, cloud):
+        with pytest.raises(KeyNotFoundError):
+            cloud.get("missing")
+
+    def test_delete(self, cloud):
+        cloud.put("key", 1)
+        assert cloud.delete("key")
+        with pytest.raises(KeyNotFoundError):
+            cloud.get("key")
+
+    def test_reference_helper(self, cloud):
+        assert cloud.reference("abc") == CloudburstReference("abc")
+
+
+class TestFunctionCalls:
+    def test_registered_function_behaves_like_a_callable(self, cloud):
+        square = cloud.register(lambda x: x * x, name="square")
+        assert square(7) == 49
+
+    def test_reference_arguments_resolved(self, cloud):
+        cloud.put("value", 5)
+        square = cloud.register(lambda x: x * x, name="square")
+        assert square(CloudburstReference("value")) == 25
+
+    def test_store_in_kvs_returns_future(self, cloud):
+        square = cloud.register(lambda x: x * x, name="square")
+        future = square(3, store_in_kvs=True)
+        assert future.get() == 9
+
+    def test_latency_recorded_per_call(self, cloud):
+        noop = cloud.register(lambda: None, name="noop")
+        with pytest.raises(ValueError):
+            _ = cloud.last_latency_ms
+        noop()
+        noop()
+        assert cloud.last_latency_ms > 0
+        assert len(cloud.latencies) == 2
+
+    def test_calls_round_robin_across_schedulers(self, cluster, cloud):
+        noop = cloud.register(lambda: None, name="noop")
+        for _ in range(4):
+            noop()
+        counts = [s.stats.calls_per_function.get("noop", 0) for s in cluster.schedulers]
+        assert all(count >= 1 for count in counts)
+
+
+class TestDagCalls:
+    def test_register_and_call_dag(self, cloud):
+        cloud.register(lambda x: x + 1, name="inc")
+        cloud.register(lambda x: x * 10, name="tenfold")
+        cloud.register_dag("pipeline", ["inc", "tenfold"], [("inc", "tenfold")])
+        result = cloud.call_dag("pipeline", {"inc": [4]})
+        assert result.value == 50
+
+    def test_async_dag_returns_future(self, cloud):
+        cloud.register(lambda x: x - 1, name="dec")
+        cloud.register_dag("decrement", ["dec"])
+        future = cloud.call_dag_async("decrement", {"dec": [10]})
+        assert future.get() == 9
+
+    def test_future_for_unstored_result_raises(self, cloud):
+        cloud.register(lambda: 1, name="f")
+        result = cloud.call("f")
+        with pytest.raises(ValueError):
+            cloud._future_for(result)

@@ -1,0 +1,178 @@
+"""Unit tests for executor VMs, threads and the user-facing library."""
+
+import pytest
+
+from repro.anna import AnnaCluster
+from repro.cloudburst import (
+    CloudburstReference,
+    ConsistencyLevel,
+    ExecutorVM,
+    MessageRouter,
+    simulated_compute,
+)
+from repro.cloudburst.consistency.protocols import SessionState, make_protocol
+from repro.cloudburst.executor import EXECUTOR_METRICS_PREFIX, function_key
+from repro.errors import ExecutorFailedError, FunctionNotFoundError
+from repro.lattices import LWWLattice, Timestamp
+from repro.sim import LatencyModel, RequestContext
+
+
+@pytest.fixture
+def anna():
+    return AnnaCluster(node_count=2, latency_model=LatencyModel(jitter_enabled=False))
+
+
+@pytest.fixture
+def vm(anna):
+    router = MessageRouter(anna)
+    return ExecutorVM("vm-0", anna, router, threads_per_vm=3)
+
+
+def run(thread, name, args=(), level=ConsistencyLevel.LWW, ctx=None):
+    state = SessionState.create(level)
+    protocol = make_protocol(level)
+    return thread.execute(name, args, ctx, state, protocol)
+
+
+class TestExecutorVM:
+    def test_rejects_nonpositive_threads(self, anna):
+        with pytest.raises(ValueError):
+            ExecutorVM("bad", anna, MessageRouter(anna), threads_per_vm=0)
+
+    def test_threads_registered_with_router(self, vm):
+        for thread in vm.threads:
+            assert vm.router.is_registered(thread.thread_id)
+
+    def test_utilization_tracks_inflight(self, vm):
+        assert vm.utilization() == 0.0
+        vm.inflight = 2
+        assert vm.utilization() == pytest.approx(2 / 3)
+        vm.inflight = 10
+        assert vm.utilization() == 1.0
+
+    def test_pick_thread_prefers_least_loaded(self, vm):
+        vm.threads[0].invocation_count = 5
+        assert vm.pick_thread() is not vm.threads[0]
+
+    def test_fail_and_recover(self, vm, anna):
+        vm.cache.put("k", LWWLattice(Timestamp(1.0, "n"), "v"))
+        vm.fail()
+        assert not vm.alive
+        assert all(not t.alive for t in vm.threads)
+        vm.recover()
+        assert vm.alive
+        # Recovery restarts the container with a cold cache.
+        assert vm.cache.cached_keys() == []
+
+    def test_publish_metrics_writes_to_kvs(self, vm, anna):
+        vm.publish_metrics()
+        metrics = anna.get_plain(EXECUTOR_METRICS_PREFIX + "vm-0")
+        assert metrics["vm_id"] == "vm-0"
+        assert metrics["alive"] is True
+
+
+class TestFunctionExecution:
+    def test_executes_plain_function(self, vm, anna):
+        anna.put_plain(function_key("double"), lambda x: x * 2)
+        thread = vm.threads[0]
+        assert run(thread, "double", [21]) == 42
+        assert thread.invocation_count == 1
+        assert thread.has_function("double")
+
+    def test_unknown_function_raises(self, vm):
+        with pytest.raises(FunctionNotFoundError):
+            run(vm.threads[0], "missing", [])
+
+    def test_dead_executor_raises(self, vm, anna):
+        anna.put_plain(function_key("f"), lambda: 1)
+        vm.fail()
+        with pytest.raises(ExecutorFailedError):
+            run(vm.threads[0], "f")
+
+    def test_references_resolved_before_invocation(self, vm, anna):
+        anna.put_plain("data", 10)
+        anna.put_plain(function_key("add"), lambda a, b: a + b)
+        result = run(vm.threads[0], "add", [CloudburstReference("data"), 5])
+        assert result == 15
+
+    def test_pin_function_avoids_refetch(self, vm, anna):
+        anna.put_plain(function_key("f"), lambda: "pinned")
+        thread = vm.threads[0]
+        thread.pin_function("f")
+        ctx = RequestContext()
+        run(thread, "f", ctx=ctx)
+        assert ctx.count("cloudburst", "deserialize_function") == 0
+
+    def test_declared_compute_cost_is_charged(self, vm, anna):
+        @simulated_compute(50.0)
+        def slow():
+            return "done"
+
+        anna.put_plain(function_key("slow"), slow)
+        ctx = RequestContext()
+        run(vm.threads[0], "slow", ctx=ctx)
+        assert ctx.total("compute", "user_function") > 30.0
+
+    def test_invoke_overhead_charged(self, vm, anna):
+        anna.put_plain(function_key("f"), lambda: None)
+        ctx = RequestContext()
+        run(vm.threads[0], "f", ctx=ctx)
+        assert ctx.count("cloudburst", "invoke") == 1
+
+    def test_utilization_window(self, vm, anna):
+        anna.put_plain(function_key("f"), lambda: None)
+        ctx = RequestContext()
+        run(vm.threads[0], "f", ctx=ctx)
+        assert vm.threads[0].utilization(window_ms=1_000.0) > 0.0
+        vm.threads[0].reset_window()
+        assert vm.threads[0].utilization(window_ms=1_000.0) == 0.0
+
+
+class TestUserLibrary:
+    def test_get_put_delete_and_id(self, vm, anna):
+        def stateful(cloudburst, key):
+            cloudburst.put(key, {"count": 1})
+            value = cloudburst.get(key)
+            identity = cloudburst.get_id()
+            cloudburst.delete(key)
+            return value, identity
+
+        anna.put_plain(function_key("stateful"), stateful)
+        thread = vm.threads[1]
+        value, identity = run(thread, "stateful", ["state-key"])
+        assert value == {"count": 1}
+        assert identity == thread.thread_id
+        assert not anna.contains("state-key")
+
+    def test_send_recv_between_threads(self, vm, anna):
+        def sender(cloudburst, recipient):
+            return cloudburst.send(recipient, "ping")
+
+        def receiver(cloudburst):
+            return cloudburst.recv()
+
+        anna.put_plain(function_key("sender"), sender)
+        anna.put_plain(function_key("receiver"), receiver)
+        t0, t1 = vm.threads[0], vm.threads[1]
+        assert run(t0, "sender", [t1.thread_id]) is True
+        assert run(t1, "receiver") == ["ping"]
+
+    def test_simulate_compute_charges_context(self, vm, anna):
+        def busy(cloudburst):
+            cloudburst.simulate_compute(25.0)
+            return True
+
+        anna.put_plain(function_key("busy"), busy)
+        ctx = RequestContext()
+        run(vm.threads[0], "busy", ctx=ctx)
+        assert ctx.total("compute", "user_function") > 10.0
+
+    def test_consistency_level_and_execution_id_exposed(self, vm, anna):
+        def introspect(cloudburst):
+            return cloudburst.consistency_level, cloudburst.execution_id
+
+        anna.put_plain(function_key("introspect"), introspect)
+        level, execution_id = run(vm.threads[0], "introspect",
+                                  level=ConsistencyLevel.LWW)
+        assert level == ConsistencyLevel.LWW
+        assert isinstance(execution_id, str) and execution_id

@@ -1,0 +1,143 @@
+"""Unit tests for the scalar, set and map lattices plus size estimation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import LatticeTypeError
+from repro.lattices import (
+    BoolOrLattice,
+    LWWLattice,
+    MapLattice,
+    MaxIntLattice,
+    MinIntLattice,
+    OrderedSetLattice,
+    SetLattice,
+    Timestamp,
+    TimestampGenerator,
+    estimate_size,
+)
+
+
+class TestTimestamp:
+    def test_ordering_by_clock_then_node(self):
+        assert Timestamp(1.0, "a") < Timestamp(2.0, "a")
+        assert Timestamp(1.0, "a") < Timestamp(1.0, "b")
+        assert Timestamp(1.0, "a", 0) < Timestamp(1.0, "a", 1)
+
+    def test_generator_is_strictly_increasing_even_at_same_clock(self):
+        generator = TimestampGenerator("node")
+        first = generator.next(5.0)
+        second = generator.next(5.0)
+        assert second > first
+
+
+class TestLWWLattice:
+    def test_merge_keeps_newer_value(self):
+        old = LWWLattice(Timestamp(1.0, "a"), "old")
+        new = LWWLattice(Timestamp(2.0, "a"), "new")
+        assert old.merge(new).reveal() == "new"
+        assert new.merge(old).reveal() == "new"
+
+    def test_merge_is_idempotent(self):
+        value = LWWLattice(Timestamp(1.0, "a"), 10)
+        assert value.merge(value).reveal() == 10
+
+    def test_merge_type_mismatch_raises(self):
+        with pytest.raises(LatticeTypeError):
+            LWWLattice(Timestamp(1.0, "a"), 1).merge(MaxIntLattice(1))
+
+    def test_size_includes_timestamp_overhead(self):
+        value = LWWLattice(Timestamp(1.0, "a"), b"xxxx")
+        assert value.size_bytes() == 8 + 4
+
+
+class TestScalarLattices:
+    def test_max_int_merge(self):
+        assert MaxIntLattice(3).merge(MaxIntLattice(7)).reveal() == 7
+
+    def test_max_int_increment_is_functional(self):
+        start = MaxIntLattice(1)
+        assert start.increment(2).reveal() == 3
+        assert start.reveal() == 1
+
+    def test_max_int_increment_rejects_negative(self):
+        with pytest.raises(ValueError):
+            MaxIntLattice(1).increment(-1)
+
+    def test_min_int_merge(self):
+        assert MinIntLattice(3).merge(MinIntLattice(7)).reveal() == 3
+
+    def test_bool_or_merge(self):
+        assert BoolOrLattice(False).merge(BoolOrLattice(True)).reveal() is True
+        assert BoolOrLattice(False).merge(BoolOrLattice(False)).reveal() is False
+
+
+class TestSetLattice:
+    def test_merge_is_union(self):
+        merged = SetLattice({1, 2}).merge(SetLattice({2, 3}))
+        assert merged.reveal() == frozenset({1, 2, 3})
+
+    def test_add_is_functional(self):
+        base = SetLattice({1})
+        assert 2 in base.add(2)
+        assert 2 not in base
+
+    def test_len_and_iter(self):
+        lattice = SetLattice({1, 2, 3})
+        assert len(lattice) == 3
+        assert sorted(lattice) == [1, 2, 3]
+
+
+class TestOrderedSetLattice:
+    def test_reveal_is_sorted(self):
+        merged = OrderedSetLattice([3, 1]).merge(OrderedSetLattice([2]))
+        assert merged.reveal() == [1, 2, 3]
+
+    def test_contains(self):
+        assert 5 in OrderedSetLattice([5])
+
+
+class TestMapLattice:
+    def test_values_must_be_lattices(self):
+        with pytest.raises(LatticeTypeError):
+            MapLattice({"k": 42})
+
+    def test_merge_merges_values_per_key(self):
+        a = MapLattice({"x": MaxIntLattice(1), "y": MaxIntLattice(9)})
+        b = MapLattice({"x": MaxIntLattice(5)})
+        merged = a.merge(b)
+        assert merged.reveal() == {"x": 5, "y": 9}
+
+    def test_insert_merges_existing_key(self):
+        base = MapLattice({"x": MaxIntLattice(4)})
+        updated = base.insert("x", MaxIntLattice(2))
+        assert updated.reveal()["x"] == 4
+
+    def test_contains_and_len(self):
+        lattice = MapLattice({"x": MaxIntLattice(1)})
+        assert "x" in lattice
+        assert len(lattice) == 1
+
+
+class TestEstimateSize:
+    def test_primitives(self):
+        assert estimate_size(None) == 1
+        assert estimate_size(True) == 1
+        assert estimate_size(7) == 8
+        assert estimate_size(1.5) == 8
+        assert estimate_size("abcd") == 4
+        assert estimate_size(b"abcd") == 4
+
+    def test_containers_sum_elements(self):
+        assert estimate_size([1, 2, 3]) == 8 + 24
+        assert estimate_size({"a": 1}) == 8 + 1 + 8
+
+    def test_numpy_uses_nbytes(self):
+        array = np.zeros(100, dtype=np.float64)
+        assert estimate_size(array) == 800
+
+    def test_unknown_objects_get_constant(self):
+        class Opaque:
+            pass
+
+        assert estimate_size(Opaque()) == 64

@@ -1,0 +1,96 @@
+"""Unit tests for the monitoring system and the Figure 7 autoscaling policy."""
+
+import pytest
+
+from repro import CloudburstCluster
+from repro.cloudburst import AutoscalingPolicy, MonitoringConfig, MonitoringSystem
+
+
+class TestMonitoringSystem:
+    def test_collect_metrics_shape(self):
+        cluster = CloudburstCluster(executor_vms=2, seed=1)
+        metrics = cluster.monitoring.collect_metrics()
+        assert metrics["vm_count"] == 2
+        assert metrics["thread_count"] == 6
+        assert 0.0 <= metrics["utilization"] <= 1.0
+
+    def test_scale_up_when_utilization_high(self):
+        config = MonitoringConfig(vms_per_scale_up=2, max_vms=10)
+        cluster = CloudburstCluster(executor_vms=2, seed=1, monitoring_config=config)
+        for vm in cluster.vms:
+            vm.inflight = len(vm.threads)
+        cluster.publish_all_metrics()
+        report = cluster.monitoring.tick()
+        assert report.vms_added == 2
+        assert len(cluster.vms) == 4
+
+    def test_scale_down_when_idle(self):
+        config = MonitoringConfig(vms_per_scale_up=1, min_vms=1)
+        cluster = CloudburstCluster(executor_vms=3, seed=1, monitoring_config=config)
+        cluster.publish_all_metrics()
+        report = cluster.monitoring.tick()
+        assert report.vms_removed == 1
+        assert len(cluster.vms) == 2
+
+    def test_scale_up_respects_max_vms(self):
+        config = MonitoringConfig(vms_per_scale_up=5, max_vms=3)
+        cluster = CloudburstCluster(executor_vms=3, seed=1, monitoring_config=config)
+        for vm in cluster.vms:
+            vm.inflight = len(vm.threads)
+        cluster.publish_all_metrics()
+        report = cluster.monitoring.tick()
+        assert report.vms_added == 0
+
+    def test_backlog_triggers_function_repinning(self):
+        # Disable idle scale-down so the repinning decision is observed alone.
+        config = MonitoringConfig(scale_down_utilization=0.0)
+        cluster = CloudburstCluster(executor_vms=3, seed=1, monitoring_config=config)
+        scheduler = cluster.schedulers[0]
+        scheduler.register_function(lambda: 1, name="hot")
+        scheduler.pin_function("hot", replicas=1)
+        before = len(scheduler.function_pins["hot"])
+        cluster.monitoring.tick(arrival_rate_per_s=100.0, completion_rate_per_s=10.0)
+        assert len(scheduler.function_pins["hot"]) > before
+
+
+class TestAutoscalingPolicy:
+    def make_metrics(self, utilization, arrival=100.0, completion=100.0, capacity=180):
+        return {
+            "utilization": utilization,
+            "arrival_rate_per_s": arrival,
+            "completion_rate_per_s": completion,
+            "capacity_threads": float(capacity),
+            "queue_length": 0.0,
+        }
+
+    def test_scale_up_on_saturation(self):
+        policy = AutoscalingPolicy(MonitoringConfig())
+        decision = policy(5_000.0, self.make_metrics(1.0))
+        assert decision is not None
+        assert decision.add_threads == 60
+        assert decision.add_delay_ms == pytest.approx(150_000.0)
+
+    def test_no_second_scale_up_while_instances_boot(self):
+        policy = AutoscalingPolicy(MonitoringConfig())
+        assert policy(5_000.0, self.make_metrics(1.0)) is not None
+        assert policy(10_000.0, self.make_metrics(1.0)) is None
+        # After the startup delay elapses, another batch may be requested.
+        assert policy(160_000.0, self.make_metrics(1.0)) is not None
+
+    def test_drain_when_load_disappears(self):
+        policy = AutoscalingPolicy(MonitoringConfig(min_pinned_threads=2))
+        decision = policy(5_000.0, self.make_metrics(0.0, arrival=0.0, completion=0.0,
+                                                     capacity=360))
+        assert decision is not None
+        assert decision.remove_threads == 358
+
+    def test_modest_scale_down_at_low_utilization(self):
+        policy = AutoscalingPolicy(MonitoringConfig())
+        decision = policy(5_000.0, self.make_metrics(0.1, arrival=10.0, completion=10.0,
+                                                     capacity=180))
+        assert decision is not None
+        assert decision.remove_threads == 3
+
+    def test_steady_state_no_action(self):
+        policy = AutoscalingPolicy(MonitoringConfig())
+        assert policy(5_000.0, self.make_metrics(0.5)) is None

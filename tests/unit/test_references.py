@@ -1,0 +1,76 @@
+"""Unit tests for KVS references and futures."""
+
+import pytest
+
+from repro.cloudburst import CloudburstFuture, CloudburstReference, extract_references
+from repro.errors import KeyNotFoundError
+
+
+class TestCloudburstReference:
+    def test_requires_key(self):
+        with pytest.raises(ValueError):
+            CloudburstReference("")
+
+    def test_equality_and_hash(self):
+        assert CloudburstReference("k") == CloudburstReference("k")
+        assert CloudburstReference("k") != CloudburstReference("other")
+        assert len({CloudburstReference("k"), CloudburstReference("k")}) == 1
+
+    def test_repr_contains_key(self):
+        assert "mykey" in repr(CloudburstReference("mykey"))
+
+
+class TestExtractReferences:
+    def test_finds_top_level_references(self):
+        refs = extract_references([1, CloudburstReference("a"), "x"])
+        assert [r.key for r in refs] == ["a"]
+
+    def test_finds_nested_references(self):
+        args = [
+            [CloudburstReference("in-list")],
+            {"key": CloudburstReference("in-dict")},
+            (CloudburstReference("in-tuple"),),
+        ]
+        keys = {r.key for r in extract_references(args)}
+        assert keys == {"in-list", "in-dict", "in-tuple"}
+
+    def test_no_references(self):
+        assert extract_references([1, "two", {"three": 3}]) == []
+
+
+class TestCloudburstFuture:
+    def test_resolves_when_backend_has_value(self):
+        future = CloudburstFuture("result-key", lambda key: (True, 42))
+        assert future.is_ready()
+        assert future.get() == 42
+
+    def test_pending_until_backend_ready(self):
+        state = {"ready": False}
+
+        def fetch(key):
+            return (state["ready"], "done" if state["ready"] else None)
+
+        future = CloudburstFuture("k", fetch)
+        assert not future.is_ready()
+        with pytest.raises(KeyNotFoundError):
+            future.get()
+        state["ready"] = True
+        assert future.get() == "done"
+
+    def test_value_is_cached_after_resolution(self):
+        calls = []
+
+        def fetch(key):
+            calls.append(key)
+            return (True, 1)
+
+        future = CloudburstFuture("k", fetch)
+        assert future.get() == 1
+        assert future.get() == 1
+        assert len(calls) == 1
+
+    def test_repr_shows_state(self):
+        future = CloudburstFuture("k", lambda key: (True, 1))
+        assert "pending" in repr(future)
+        future.get()
+        assert "ready" in repr(future)

@@ -1,0 +1,154 @@
+"""Unit tests for the function scheduler (placement policy, registration)."""
+
+import pytest
+
+from repro import CloudburstCluster, CloudburstReference
+from repro.cloudburst import Dag
+from repro.errors import DagExecutionError, FunctionNotFoundError
+
+
+@pytest.fixture
+def cluster():
+    return CloudburstCluster(executor_vms=3, threads_per_vm=2, seed=7)
+
+
+@pytest.fixture
+def scheduler(cluster):
+    return cluster.schedulers[0]
+
+
+class TestRegistration:
+    def test_register_function_persists_to_anna(self, scheduler, cluster):
+        scheduler.register_function(lambda x: x, name="identity")
+        from repro.cloudburst.executor import FUNCTION_LIST_KEY, function_key
+
+        assert cluster.kvs.contains(function_key("identity"))
+        assert "identity" in cluster.kvs.get(FUNCTION_LIST_KEY).reveal()
+
+    def test_register_dag_requires_functions(self, scheduler):
+        with pytest.raises(FunctionNotFoundError):
+            scheduler.register_dag(Dag.chain("d", ["ghost"]))
+
+    def test_register_dag_pins_functions(self, scheduler):
+        scheduler.register_function(lambda x: x + 1, name="inc")
+        scheduler.register_dag(Dag.chain("d", ["inc"]))
+        assert len(scheduler.function_pins["inc"]) >= 1
+        pinned = scheduler.pinned_threads("inc")[0]
+        assert pinned.has_function("inc")
+
+    def test_pin_function_adds_replicas(self, scheduler):
+        scheduler.register_function(lambda: 1, name="f")
+        scheduler.pin_function("f", replicas=1)
+        first = len(scheduler.function_pins["f"])
+        scheduler.pin_function("f", replicas=3)
+        assert len(scheduler.function_pins["f"]) >= max(first, 3)
+
+    def test_dag_topology_persisted(self, scheduler, cluster):
+        scheduler.register_function(lambda x: x, name="a")
+        scheduler.register_function(lambda x: x, name="b")
+        scheduler.register_dag(Dag.chain("pipeline", ["a", "b"]))
+        topology = cluster.kvs.get_plain("__cloudburst_dags__/pipeline")
+        assert topology["functions"] == ["a", "b"]
+        assert topology["edges"] == [("a", "b")]
+
+
+class TestSingleFunctionCalls:
+    def test_call_returns_value_and_latency(self, scheduler):
+        scheduler.register_function(lambda x: x * x, name="square")
+        result = scheduler.call("square", [6])
+        assert result.value == 36
+        assert result.latency_ms > 0
+        assert result.retries == 0
+
+    def test_store_in_kvs_returns_result_key(self, scheduler, cluster):
+        scheduler.register_function(lambda x: x + 1, name="inc")
+        result = scheduler.call("inc", [1], store_in_kvs=True)
+        assert result.result_key is not None
+        assert cluster.kvs.get_plain(result.result_key) == 2
+
+    def test_call_statistics_recorded(self, scheduler):
+        scheduler.register_function(lambda: None, name="noop")
+        scheduler.call("noop")
+        scheduler.call("noop")
+        assert scheduler.stats.calls_per_function["noop"] == 2
+
+
+class TestDagCalls:
+    def test_linear_dag_passes_results_downstream(self, scheduler):
+        scheduler.register_function(lambda x: x + 1, name="inc")
+        scheduler.register_function(lambda x: x * x, name="square")
+        scheduler.register_dag(Dag.chain("comp", ["inc", "square"]))
+        result = scheduler.call_dag("comp", {"inc": [4]})
+        assert result.value == 25
+
+    def test_fan_out_dag_returns_all_sinks(self, scheduler):
+        scheduler.register_function(lambda x: x, name="root")
+        scheduler.register_function(lambda x: x + 1, name="left")
+        scheduler.register_function(lambda x: x * 2, name="right")
+        scheduler.register_dag(Dag("fan", ["root", "left", "right"],
+                                   [("root", "left"), ("root", "right")]))
+        result = scheduler.call_dag("fan", {"root": [10]})
+        assert result.value == {"left": 11, "right": 20}
+
+    def test_dag_call_counts_tracked(self, scheduler):
+        scheduler.register_function(lambda x: x, name="f")
+        scheduler.register_dag(Dag.chain("d", ["f"]))
+        scheduler.call_dag("d", {"f": [1]})
+        assert scheduler.stats.calls_per_dag["d"] == 1
+        assert scheduler.dag_registry.call_count("d") == 1
+
+
+class TestPlacementPolicy:
+    def test_locality_prefers_cache_with_data(self, cluster, scheduler):
+        client = cluster.connect()
+        client.put("hot-data", [1, 2, 3])
+        scheduler.register_function(lambda data: sum(data), name="summer")
+        reference = CloudburstReference("hot-data")
+        # First call caches the key somewhere; later calls should go back there.
+        scheduler.call("summer", [reference])
+        target_vm = next(vm for vm in cluster.vms if vm.cache.contains("hot-data"))
+        for _ in range(5):
+            scheduler.call("summer", [reference])
+        assert cluster.cache_hit_rate() > 0.5
+        assert scheduler.stats.locality_hits >= 1
+        # The data should not have spread to every VM when one unsaturated
+        # executor already holds it.
+        holders = [vm for vm in cluster.vms if vm.cache.contains("hot-data")]
+        assert target_vm in holders
+
+    def test_locality_disabled_ignores_references(self, cluster, scheduler):
+        client = cluster.connect()
+        client.put("some-data", 1)
+        scheduler.register_function(lambda x: x, name="reader")
+        scheduler.locality_scheduling = False
+        scheduler.call("reader", [CloudburstReference("some-data")])
+        assert scheduler.stats.locality_hits == 0
+
+    def test_overloaded_vm_is_avoided(self, cluster, scheduler):
+        client = cluster.connect()
+        client.put("k", 1)
+        scheduler.register_function(lambda x: x, name="reader")
+        reference = CloudburstReference("k")
+        scheduler.call("reader", [reference])
+        holder = next(vm for vm in cluster.vms if vm.cache.contains("k"))
+        holder.inflight = len(holder.threads)  # saturate it
+        result = scheduler.call("reader", [reference])
+        chosen_vm_caches = [vm for vm in cluster.vms
+                            if vm.cache.contains("k") and vm is not holder]
+        # Backpressure: the request went elsewhere, replicating the hot key.
+        assert chosen_vm_caches or result.value == 1
+
+    def test_dead_vm_never_selected(self, cluster, scheduler):
+        scheduler.register_function(lambda: "ok", name="f")
+        cluster.fail_vm(cluster.vms[0].vm_id)
+        for _ in range(5):
+            assert scheduler.call("f").value == "ok"
+
+
+class TestFaultHandling:
+    def test_all_executors_dead_raises(self, cluster, scheduler):
+        scheduler.register_function(lambda: 1, name="f")
+        for vm in cluster.vms:
+            vm.fail()
+        with pytest.raises(Exception):
+            scheduler.call("f")

@@ -1,0 +1,92 @@
+"""Unit tests for the seeded random source and the Zipfian generator."""
+
+import pytest
+
+from repro.sim import RandomSource, ZipfGenerator
+
+
+class TestRandomSource:
+    def test_same_seed_same_sequence(self):
+        a = RandomSource(7)
+        b = RandomSource(7)
+        assert [a.randint(0, 100) for _ in range(10)] == \
+               [b.randint(0, 100) for _ in range(10)]
+
+    def test_different_seed_different_sequence(self):
+        a = [RandomSource(1).randint(0, 1_000_000) for _ in range(5)]
+        b = [RandomSource(2).randint(0, 1_000_000) for _ in range(5)]
+        assert a != b
+
+    def test_spawn_is_deterministic_and_independent(self):
+        parent = RandomSource(3)
+        child1 = parent.spawn("zipf")
+        child2 = RandomSource(3).spawn("zipf")
+        assert [child1.random() for _ in range(5)] == [child2.random() for _ in range(5)]
+
+    def test_choice_rejects_empty(self):
+        with pytest.raises(ValueError):
+            RandomSource(0).choice([])
+
+    def test_choice_returns_member(self):
+        rng = RandomSource(0)
+        items = ["a", "b", "c"]
+        assert rng.choice(items) in items
+
+    def test_shuffle_returns_permutation_without_mutating(self):
+        rng = RandomSource(5)
+        items = list(range(20))
+        shuffled = rng.shuffle(items)
+        assert items == list(range(20))
+        assert sorted(shuffled) == items
+
+    def test_lognormal_positive_and_centered(self):
+        rng = RandomSource(11)
+        samples = [rng.lognormal(10.0, 0.2) for _ in range(500)]
+        assert all(s > 0 for s in samples)
+        assert 8.0 < sorted(samples)[len(samples) // 2] < 12.5
+
+    def test_lognormal_rejects_nonpositive_median(self):
+        with pytest.raises(ValueError):
+            RandomSource(0).lognormal(0.0, 0.1)
+
+    def test_exponential_rejects_nonpositive_mean(self):
+        with pytest.raises(ValueError):
+            RandomSource(0).exponential(0.0)
+
+
+class TestZipfGenerator:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            ZipfGenerator(0)
+        with pytest.raises(ValueError):
+            ZipfGenerator(10, coefficient=-1.0)
+
+    def test_draws_within_range(self):
+        zipf = ZipfGenerator(100, 1.0, RandomSource(1))
+        draws = zipf.draw(1_000)
+        assert all(0 <= d < 100 for d in draws)
+
+    def test_skew_favours_low_ranks(self):
+        zipf = ZipfGenerator(1_000, 1.0, RandomSource(2))
+        draws = zipf.draw(5_000)
+        head = sum(1 for d in draws if d < 10)
+        tail = sum(1 for d in draws if d >= 500)
+        assert head > tail
+
+    def test_higher_coefficient_is_more_skewed(self):
+        flat = ZipfGenerator(1_000, 0.5, RandomSource(3)).draw(3_000)
+        steep = ZipfGenerator(1_000, 1.5, RandomSource(3)).draw(3_000)
+        head_flat = sum(1 for d in flat if d == 0)
+        head_steep = sum(1 for d in steep if d == 0)
+        assert head_steep > head_flat
+
+    def test_zero_coefficient_is_roughly_uniform(self):
+        zipf = ZipfGenerator(10, 0.0, RandomSource(4))
+        draws = zipf.draw(10_000)
+        counts = [draws.count(i) for i in range(10)]
+        assert min(counts) > 500
+
+    def test_next_key_uses_prefix(self):
+        zipf = ZipfGenerator(10, 1.0, RandomSource(5))
+        key = zipf.next_key("mykey")
+        assert key.startswith("mykey-")

@@ -1,0 +1,116 @@
+"""Unit tests for the discrete-event closed-loop queueing simulation."""
+
+import pytest
+
+from repro.sim import (
+    AutoscalerDecision,
+    ClientGroup,
+    ClosedLoopSimulation,
+    run_fixed_capacity,
+)
+
+
+def constant_service(ms):
+    return lambda now: ms
+
+
+class TestClosedLoopSimulation:
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            ClosedLoopSimulation(constant_service(10), 0, [ClientGroup(1)])
+
+    def test_single_client_latency_equals_service_time(self):
+        result = run_fixed_capacity(constant_service(10.0), threads=4, clients=1,
+                                    total_requests=50)
+        assert result.completed_requests == 50
+        assert result.latencies.summary().median_ms == pytest.approx(10.0)
+
+    def test_throughput_limited_by_capacity(self):
+        # 10 clients over 2 threads with 10 ms service -> ~200 requests/second.
+        result = run_fixed_capacity(constant_service(10.0), threads=2, clients=10,
+                                    total_requests=400)
+        assert result.overall_throughput_per_s == pytest.approx(200.0, rel=0.15)
+
+    def test_throughput_limited_by_clients_when_capacity_ample(self):
+        result = run_fixed_capacity(constant_service(10.0), threads=50, clients=5,
+                                    total_requests=400)
+        assert result.overall_throughput_per_s == pytest.approx(500.0, rel=0.15)
+
+    def test_queueing_raises_latency_when_oversubscribed(self):
+        contended = run_fixed_capacity(constant_service(10.0), threads=1, clients=5,
+                                       total_requests=100)
+        uncontended = run_fixed_capacity(constant_service(10.0), threads=5, clients=5,
+                                         total_requests=100)
+        assert contended.latencies.summary().median_ms > \
+               uncontended.latencies.summary().median_ms * 2
+
+    def test_clients_stop_at_stop_time(self):
+        sim = ClosedLoopSimulation(
+            service_time_fn=constant_service(10.0),
+            initial_threads=4,
+            client_groups=[ClientGroup(count=4, start_ms=0.0, stop_ms=500.0)],
+            max_duration_ms=2_000.0,
+        )
+        result = sim.run()
+        # Roughly 4 clients * 50 requests in the first 500 ms, nothing after.
+        assert 100 <= result.completed_requests <= 230
+        late_buckets = [p for p in result.throughput_curve if p.time_s >= 1.0]
+        assert all(p.requests_per_s == 0 for p in late_buckets)
+
+    def test_policy_scale_up_takes_effect_after_delay(self):
+        def policy(now_ms, metrics):
+            if metrics["utilization"] >= 0.9 and metrics["capacity_threads"] < 4:
+                return AutoscalerDecision(add_threads=2, add_delay_ms=1_000.0)
+            return None
+
+        sim = ClosedLoopSimulation(
+            service_time_fn=constant_service(10.0),
+            initial_threads=2,
+            client_groups=[ClientGroup(count=8)],
+            policy=policy,
+            policy_interval_ms=200.0,
+            max_duration_ms=4_000.0,
+        )
+        result = sim.run()
+        capacities = [capacity for _, capacity in result.capacity_timeline]
+        assert capacities[0] == 2
+        assert max(capacities) >= 4
+
+    def test_policy_scale_down(self):
+        def policy(now_ms, metrics):
+            if metrics["capacity_threads"] > 2:
+                return AutoscalerDecision(remove_threads=2)
+            return None
+
+        sim = ClosedLoopSimulation(
+            service_time_fn=constant_service(5.0),
+            initial_threads=6,
+            client_groups=[ClientGroup(count=2)],
+            policy=policy,
+            policy_interval_ms=100.0,
+            max_duration_ms=1_000.0,
+            min_threads=2,
+        )
+        result = sim.run()
+        assert result.capacity_timeline[-1][1] == 2
+
+    def test_capacity_never_drops_below_minimum(self):
+        def policy(now_ms, metrics):
+            return AutoscalerDecision(remove_threads=100)
+
+        sim = ClosedLoopSimulation(
+            service_time_fn=constant_service(5.0),
+            initial_threads=4,
+            client_groups=[ClientGroup(count=1)],
+            policy=policy,
+            policy_interval_ms=50.0,
+            max_duration_ms=500.0,
+            min_threads=3,
+        )
+        result = sim.run()
+        assert all(capacity >= 3 for _, capacity in result.capacity_timeline)
+
+    def test_throughput_curve_capacity_annotation(self):
+        result = run_fixed_capacity(constant_service(10.0), threads=6, clients=6,
+                                    total_requests=100)
+        assert all(point.allocated_threads == 6 for point in result.throughput_curve)

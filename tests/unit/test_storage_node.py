@@ -1,0 +1,110 @@
+"""Unit tests for a single Anna storage node (tiers, stats, merge-on-put)."""
+
+import pytest
+
+from repro.errors import KeyNotFoundError
+from repro.lattices import LWWLattice, MaxIntLattice, Timestamp
+from repro.anna import StorageNode
+
+
+def lww(value, clock=1.0, node="n"):
+    return LWWLattice(Timestamp(clock, node), value)
+
+
+class TestStorageNodeBasics:
+    def test_put_then_get(self):
+        node = StorageNode("s1")
+        node.put("k", lww("v"))
+        assert node.get("k").reveal() == "v"
+        assert node.contains("k")
+
+    def test_get_missing_raises(self):
+        with pytest.raises(KeyNotFoundError):
+            StorageNode("s1").get("ghost")
+
+    def test_put_merges_with_existing(self):
+        node = StorageNode("s1")
+        node.put("counter", MaxIntLattice(3))
+        node.put("counter", MaxIntLattice(1))
+        assert node.get("counter").reveal() == 3
+
+    def test_delete(self):
+        node = StorageNode("s1")
+        node.put("k", lww("v"))
+        assert node.delete("k")
+        assert not node.contains("k")
+        assert not node.delete("k")
+
+    def test_key_counts(self):
+        node = StorageNode("s1")
+        node.put("a", lww(1))
+        node.put("b", lww(2))
+        assert node.key_count() == 2
+        assert sorted(node.keys()) == ["a", "b"]
+
+    def test_drain_clears_everything(self):
+        node = StorageNode("s1")
+        node.put("a", lww(1))
+        drained = node.drain()
+        assert set(drained) == {"a"}
+        assert node.key_count() == 0
+
+
+class TestTiering:
+    def test_new_keys_land_in_memory(self):
+        node = StorageNode("s1")
+        node.put("k", lww("v"))
+        assert node.tier_of("k") == StorageNode.MEMORY_TIER
+
+    def test_demote_and_promote(self):
+        node = StorageNode("s1")
+        node.put("k", lww("v"))
+        assert node.demote("k")
+        assert node.tier_of("k") == StorageNode.DISK_TIER
+        assert node.get("k").reveal() == "v"
+        assert node.promote("k")
+        assert node.tier_of("k") == StorageNode.MEMORY_TIER
+
+    def test_demote_missing_key_is_false(self):
+        assert not StorageNode("s1").demote("ghost")
+
+    def test_put_to_demoted_key_stays_on_disk(self):
+        node = StorageNode("s1")
+        node.put("k", MaxIntLattice(1))
+        node.demote("k")
+        node.put("k", MaxIntLattice(5))
+        assert node.tier_of("k") == StorageNode.DISK_TIER
+        assert node.get("k").reveal() == 5
+
+    def test_over_memory_capacity(self):
+        node = StorageNode("s1", memory_capacity_keys=2)
+        for index in range(3):
+            node.put(f"k{index}", lww(index))
+        assert node.over_memory_capacity()
+
+    def test_coldest_memory_keys_ordered_by_access_time(self):
+        node = StorageNode("s1")
+        node.put("old", lww(1), now_ms=1.0)
+        node.put("new", lww(2), now_ms=100.0)
+        node.get("old", now_ms=500.0)
+        assert node.coldest_memory_keys(1) == ["new"]
+
+
+class TestStats:
+    def test_reads_and_writes_counted(self):
+        node = StorageNode("s1")
+        node.put("k", lww(1))
+        node.get("k")
+        node.get("k")
+        stats = node.stats("k")
+        assert stats.writes == 1
+        assert stats.reads == 2
+        assert stats.accesses == 3
+
+    def test_hot_keys_threshold(self):
+        node = StorageNode("s1")
+        node.put("hot", lww(1))
+        for _ in range(10):
+            node.get("hot")
+        node.put("cold", lww(2))
+        assert node.hot_keys(min_accesses=5) == ["hot"]
