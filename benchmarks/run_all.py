@@ -1,0 +1,134 @@
+#!/usr/bin/env python
+"""Run the throughput benchmarks and emit a machine-readable snapshot.
+
+Produces ``BENCH_throughput.json`` (median / p99 / requests-per-second for
+Figures 7, 10 and 12) so successive PRs have a perf trajectory to compare
+against.  All three figures run the real Cloudburst stack under the
+discrete-event engine; the snapshot also records wall-clock runtime of each
+harness, which is the number future performance PRs want to push down.
+
+Usage::
+
+    python benchmarks/run_all.py                  # default (reduced) scale
+    python benchmarks/run_all.py --full           # benchmark-default scale
+    python benchmarks/run_all.py --output out.json --seed 3
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.bench import run_figure7, run_figure10, run_figure12  # noqa: E402
+
+
+def _summary(recorder) -> dict:
+    stats = recorder.summary()
+    return {
+        "count": stats.count,
+        "median_ms": round(stats.median_ms, 3),
+        "p99_ms": round(stats.p99_ms, 3),
+    }
+
+
+def snapshot_figure7(seed: int, full: bool) -> dict:
+    started = time.time()
+    if full:
+        experiment = run_figure7(seed=seed)
+    else:
+        from repro.cloudburst.monitoring import MonitoringConfig
+
+        experiment = run_figure7(
+            initial_threads=6, client_count=12,
+            load_duration_s=20.0, total_duration_s=30.0,
+            policy_interval_ms=2_500.0,
+            monitoring_config=MonitoringConfig(
+                vms_per_scale_up=1, node_startup_delay_ms=5_000.0, max_vms=10),
+            seed=seed)
+    sim = experiment.simulation
+    return {
+        "initial_threads": experiment.initial_threads,
+        "clients": experiment.client_count,
+        "requests_per_s": round(sim.overall_throughput_per_s, 2),
+        "peak_requests_per_s": round(experiment.peak_throughput_per_s, 2),
+        "completed_requests": sim.completed_requests,
+        "capacity_timeline": sim.capacity_timeline,
+        "latency": _summary(sim.latencies),
+        "wall_seconds": round(time.time() - started, 2),
+    }
+
+
+def snapshot_scaling(run, thread_counts, requests_per_point, seed: int,
+                     **kwargs) -> dict:
+    started = time.time()
+    result = run(thread_counts=thread_counts,
+                 requests_per_point=requests_per_point, seed=seed, **kwargs)
+    return {
+        "requests_per_point": requests_per_point,
+        "points": [
+            {
+                "threads": point.threads,
+                "clients": point.clients,
+                "requests_per_s": round(point.throughput_per_s, 2),
+                "median_ms": round(point.median_ms, 3),
+                "p99_ms": round(point.p99_ms, 3),
+            }
+            for point in result.points
+        ],
+        "wall_seconds": round(time.time() - started, 2),
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--output", default=str(REPO_ROOT / "BENCH_throughput.json"))
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--full", action="store_true",
+                        help="run at the benchmark-default (slower) scale")
+    args = parser.parse_args()
+
+    if args.full:
+        fig10_counts, fig10_requests = (10, 20, 40, 80, 160), 2_000
+        fig12_counts, fig12_requests = (10, 20, 40, 80, 160), 5_000
+    else:
+        fig10_counts, fig10_requests = (10, 40, 160), 600
+        fig12_counts, fig12_requests = (10, 40, 160), 1_000
+
+    print("figure 7 (autoscaling)...", flush=True)
+    fig7 = snapshot_figure7(args.seed, args.full)
+    print(f"  {fig7['requests_per_s']} req/s overall, "
+          f"peak {fig7['peak_requests_per_s']} req/s "
+          f"[{fig7['wall_seconds']}s]")
+    print("figure 10 (prediction scaling)...", flush=True)
+    fig10 = snapshot_scaling(run_figure10, fig10_counts, fig10_requests, args.seed)
+    print("figure 12 (retwis scaling)...", flush=True)
+    fig12 = snapshot_scaling(run_figure12, fig12_counts, fig12_requests, args.seed)
+    for name, fig in (("fig10", fig10), ("fig12", fig12)):
+        for point in fig["points"]:
+            print(f"  {name} threads={point['threads']:4d} "
+                  f"{point['requests_per_s']:10.1f} req/s  "
+                  f"median={point['median_ms']:.2f}ms p99={point['p99_ms']:.2f}ms")
+
+    payload = {
+        "schema": 1,
+        "seed": args.seed,
+        "scale": "full" if args.full else "reduced",
+        "figure7_autoscaling": fig7,
+        "figure10_prediction_scaling": fig10,
+        "figure12_retwis_scaling": fig12,
+    }
+    output = Path(args.output)
+    output.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

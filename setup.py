@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+All metadata lives in ``pyproject.toml``.  This file exists so
+``pip install -e . --no-build-isolation --no-use-pep517`` works on machines
+without the ``wheel`` package (PEP 660 editable installs need it to build an
+editable wheel; the legacy ``setup.py develop`` path does not).
+"""
+
+from setuptools import setup
+
+setup()

@@ -32,7 +32,12 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..baselines import SimulatedRedis
-from ..cloudburst import CloudburstClient, CloudburstCluster, ConsistencyLevel
+from ..cloudburst import (
+    CloudburstClient,
+    CloudburstCluster,
+    CloudburstReference,
+    ConsistencyLevel,
+)
 from ..sim import LatencyModel, RequestContext
 from ..workloads.social import RetwisRequest, SocialGraph
 
@@ -110,7 +115,7 @@ def cb_get_followers(cloudburst, user: str) -> List[str]:
     return list(cloudburst.get(followers_key(user)) or [])
 
 
-def cb_get_timeline(cloudburst, user: str) -> Dict[str, object]:
+def cb_get_timeline(cloudburst, user: str, following=None) -> Dict[str, object]:
     """Assemble the user's home timeline and report any causal anomalies.
 
     Returns ``{"tweets": [...], "anomalies": n}``.  An anomaly is a reply that
@@ -131,7 +136,13 @@ def cb_get_timeline(cloudburst, user: str) -> Dict[str, object]:
     Under LWW the same re-read just returns the stale cached copy, so the
     anomaly is observed.
     """
-    following = list(cloudburst.get(following_key(user)) or [])
+    if following is None:
+        following = list(cloudburst.get(following_key(user)) or [])
+    else:
+        # Passed in as a KVS reference: the executor resolved it before
+        # invocation, and the scheduler used it to route this request to a
+        # cache that already holds the reader's social neighbourhood.
+        following = list(following or [])
     causal = cloudburst.consistency_level.is_causal
     observed_posts: Dict[str, set] = {}
 
@@ -267,11 +278,12 @@ class RetwisOnCloudburst:
 
     # -- request execution ------------------------------------------------------------------
     def post_tweet(self, author: str, text: str,
-                   reply_to: Optional[str] = None) -> Tuple[Dict, float]:
+                   reply_to: Optional[str] = None,
+                   ctx: Optional[RequestContext] = None) -> Tuple[Dict, float]:
         tweet_id = f"t{next(self._tweet_ids)}"
         result = self.client.call("retwis_post_tweet",
                                   [author, tweet_id, text, reply_to],
-                                  consistency=self.consistency)
+                                  consistency=self.consistency, ctx=ctx)
         self._recent_live_tweets.append(tweet_id)
         if len(self._recent_live_tweets) > 50:
             self._recent_live_tweets.pop(0)
@@ -279,22 +291,30 @@ class RetwisOnCloudburst:
         self.stats.posts += 1
         return result.value, result.latency_ms
 
-    def get_timeline(self, user: str) -> Tuple[Dict, float]:
-        result = self.client.call("retwis_get_timeline", [user],
-                                  consistency=self.consistency)
+    def get_timeline(self, user: str,
+                     ctx: Optional[RequestContext] = None) -> Tuple[Dict, float]:
+        # The following-list reference is resolved by the executor (Table 1)
+        # and doubles as the locality hint for the §4.3 scheduling policy:
+        # one user's timeline requests keep landing on caches that hold their
+        # social neighbourhood.
+        reference = CloudburstReference(following_key(user))
+        result = self.client.call("retwis_get_timeline", [user, reference],
+                                  consistency=self.consistency, ctx=ctx)
         self.stats.requests += 1
         self.stats.timelines += 1
         if result.value.get("anomalies", 0) > 0:
             self.stats.anomalous_timelines += 1
         return result.value, result.latency_ms
 
-    def execute(self, request: RetwisRequest) -> float:
+    def execute(self, request: RetwisRequest,
+                ctx: Optional[RequestContext] = None) -> float:
         """Run one workload request and return its latency."""
         if request.kind == "post":
             reply_to = self._random_existing_tweet() if request.reply_to else None
-            _, latency = self.post_tweet(request.user, request.text or "", reply_to)
+            _, latency = self.post_tweet(request.user, request.text or "",
+                                         reply_to, ctx=ctx)
         else:
-            _, latency = self.get_timeline(request.user)
+            _, latency = self.get_timeline(request.user, ctx=ctx)
         return latency
 
     def _random_existing_tweet(self) -> Optional[str]:

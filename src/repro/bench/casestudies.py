@@ -8,7 +8,12 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..anna import AnnaCluster
-from ..apps.prediction import PredictionBaselines, deploy_on_cloudburst, make_image
+from ..apps.prediction import (
+    PIPELINE_DAG,
+    PredictionBaselines,
+    deploy_on_cloudburst,
+    make_image,
+)
 from ..apps.retwis import RetwisOnCloudburst, RetwisOnRedis
 from ..cloudburst import CloudburstCluster, ConsistencyLevel
 from ..sim import (
@@ -17,10 +22,14 @@ from ..sim import (
     RandomSource,
     RequestContext,
     SimulationResult,
-    run_fixed_capacity,
 )
 from ..workloads.social import SocialWorkloadGenerator
-from .harness import ComparisonResult, run_closed_loop
+from .harness import (
+    ComparisonResult,
+    build_cluster_with_threads,
+    run_closed_loop,
+    run_engine_closed_loop,
+)
 
 
 # --------------------------------------------------------------------------------------
@@ -92,22 +101,19 @@ class ScalingResult:
                 for p in self.points]
 
 
-def _scaling_sweep(title: str, service_samples: List[float],
-                   thread_counts: Sequence[int], clients_for, requests_per_point: int,
-                   seed: int) -> ScalingResult:
-    """Closed-loop queueing sweep over executor thread counts."""
+def _scaling_sweep(title: str, thread_counts: Sequence[int], clients_for,
+                   requests_per_point: int, point_runner) -> ScalingResult:
+    """Engine-driven sweep: each point runs real requests on a fresh cluster.
+
+    ``point_runner(threads, clients, requests)`` must return a
+    :class:`~repro.sim.SimulationResult` produced by driving concurrent
+    clients through ``Scheduler.call``/``call_dag`` — there is no synthetic
+    service-time model anywhere on this path.
+    """
     result = ScalingResult(title=title)
-    rng = RandomSource(seed)
     for threads in thread_counts:
-        sampler_rng = rng.spawn(f"threads-{threads}")
-
-        def service_time(now_ms: float) -> float:
-            return sampler_rng.choice(service_samples)
-
         clients = max(1, clients_for(threads))
-        sim: SimulationResult = run_fixed_capacity(
-            service_time, threads=threads, clients=clients,
-            total_requests=requests_per_point)
+        sim: SimulationResult = point_runner(threads, clients, requests_per_point)
         summary = sim.latencies.summary()
         result.points.append(ScalingPoint(
             threads=threads,
@@ -134,16 +140,35 @@ def measure_prediction_service_time(samples: int = 60, seed: int = 0,
 
 def run_figure10(thread_counts: Sequence[int] = (10, 20, 40, 80, 160),
                  requests_per_point: int = 2_000, seed: int = 0,
-                 service_samples: Optional[List[float]] = None) -> ScalingResult:
-    """Prediction-serving scaling: clients = threads / 3 (three functions/request)."""
-    samples = service_samples or measure_prediction_service_time(seed=seed)
+                 image_side: int = 512) -> ScalingResult:
+    """Prediction-serving scaling: clients = threads / 3 (three functions/request).
+
+    Every point deploys the real three-stage pipeline on a cluster with that
+    many executor threads and drives it with concurrent closed-loop clients
+    through ``Scheduler.call_dag`` on the shared event engine.
+    """
+    image = make_image(side=image_side, seed=seed)
+
+    def run_point(threads: int, clients: int, requests: int) -> SimulationResult:
+        cluster = build_cluster_with_threads(threads, threads_per_vm=3,
+                                             seed=seed + threads)
+        deployment = deploy_on_cloudburst(cluster)
+        deployment.serve(image)  # warm the model into the executor caches
+        scheduler = cluster.schedulers[0]
+
+        def request(ctx: RequestContext, client: int, index: int) -> None:
+            scheduler.call_dag(PIPELINE_DAG, {"cb_resize": [image]}, ctx=ctx)
+
+        return run_engine_closed_loop(
+            cluster, request, clients=clients, total_requests=requests,
+            label=f"figure10-{threads}t")
+
     return _scaling_sweep(
         title="Figure 10: prediction-serving scaling",
-        service_samples=samples,
         thread_counts=thread_counts,
         clients_for=lambda threads: threads // 3,
         requests_per_point=requests_per_point,
-        seed=seed,
+        point_runner=run_point,
     )
 
 
@@ -221,14 +246,41 @@ def measure_retwis_service_time(samples: int = 300, seed: int = 0,
 
 def run_figure12(thread_counts: Sequence[int] = (10, 20, 40, 80, 160),
                  requests_per_point: int = 5_000, seed: int = 0,
-                 service_samples: Optional[List[float]] = None) -> ScalingResult:
-    """Retwis scaling in causal mode: clients = executor threads."""
-    samples = service_samples or measure_retwis_service_time(seed=seed)
+                 user_count: int = 200, seed_tweets: int = 1_000) -> ScalingResult:
+    """Retwis scaling in causal mode: clients = executor threads.
+
+    Every point loads the social graph onto a causal-mode cluster with that
+    many executor threads and replays the workload stream with concurrent
+    closed-loop clients through ``Scheduler.call`` on the shared engine.
+    """
+
+    def run_point(threads: int, clients: int, requests: int) -> SimulationResult:
+        generator = SocialWorkloadGenerator(user_count=user_count,
+                                            seed_tweet_count=seed_tweets, seed=seed)
+        graph = generator.build_graph()
+        cluster = build_cluster_with_threads(
+            threads, threads_per_vm=3, seed=seed + threads,
+            consistency=ConsistencyLevel.DISTRIBUTED_SESSION_CAUSAL)
+        app = RetwisOnCloudburst(cluster)
+        app.load_graph(graph)
+        # Warm-up, proportional to the executor count: a larger cluster has
+        # more (initially cold) caches, and the paper measures steady state
+        # where hot followers/posts lists are already replicated onto them.
+        for warm_request in generator.request_stream(threads * 8):
+            app.execute(warm_request)
+        stream = generator.request_stream(requests)
+
+        def request(ctx: RequestContext, client: int, index: int) -> None:
+            app.execute(stream[index], ctx=ctx)
+
+        return run_engine_closed_loop(
+            cluster, request, clients=clients, total_requests=requests,
+            label=f"figure12-{threads}t")
+
     return _scaling_sweep(
         title="Figure 12: Retwis scaling (causal mode)",
-        service_samples=samples,
         thread_counts=thread_counts,
         clients_for=lambda threads: threads,
         requests_per_point=requests_per_point,
-        seed=seed,
+        point_runner=run_point,
     )

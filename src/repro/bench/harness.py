@@ -1,11 +1,34 @@
-"""Shared benchmark plumbing: closed-loop drivers and result tables."""
+"""Shared benchmark plumbing: load drivers and result tables.
+
+Two request drivers live here:
+
+* :func:`run_closed_loop` — the sequential driver used by the latency
+  figures: one client, one request at a time, per-request virtual clocks.
+* :class:`EngineLoadDriver` — the multi-client driver used by the throughput
+  figures (7, 10 and 12): many closed-loop (or open-loop Poisson) clients
+  issue requests through the real ``Scheduler.call``/``call_dag`` path on the
+  shared discrete-event engine, so contention flows through the actual
+  scheduler placement policy, executor work queues, caches and Anna — not
+  through a synthetic service-time model.
+"""
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
-from ..sim import LatencyRecorder, LatencySummary, format_table
+from ..sim import (
+    Engine,
+    LatencyRecorder,
+    LatencySummary,
+    RequestContext,
+    SimClock,
+    SimulationResult,
+    format_table,
+)
+from ..sim.stats import build_throughput_curve
+from ..sim.timeline import PolicyFn
 
 
 def run_closed_loop(label: str, request_fn: Callable[[int], float],
@@ -15,6 +38,290 @@ def run_closed_loop(label: str, request_fn: Callable[[int], float],
     for index in range(requests):
         recorder.record(request_fn(index))
     return recorder
+
+
+#: Signature of a driver request: (ctx, client_id, request_index) -> None.
+#: The function must issue its work through the supplied context (e.g.
+#: ``scheduler.call_dag(..., ctx=ctx)``); the driver reads the latency off
+#: the context clock afterwards.
+DriverRequestFn = Callable[[RequestContext, int, int], None]
+
+
+class EngineLoadDriver:
+    """Concurrent open/closed-loop clients over a real Cloudburst cluster.
+
+    Every client lives on one shared :class:`~repro.sim.engine.Engine`
+    timeline.  A request issued at virtual time *t* gets a context whose
+    clock starts at *t*; the scheduler places it with the executor-queue
+    occupancy of that moment, and the executor thread's FIFO work queue makes
+    it wait behind requests dispatched earlier.  Because arrivals are
+    processed in global virtual-time order, two runs with the same seeds
+    replay identically.
+
+    An optional autoscaling policy (same ``(now, metrics) -> decision``
+    signature as the timeline simulation) consumes engine metrics and scales
+    the *real* cluster: scale-ups add executor VMs after the configured
+    startup delay, scale-downs deactivate executor threads.
+    """
+
+    def __init__(self, cluster, request_fn: DriverRequestFn, *,
+                 clients: int = 1,
+                 mode: str = "closed",
+                 arrival_rate_per_s: float = 0.0,
+                 think_time_ms: float = 0.0,
+                 start_ms: float = 0.0,
+                 stop_ms: Optional[float] = None,
+                 max_requests: Optional[int] = None,
+                 max_duration_ms: float = float("inf"),
+                 policy: Optional[PolicyFn] = None,
+                 policy_interval_ms: float = 5_000.0,
+                 min_threads: int = 1,
+                 throughput_bucket_ms: float = 1_000.0,
+                 label: str = "engine-driver"):
+        if mode not in ("closed", "open"):
+            raise ValueError(f"unknown driver mode {mode!r}")
+        if mode == "closed" and clients <= 0:
+            raise ValueError("a closed-loop driver needs at least one client")
+        if mode == "open" and arrival_rate_per_s <= 0:
+            raise ValueError("an open-loop driver needs a positive arrival rate")
+        if max_requests is None and max_duration_ms == float("inf") and stop_ms is None:
+            raise ValueError("driver needs max_requests, max_duration_ms or stop_ms")
+        if policy is not None and max_duration_ms == float("inf"):
+            raise ValueError("an autoscaling policy needs a finite max_duration_ms")
+        self.cluster = cluster
+        self.request_fn = request_fn
+        self.clients = clients
+        self.mode = mode
+        self.arrival_rate_per_s = arrival_rate_per_s
+        self.think_time_ms = think_time_ms
+        self.start_ms = start_ms
+        self.stop_ms = stop_ms
+        self.max_requests = max_requests
+        self.max_duration_ms = max_duration_ms
+        self.policy = policy
+        self.policy_interval_ms = policy_interval_ms
+        self.min_threads = min_threads
+        self.bucket_ms = throughput_bucket_ms
+        self.label = label
+        self._rng = cluster.rng.spawn("load-driver")
+
+        self.engine = Engine()
+        self.latencies = LatencyRecorder(label=label)
+        self.issued = 0
+        self.completed = 0
+        self._future_completions: List[float] = []  # min-heap of end times
+        self._last_completion_ms = 0.0
+        self._completion_buckets: Dict[int, int] = {}
+        self._active: Dict[int, bool] = {}
+        self._capacity_timeline: List[tuple] = []
+        self._window_arrivals = 0
+
+    # -- public API --------------------------------------------------------
+    def run(self) -> SimulationResult:
+        engine = self.engine
+        self.cluster.attach_engine(engine)
+        try:
+            self._capacity_timeline = [(0.0, self._live_thread_count())]
+            if self.mode == "closed":
+                for client in range(self.clients):
+                    self._active[client] = True
+                    engine.at(self.start_ms,
+                              lambda cid=client: self._client_arrival(cid))
+                    if self.stop_ms is not None:
+                        engine.at(self.stop_ms,
+                                  lambda cid=client: self._stop_client(cid))
+            else:
+                engine.at(self.start_ms + self._interarrival_ms(),
+                          self._open_arrival)
+            if self.policy is not None:
+                engine.at(self.policy_interval_ms, self._policy_tick)
+            engine.run(until_ms=self.max_duration_ms)
+        finally:
+            self.cluster.detach_engine()
+        return self._build_result()
+
+    # -- client behaviour --------------------------------------------------
+    def _client_arrival(self, client: int) -> None:
+        if not self._active.get(client, False) or self._exhausted():
+            return
+        end_ms = self._issue_request(client)
+        if end_ms is None:
+            return
+        # Closed loop: next request once this one returns (plus think time).
+        self.engine.at(end_ms + self.think_time_ms,
+                       lambda: self._client_arrival(client))
+
+    def _open_arrival(self) -> None:
+        if self._exhausted():
+            return
+        now = self.engine.now_ms
+        if self.stop_ms is None or now < self.stop_ms:
+            self._issue_request(client=-1)
+            self.engine.at(now + self._interarrival_ms(), self._open_arrival)
+
+    def _interarrival_ms(self) -> float:
+        mean_ms = 1000.0 / self.arrival_rate_per_s
+        return self._rng.exponential(mean_ms)
+
+    def _stop_client(self, client: int) -> None:
+        self._active[client] = False
+
+    def _exhausted(self) -> bool:
+        return self.max_requests is not None and self.issued >= self.max_requests
+
+    def _issue_request(self, client: int) -> Optional[float]:
+        start = self.engine.now_ms
+        index = self.issued
+        self.issued += 1
+        self._window_arrivals += 1
+        ctx = RequestContext(clock=SimClock(start))
+        self.request_fn(ctx, client, index)
+        end = ctx.clock.now_ms
+        self.latencies.record(end - start)
+        self.completed += 1
+        heapq.heappush(self._future_completions, end)
+        self._last_completion_ms = max(self._last_completion_ms, end)
+        bucket = int(end // self.bucket_ms)
+        self._completion_buckets[bucket] = self._completion_buckets.get(bucket, 0) + 1
+        return end
+
+    # -- autoscaling -------------------------------------------------------
+    def _policy_tick(self) -> None:
+        now = self.engine.now_ms
+        interval_s = self.policy_interval_ms / 1000.0
+        live = self._live_thread_count()
+        busy = sum(1 for thread in self._live_threads()
+                   if thread.work_queue.busy_at(now))
+        depth = sum(thread.work_queue.depth(now) for thread in self._live_threads())
+        completions = 0
+        while self._future_completions and self._future_completions[0] <= now:
+            heapq.heappop(self._future_completions)
+            completions += 1
+        metrics = {
+            "arrival_rate_per_s": self._window_arrivals / interval_s,
+            "completion_rate_per_s": completions / interval_s,
+            "utilization": (depth / live) if live else 0.0,
+            "busy_fraction": (busy / live) if live else 0.0,
+            "queue_length": float(max(0, depth - busy)),
+            "capacity_threads": float(live),
+        }
+        metrics["utilization"] = min(1.0, metrics["utilization"])
+        self._window_arrivals = 0
+        decision = self.policy(now, metrics) if self.policy else None
+        if decision is not None:
+            if decision.add_threads > 0:
+                add = decision.add_threads
+                self.engine.at(now + decision.add_delay_ms,
+                               lambda: self._add_threads(add))
+            if decision.remove_threads > 0:
+                self._remove_threads(decision.remove_threads)
+        if now + self.policy_interval_ms <= self.max_duration_ms:
+            self.engine.at(now + self.policy_interval_ms, self._policy_tick)
+
+    def _add_threads(self, count: int) -> None:
+        """Scale up: bring new executor VMs online (cold caches, no pins)."""
+        per_vm = max(1, self.cluster.threads_per_vm)
+        while count > 0:
+            size = min(count, per_vm)
+            self.cluster.add_vm(threads=size)
+            count -= size
+        self._capacity_timeline.append((self.engine.now_ms,
+                                        self._live_thread_count()))
+
+    def _remove_threads(self, count: int) -> None:
+        """Scale down: deactivate executor threads (never below min_threads)."""
+        removable = max(0, self._live_thread_count() - self.min_threads)
+        count = min(count, removable)
+        if count <= 0:
+            return
+        for vm in reversed(self.cluster.vms):
+            if not vm.alive:
+                continue
+            for thread in reversed(vm.threads):
+                if count <= 0:
+                    break
+                if thread.alive:
+                    thread.alive = False
+                    self.cluster.router.mark_unreachable(thread.thread_id)
+                    count -= 1
+            if count <= 0:
+                break
+        self._capacity_timeline.append((self.engine.now_ms,
+                                        self._live_thread_count()))
+
+    # -- metrics helpers ---------------------------------------------------
+    def _live_threads(self):
+        for vm in self.cluster.vms:
+            if not vm.alive:
+                continue
+            for thread in vm.threads:
+                if thread.alive:
+                    yield thread
+
+    def _live_thread_count(self) -> int:
+        return sum(1 for _ in self._live_threads())
+
+    # -- results -----------------------------------------------------------
+    def _build_result(self) -> SimulationResult:
+        duration = min(self.max_duration_ms,
+                       max(self.engine.now_ms, self._last_completion_ms))
+        return SimulationResult(
+            latencies=self.latencies,
+            throughput_curve=build_throughput_curve(
+                self._completion_buckets, self._capacity_timeline,
+                self.bucket_ms, duration,
+                threads_per_node=self.cluster.threads_per_vm),
+            completed_requests=self.completed,
+            duration_ms=duration,
+            capacity_timeline=list(self._capacity_timeline),
+        )
+
+
+def run_engine_closed_loop(cluster, request_fn: DriverRequestFn, *,
+                           clients: int, total_requests: int,
+                           label: str = "engine-closed-loop",
+                           throughput_bucket_ms: float = 1_000.0) -> SimulationResult:
+    """Closed-loop clients through the real stack until a request budget."""
+    driver = EngineLoadDriver(
+        cluster, request_fn, clients=clients, mode="closed",
+        max_requests=total_requests, throughput_bucket_ms=throughput_bucket_ms,
+        label=label)
+    return driver.run()
+
+
+def run_engine_open_loop(cluster, request_fn: DriverRequestFn, *,
+                         arrival_rate_per_s: float, duration_ms: float,
+                         label: str = "engine-open-loop",
+                         throughput_bucket_ms: float = 1_000.0) -> SimulationResult:
+    """Poisson open-loop arrivals through the real stack for a fixed window."""
+    driver = EngineLoadDriver(
+        cluster, request_fn, mode="open", arrival_rate_per_s=arrival_rate_per_s,
+        stop_ms=duration_ms, max_duration_ms=duration_ms,
+        throughput_bucket_ms=throughput_bucket_ms, label=label)
+    return driver.run()
+
+
+def build_cluster_with_threads(total_threads: int, threads_per_vm: int = 3,
+                               cluster_factory=None, **cluster_kwargs):
+    """Build a cluster with an exact executor-thread total.
+
+    Thread counts that are not multiples of the VM size get one smaller
+    remainder VM, mirroring how the paper's sweeps pin odd totals.
+    """
+    if total_threads <= 0:
+        raise ValueError("total_threads must be positive")
+    if cluster_factory is None:
+        from ..cloudburst import CloudburstCluster
+        cluster_factory = CloudburstCluster
+    full_vms, remainder = divmod(total_threads, threads_per_vm)
+    if full_vms == 0:
+        return cluster_factory(executor_vms=1, threads_per_vm=remainder,
+                               **cluster_kwargs)
+    cluster = cluster_factory(executor_vms=full_vms, threads_per_vm=threads_per_vm,
+                              **cluster_kwargs)
+    if remainder:
+        cluster.add_vm(threads=remainder)
+    return cluster
 
 
 @dataclass

@@ -99,24 +99,31 @@ class CloudburstClient:
     # -- invocation ----------------------------------------------------------------------
     def call(self, function_name: str, args: Sequence[Any] = (),
              store_in_kvs: bool = False,
-             consistency: Optional[ConsistencyLevel] = None) -> ExecutionResult:
-        """Invoke a single registered function and record its latency."""
+             consistency: Optional[ConsistencyLevel] = None,
+             ctx: Optional[RequestContext] = None) -> ExecutionResult:
+        """Invoke a single registered function and record its latency.
+
+        ``ctx`` threads an externally owned request context through the
+        scheduler — the multi-client load drivers use this to place requests
+        on the shared engine timeline instead of a fresh zero-based clock.
+        """
         scheduler = self._next_scheduler()
         result = scheduler.call(function_name, args,
                                 consistency=consistency or self.consistency,
-                                store_in_kvs=store_in_kvs)
+                                store_in_kvs=store_in_kvs, ctx=ctx)
         self._record(result)
         return result
 
     def call_dag(self, dag_name: str,
                  function_args: Optional[Dict[str, Sequence[Any]]] = None,
                  store_in_kvs: bool = False,
-                 consistency: Optional[ConsistencyLevel] = None) -> ExecutionResult:
+                 consistency: Optional[ConsistencyLevel] = None,
+                 ctx: Optional[RequestContext] = None) -> ExecutionResult:
         """Invoke a registered DAG and record its latency."""
         scheduler = self._next_scheduler()
         result = scheduler.call_dag(dag_name, function_args,
                                     consistency=consistency or self.consistency,
-                                    store_in_kvs=store_in_kvs)
+                                    store_in_kvs=store_in_kvs, ctx=ctx)
         self._record(result)
         return result
 

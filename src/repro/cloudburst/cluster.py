@@ -17,15 +17,16 @@ from typing import Dict, List, Optional
 
 from ..anna import AnnaCluster
 from ..sim import ComputeModel, LatencyModel, RandomSource
+from ..sim.engine import Engine
 from .cache import ExecutorCache
 from .client import CloudburstClient
 from .consistency.anomalies import AnomalyTracker
 from .consistency.levels import ConsistencyLevel
 from .dag import DagRegistry
-from .executor import ExecutorVM
+from .executor import DEFAULT_WORK_QUEUE_BOUND, ExecutorVM
 from .messaging import MessageRouter
 from .monitoring import MonitoringConfig, MonitoringSystem
-from .scheduler import Scheduler
+from .scheduler import DEFAULT_FAULT_TIMEOUT_MS, OVERLOAD_THRESHOLD, Scheduler
 
 
 class CloudburstCluster:
@@ -43,7 +44,10 @@ class CloudburstCluster:
                  compute_model: Optional[ComputeModel] = None,
                  anomaly_tracker: Optional[AnomalyTracker] = None,
                  monitoring_config: Optional[MonitoringConfig] = None,
-                 anna_propagation: str = AnnaCluster.PROPAGATE_IMMEDIATE):
+                 anna_propagation: str = AnnaCluster.PROPAGATE_IMMEDIATE,
+                 overload_threshold: float = OVERLOAD_THRESHOLD,
+                 fault_timeout_ms: float = DEFAULT_FAULT_TIMEOUT_MS,
+                 work_queue_bound: Optional[int] = DEFAULT_WORK_QUEUE_BOUND):
         if executor_vms <= 0:
             raise ValueError("executor_vms must be positive")
         if scheduler_count <= 0:
@@ -54,6 +58,11 @@ class CloudburstCluster:
         self.consistency = consistency
         self.threads_per_vm = threads_per_vm
         self.anomaly_tracker = anomaly_tracker
+        self.overload_threshold = overload_threshold
+        self.fault_timeout_ms = fault_timeout_ms
+        self.work_queue_bound = work_queue_bound
+        #: Shared discrete-event engine; None while running sequentially.
+        self.engine: Optional[Engine] = None
 
         self.kvs = AnnaCluster(node_count=anna_nodes, replication_factor=anna_replication,
                                latency_model=self.latency_model,
@@ -76,6 +85,8 @@ class CloudburstCluster:
                 latency_model=self.latency_model,
                 rng=self.rng.spawn(f"scheduler-{index}"),
                 default_consistency=consistency,
+                fault_timeout_ms=fault_timeout_ms,
+                overload_threshold=overload_threshold,
                 anomaly_tracker=anomaly_tracker,
             )
             self.schedulers.append(scheduler)
@@ -85,8 +96,14 @@ class CloudburstCluster:
         self.publish_all_metrics()
 
     # -- compute-tier membership ------------------------------------------------------
-    def add_vm(self, vm_id: Optional[str] = None, publish_metrics: bool = True) -> ExecutorVM:
-        """Add one executor VM (threads + local cache) to the cluster."""
+    def add_vm(self, vm_id: Optional[str] = None, publish_metrics: bool = True,
+               threads: Optional[int] = None) -> ExecutorVM:
+        """Add one executor VM (threads + local cache) to the cluster.
+
+        ``threads`` overrides the cluster-wide ``threads_per_vm`` so thread
+        totals that are not multiples of the VM size can be built exactly
+        (the scaling sweeps use 10, 20, ... threads over 3-thread VMs).
+        """
         if vm_id is None:
             vm_id = f"vm-{self._vm_sequence}"
             self._vm_sequence += 1
@@ -94,16 +111,46 @@ class CloudburstCluster:
             vm_id=vm_id,
             kvs=self.kvs,
             router=self.router,
-            threads_per_vm=self.threads_per_vm,
+            threads_per_vm=threads or self.threads_per_vm,
             latency_model=self.latency_model,
             compute_model=self.compute_model,
             consistency_level=self.consistency,
             cache_registry=self.cache_registry,
+            work_queue_bound=self.work_queue_bound,
         )
+        vm.engine = self.engine
         self.vms.append(vm)
         if publish_metrics:
             vm.publish_metrics()
         return vm
+
+    # -- engine attachment (multi-client benchmark drivers) ----------------------------
+    def attach_engine(self, engine: Engine) -> None:
+        """Share a discrete-event engine with every executor VM.
+
+        While attached, executor threads route invocations through their
+        bounded FIFO work queues (queueing delay becomes part of request
+        latency) and the scheduler's utilization signal reflects those
+        queues.  Work-queue state from any previous run is discarded.
+        """
+        self.engine = engine
+        for vm in self.vms:
+            vm.engine = engine
+            for thread in vm.threads:
+                thread.work_queue.reset()
+
+    def detach_engine(self) -> None:
+        """Return to sequential per-request clocks (no cross-request queueing).
+
+        Work queues are cleared too: sequential request clocks restart at
+        zero, so reservations left over from the engine run would otherwise
+        read as permanent saturation to the scheduling policy.
+        """
+        self.engine = None
+        for vm in self.vms:
+            vm.engine = None
+            for thread in vm.threads:
+                thread.work_queue.reset()
 
     def remove_vm(self, vm_id: Optional[str] = None) -> ExecutorVM:
         """Deallocate an executor VM (the last one by default)."""

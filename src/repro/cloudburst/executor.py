@@ -22,7 +22,8 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 from ..anna import AnnaCluster
 from ..errors import ExecutorFailedError, FunctionNotFoundError
 from ..lattices import Lattice, SetLattice
-from ..sim import ComputeModel, LatencyModel, RequestContext
+from ..sim import ComputeModel, LatencyModel, RequestContext, WorkQueue
+from ..sim.engine import Engine
 from .cache import ExecutorCache
 from .consistency.levels import ConsistencyLevel
 from .consistency.protocols import ConsistencyProtocol, SessionState
@@ -34,6 +35,11 @@ from .serialization import LatticeEncapsulator
 FUNCTION_KEY_PREFIX = "__cloudburst_functions__/"
 FUNCTION_LIST_KEY = "__cloudburst_function_list__"
 EXECUTOR_METRICS_PREFIX = "__cloudburst_executor_metrics__/"
+
+#: Default bound on each executor thread's work queue.  A thread whose queue
+#: is full reads as fully utilized, which is what pushes the scheduler's
+#: backpressure to spill hot functions onto other executors.
+DEFAULT_WORK_QUEUE_BOUND = 16
 
 
 def function_key(name: str) -> str:
@@ -157,7 +163,8 @@ class UserLibrary:
 class ExecutorThread:
     """One executor worker thread."""
 
-    def __init__(self, thread_id: str, vm: "ExecutorVM"):
+    def __init__(self, thread_id: str, vm: "ExecutorVM",
+                 work_queue_bound: Optional[int] = DEFAULT_WORK_QUEUE_BOUND):
         self.thread_id = thread_id
         self.vm = vm
         self._function_cache: Dict[str, Callable] = {}
@@ -165,6 +172,11 @@ class ExecutorThread:
         self.busy_ms = 0.0
         self.recent_latencies_ms: List[float] = []
         self.alive = True
+        #: Bounded FIFO work queue; only consulted when an event engine is
+        #: attached to the VM (the multi-client benchmark drivers).  The
+        #: sequential paths keep per-request clocks that restart at zero, so
+        #: queueing across requests would be meaningless there.
+        self.work_queue = WorkQueue(bound=work_queue_bound, label=thread_id)
 
     # -- conveniences delegating to the VM ------------------------------------------
     @property
@@ -217,9 +229,31 @@ class ExecutorThread:
     def execute(self, function_name: str, args: Sequence[Any],
                 ctx: Optional[RequestContext], state: SessionState,
                 protocol: ConsistencyProtocol) -> Any:
-        """Run one function invocation on this thread."""
+        """Run one function invocation on this thread.
+
+        With an engine attached (multi-client drivers), the invocation first
+        waits in this thread's FIFO work queue: the request's virtual clock
+        advances past every reservation made by requests dispatched earlier
+        on the shared timeline, so latency reflects queueing, not just
+        service time.
+        """
         if not self.alive or not self.vm.alive:
             raise ExecutorFailedError(self.thread_id, "executor is down")
+        queued = ctx is not None and self.vm.engine is not None
+        if queued:
+            service_start = self.work_queue.admit(ctx.clock.now_ms)
+            wait_ms = service_start - ctx.clock.now_ms
+            if wait_ms > 0:
+                ctx.charge("cloudburst", "executor_queue", wait_ms)
+        try:
+            return self._execute_admitted(function_name, args, ctx, state, protocol)
+        finally:
+            if queued:
+                self.work_queue.release(ctx.clock.now_ms)
+
+    def _execute_admitted(self, function_name: str, args: Sequence[Any],
+                          ctx: Optional[RequestContext], state: SessionState,
+                          protocol: ConsistencyProtocol) -> Any:
         start_ms = ctx.clock.now_ms if ctx is not None else 0.0
         if ctx is not None:
             self.latency_model.charge(ctx, "cloudburst", "invoke")
@@ -290,7 +324,8 @@ class ExecutorVM:
                  latency_model: Optional[LatencyModel] = None,
                  compute_model: Optional[ComputeModel] = None,
                  consistency_level: ConsistencyLevel = ConsistencyLevel.LWW,
-                 cache_registry: Optional[Dict[str, ExecutorCache]] = None):
+                 cache_registry: Optional[Dict[str, ExecutorCache]] = None,
+                 work_queue_bound: Optional[int] = DEFAULT_WORK_QUEUE_BOUND):
         if threads_per_vm <= 0:
             raise ValueError("threads_per_vm must be positive")
         self.vm_id = vm_id
@@ -304,9 +339,14 @@ class ExecutorVM:
         self.threads: List[ExecutorThread] = []
         self.alive = True
         self.inflight = 0
+        #: Discrete-event engine shared with the load driver, or None for the
+        #: sequential paths (set through ``CloudburstCluster.attach_engine``).
+        self.engine: Optional[Engine] = None
+        self.work_queue_bound = work_queue_bound
         self._encapsulators: Dict[str, LatticeEncapsulator] = {}
         for index in range(threads_per_vm):
-            thread = ExecutorThread(f"{vm_id}:{index}", self)
+            thread = ExecutorThread(f"{vm_id}:{index}", self,
+                                    work_queue_bound=work_queue_bound)
             self.threads.append(thread)
             router.register_thread(thread.thread_id)
 
@@ -348,11 +388,24 @@ class ExecutorVM:
         return min(candidates, key=lambda t: (t.invocation_count, t.thread_id))
 
     # -- metrics (§4.1: executors publish these to the KVS) ------------------------------
-    def utilization(self) -> float:
-        """Fraction of threads currently occupied by in-flight requests."""
+    def queue_depth(self, at_ms: float) -> int:
+        """Work items in service or queued across this VM's threads at ``at_ms``."""
+        return sum(thread.work_queue.depth(at_ms)
+                   for thread in self.threads if thread.alive)
+
+    def utilization(self, now_ms: Optional[float] = None) -> float:
+        """Fraction of this VM's compute occupied by outstanding requests.
+
+        Without a timestamp (or without an engine attached) this is the
+        legacy instantaneous in-flight counter.  With both, it reflects the
+        thread work queues: requests waiting in a bounded queue count toward
+        saturation, which is what the §4.3 backpressure policy keys off.
+        """
         if not self.threads:
             return 0.0
-        return min(1.0, self.inflight / len(self.threads))
+        if now_ms is None or self.engine is None:
+            return min(1.0, self.inflight / len(self.threads))
+        return min(1.0, self.queue_depth(now_ms) / len(self.threads))
 
     def cached_functions(self) -> List[str]:
         functions = set()

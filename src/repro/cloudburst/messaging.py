@@ -57,6 +57,10 @@ class MessageRouter:
         self._unreachable: Set[str] = set()
         self._sequence = 0
         self._delivered_from_inbox: Dict[str, Set[int]] = {}
+        #: Recipients whose Anna inbox received a fallback write since their
+        #: last ``recv`` — those inboxes must be merged even when the direct
+        #: queue is non-empty, or a mixed backlog is delivered out of order.
+        self._inbox_pending: Set[str] = set()
 
     # -- membership ----------------------------------------------------------------
     def register_thread(self, thread_id: str) -> Tuple[str, int]:
@@ -114,10 +118,17 @@ class MessageRouter:
         # Fallback: write to the recipient's inbox key in Anna (§3).
         inbox = SetLattice({envelope.as_tuple()})
         self.kvs.put(inbox_key(recipient_id), inbox, ctx)
+        self._inbox_pending.add(recipient_id)
         return False
 
     def recv(self, thread_id: str, ctx: Optional[RequestContext] = None) -> List[Any]:
-        """Return every outstanding message for ``thread_id`` in delivery order."""
+        """Return every outstanding message for ``thread_id`` in delivery order.
+
+        Direct-queue messages and Anna-inbox fallback messages are merged in
+        one call and sorted by send sequence.  (Reading only the direct queue
+        when it is non-empty would deliver a mixed backlog out of order
+        across successive calls.)
+        """
         if thread_id not in self._queues and thread_id not in self._addresses:
             raise MessagingError(f"thread {thread_id!r} never registered with the router")
         envelopes = list(self._queues.get(thread_id, []))
@@ -127,8 +138,9 @@ class MessageRouter:
                 total = sum(_payload_size(e.payload) for e in envelopes)
                 self.latency_model.charge(ctx, "cloudburst", "direct_message",
                                           size_bytes=total)
-        else:
-            envelopes = self._read_inbox(thread_id, ctx)
+        if thread_id in self._inbox_pending or not envelopes:
+            self._inbox_pending.discard(thread_id)
+            envelopes.extend(self._read_inbox(thread_id, ctx))
         envelopes.sort(key=lambda e: e.sequence)
         return [e.payload for e in envelopes]
 

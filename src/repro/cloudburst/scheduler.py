@@ -22,7 +22,7 @@ from ..errors import (
     SchedulingError,
 )
 from ..lattices import SetLattice
-from ..sim import LatencyModel, RandomSource, RequestContext, SimClock
+from ..sim import ForkJoin, LatencyModel, RandomSource, RequestContext, SimClock
 from .consistency.levels import ConsistencyLevel
 from .consistency.protocols import ObservingProtocol, SessionState, make_protocol
 from .dag import Dag, DagRegistry
@@ -81,6 +81,7 @@ class Scheduler:
                  rng: Optional[RandomSource] = None,
                  default_consistency: ConsistencyLevel = ConsistencyLevel.LWW,
                  fault_timeout_ms: float = DEFAULT_FAULT_TIMEOUT_MS,
+                 overload_threshold: float = OVERLOAD_THRESHOLD,
                  max_retries: int = 2,
                  anomaly_tracker=None):
         self.scheduler_id = scheduler_id
@@ -91,6 +92,7 @@ class Scheduler:
         self.rng = rng or RandomSource(23)
         self.default_consistency = default_consistency
         self.fault_timeout_ms = fault_timeout_ms
+        self.overload_threshold = overload_threshold
         self.max_retries = max_retries
         self.stats = SchedulerStats()
         #: Ablation switch: when False the scheduler ignores KVS references and
@@ -169,7 +171,8 @@ class Scheduler:
         protocol = self._make_protocol(level)
         retries = 0
         while True:
-            thread = self._pick_executor(function_name, args)
+            thread = self._pick_executor(function_name, args,
+                                         now_ms=ctx.clock.now_ms)
             self.latency_model.charge(ctx, "cloudburst", "scheduler_to_executor")
             try:
                 value = self._run_on_thread(thread, function_name, args, ctx, state, protocol)
@@ -241,29 +244,37 @@ class Scheduler:
 
     def _execute_dag(self, dag: Dag, function_args: Dict[str, Sequence[Any]],
                      ctx: RequestContext, state: SessionState, protocol) -> Any:
-        """Run every DAG function in dependency order with fork/join timing."""
-        schedule = self._schedule_dag(dag, function_args)
+        """Run every DAG function in dependency order with fork/join timing.
+
+        Branch timing rides on the engine's :class:`~repro.sim.engine.ForkJoin`
+        primitive: each function forks a branch context at the moment its
+        upstream branches finish, executors are picked with the utilization
+        they will have *at that moment*, and the request joins at the slowest
+        sink.  Parallel stages therefore genuinely interleave — two siblings
+        forked at the same ready time queue against the same executor pool.
+        """
         order = dag.topological_order()
         results: Dict[str, Any] = {}
-        finish_time: Dict[str, float] = {}
+        fork_join = ForkJoin(base_ms=ctx.clock.now_ms)
         branches: List[RequestContext] = []
-        base_time = ctx.clock.now_ms
-        for index, name in enumerate(order):
+        for name in order:
             upstream = dag.upstream_of(name)
-            ready_at = max([finish_time[u] for u in upstream], default=base_time)
-            branch = RequestContext(clock=SimClock(max(base_time, ready_at)),
+            ready_ms = fork_join.ready_at(upstream)
+            branch = RequestContext(clock=SimClock(ready_ms),
                                     metadata=dict(ctx.metadata))
-            thread = schedule[name]
+            pinned = self.pinned_threads(name)
+            args = [results[u] for u in upstream] + list(function_args.get(name, ()))
+            thread = self._pick_executor(name, args, candidates=pinned or None,
+                                         now_ms=ready_ms)
             if not upstream:
                 self.latency_model.charge(branch, "cloudburst", "scheduler_to_executor")
             else:
                 # Downstream trigger ships the session's consistency metadata.
                 self.latency_model.charge(branch, "cloudburst", "dag_trigger",
                                           size_bytes=state.metadata_bytes())
-            args = [results[u] for u in upstream] + list(function_args.get(name, ()))
             value = self._run_on_thread(thread, name, args, branch, state, protocol)
             results[name] = value
-            finish_time[name] = branch.clock.now_ms
+            fork_join.complete(name, branch.clock.now_ms)
             branches.append(branch)
         ctx.join(branches)
         sinks = dag.sinks
@@ -283,27 +294,21 @@ class Scheduler:
         return value
 
     # -- scheduling policy (§4.3 "Scheduling Policy") ---------------------------------------
-    def _schedule_dag(self, dag: Dag, function_args: Dict[str, Sequence[Any]]
-                      ) -> Dict[str, ExecutorThread]:
-        schedule: Dict[str, ExecutorThread] = {}
-        for name in dag.functions:
-            pinned = self.pinned_threads(name)
-            args = function_args.get(name, ())
-            schedule[name] = self._pick_executor(name, args, candidates=pinned or None)
-        return schedule
-
     def _pick_executor(self, function_name: str, args: Sequence[Any],
-                       candidates: Optional[List[ExecutorThread]] = None) -> ExecutorThread:
+                       candidates: Optional[List[ExecutorThread]] = None,
+                       now_ms: Optional[float] = None) -> ExecutorThread:
+        restricted = bool(candidates)
         threads = candidates if candidates else self._live_threads()
         threads = [t for t in threads if t.alive and t.vm.alive]
         if not threads:
             # Fall back to any live executor (e.g. all pinned replicas died).
             threads = self._live_threads()
+            restricted = False
         if not threads:
             raise SchedulingError("no live executors available")
         references = extract_references(args) if self.locality_scheduling else []
         if references:
-            chosen = self._pick_by_locality(threads, references)
+            chosen = self._pick_by_locality(threads, references, now_ms)
             if chosen is not None:
                 self.stats.locality_hits += 1
                 return chosen
@@ -311,12 +316,34 @@ class Scheduler:
         # No references (or no cache holds them): pick an unsaturated executor
         # at random; saturated executors are avoided, which is what replicates
         # hot functions/data onto new nodes over time (backpressure).
-        unsaturated = [t for t in threads if t.vm.utilization() <= OVERLOAD_THRESHOLD]
-        pool = unsaturated or threads
+        pool = self._unsaturated(threads, now_ms)
+        if not pool and restricted:
+            # §4.3 backpressure: every pinned replica is saturated, so spill
+            # onto the wider compute tier — the chosen executor fetches and
+            # caches the function itself, replicating hot functions under load.
+            pool = self._unsaturated(self._live_threads(), now_ms)
+        pool = pool or threads
+        if now_ms is not None:
+            # Under the event engine, prefer threads whose work queue is idle
+            # at dispatch time so parallel clients fan out across the pool;
+            # when every pinned replica is occupied, an idle thread anywhere
+            # beats queueing behind the pin (same §4.3 spill).
+            idle = [t for t in pool if not t.work_queue.busy_at(now_ms)]
+            if not idle and restricted:
+                idle = [t for t in self._unsaturated(self._live_threads(), now_ms)
+                        if not t.work_queue.busy_at(now_ms)]
+            pool = idle or pool
         return self.rng.choice(pool)
 
+    def _unsaturated(self, threads: List[ExecutorThread],
+                     now_ms: Optional[float]) -> List[ExecutorThread]:
+        return [t for t in threads
+                if t.vm.utilization(now_ms) <= self.overload_threshold
+                and not (now_ms is not None and t.work_queue.is_full(now_ms))]
+
     def _pick_by_locality(self, threads: List[ExecutorThread],
-                          references: List[CloudburstReference]) -> Optional[ExecutorThread]:
+                          references: List[CloudburstReference],
+                          now_ms: Optional[float] = None) -> Optional[ExecutorThread]:
         """Pick the executor whose VM cache holds the most referenced keys."""
         index = self.kvs.cache_index
         scores: List[Tuple[int, str, ExecutorThread]] = []
@@ -328,8 +355,14 @@ class Scheduler:
         for cached, _, thread in scores:
             if cached <= 0:
                 break
-            if thread.vm.utilization() <= OVERLOAD_THRESHOLD:
-                return thread
+            if thread.vm.utilization(now_ms) > self.overload_threshold:
+                continue
+            if now_ms is not None and thread.work_queue.busy_at(now_ms):
+                # Queueing behind a busy cache-holder is exactly what the
+                # §4.3 backpressure avoids: fall through so the request
+                # spills to an idle executor, replicating the hot keys there.
+                continue
+            return thread
         return None
 
     # -- helpers ----------------------------------------------------------------------------

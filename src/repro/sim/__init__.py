@@ -8,6 +8,14 @@ evaluation.
 """
 
 from .clock import ChargeRecord, RequestContext, SimClock
+from .engine import (
+    Engine,
+    Event,
+    FifoQueue,
+    ForkJoin,
+    ProcessorSharingQueue,
+    WorkQueue,
+)
 from .latency import ComputeModel, DEFAULT_COSTS, LatencyModel, OperationCost
 from .rng import RandomSource, ZipfGenerator
 from .stats import (
@@ -32,6 +40,12 @@ __all__ = [
     "ChargeRecord",
     "RequestContext",
     "SimClock",
+    "Engine",
+    "Event",
+    "FifoQueue",
+    "ForkJoin",
+    "ProcessorSharingQueue",
+    "WorkQueue",
     "ComputeModel",
     "DEFAULT_COSTS",
     "LatencyModel",

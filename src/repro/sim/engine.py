@@ -1,0 +1,341 @@
+"""The discrete-event engine shared by every layer of the reproduction.
+
+Historically this repo had *two* notions of simulated time: per-request
+:class:`~repro.sim.clock.SimClock` accounting on the real Cloudburst stack
+(scheduler -> executor -> cache -> Anna) and a standalone queueing simulation
+in :mod:`repro.sim.timeline` that modelled throughput experiments with
+synthetic service-time samplers.  This module unifies them: one event loop,
+one set of queueing primitives, used both by the queue-model simulation and —
+through the executor work queues and the benchmark load drivers — by the real
+request path itself.
+
+Pieces:
+
+* :class:`Engine` — a deterministic event loop over virtual milliseconds.
+* :class:`WorkQueue` — a single-server FIFO queue with *open-ended* service:
+  admission fixes the start time, the caller reports the end time after
+  actually executing the work.  Executor threads use one of these, which is
+  what turns ``ExecutorVM.utilization()`` into a queueing signal instead of
+  an instantaneous counter.
+* :class:`FifoQueue` — a multi-server FIFO queue with known service times
+  (the abstract capacity pool the timeline simulation uses).
+* :class:`ProcessorSharingQueue` — an egalitarian processor-sharing
+  approximation for resources without FIFO semantics (e.g. a shared NIC).
+* :class:`ForkJoin` — fork/join bookkeeping for parallel DAG stages.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from bisect import bisect_right, insort
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+
+class Event:
+    """A scheduled callback; cancellation is a tombstone flag."""
+
+    __slots__ = ("at_ms", "seq", "fn", "cancelled")
+
+    def __init__(self, at_ms: float, seq: int, fn: Callable[[], None]):
+        self.at_ms = at_ms
+        self.seq = seq
+        self.fn = fn
+        self.cancelled = False
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.at_ms, self.seq) < (other.at_ms, other.seq)
+
+
+class Engine:
+    """A deterministic discrete-event loop over virtual milliseconds.
+
+    Events fire in ``(time, insertion order)`` order, so two runs that
+    schedule the same events in the same order replay identically — the
+    property the determinism tests assert on.
+    """
+
+    def __init__(self, start_ms: float = 0.0):
+        self._heap: List[Event] = []
+        self._seq = itertools.count()
+        self._now_ms = float(start_ms)
+        self._stopped = False
+        self.events_processed = 0
+
+    @property
+    def now_ms(self) -> float:
+        return self._now_ms
+
+    @property
+    def pending(self) -> int:
+        return sum(1 for event in self._heap if not event.cancelled)
+
+    # -- scheduling --------------------------------------------------------
+    def at(self, at_ms: float, fn: Callable[[], None]) -> Event:
+        """Schedule ``fn`` at an absolute virtual time (clamped to now)."""
+        event = Event(max(float(at_ms), self._now_ms), next(self._seq), fn)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def schedule(self, delay_ms: float, fn: Callable[[], None]) -> Event:
+        """Schedule ``fn`` after a relative delay (negative delays clamp)."""
+        return self.at(self._now_ms + max(0.0, float(delay_ms)), fn)
+
+    def cancel(self, event: Event) -> None:
+        event.cancelled = True
+
+    def stop(self) -> None:
+        """Stop the current :meth:`run` after the in-flight event returns."""
+        self._stopped = True
+
+    # -- execution ---------------------------------------------------------
+    def step(self) -> bool:
+        """Fire the next event; returns False when the queue is empty."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._now_ms = event.at_ms
+            self.events_processed += 1
+            event.fn()
+            return True
+        return False
+
+    def run(self, until_ms: Optional[float] = None,
+            max_events: Optional[int] = None) -> int:
+        """Drain the event queue.
+
+        Stops when the queue empties, when :meth:`stop` is called, after
+        ``max_events`` firings, or when the next event lies beyond
+        ``until_ms`` — in which case virtual time advances *to* ``until_ms``
+        and the remaining events stay queued.
+        """
+        self._stopped = False
+        fired = 0
+        while self._heap and not self._stopped:
+            if max_events is not None and fired >= max_events:
+                return fired
+            head = self._heap[0]
+            if head.cancelled:
+                heapq.heappop(self._heap)
+                continue
+            if until_ms is not None and head.at_ms > until_ms:
+                self._now_ms = max(self._now_ms, float(until_ms))
+                return fired
+            if self.step():
+                fired += 1
+        if until_ms is not None and until_ms != float("inf") and not self._stopped:
+            self._now_ms = max(self._now_ms, float(until_ms))
+        return fired
+
+
+class WorkQueue:
+    """Single-server FIFO queue whose service times are discovered by running.
+
+    The executor path cannot know a request's service time up front — it is
+    whatever the function charges to its request context while executing.  So
+    admission works in two phases: :meth:`admit` fixes the service start time
+    (``max(arrival, next_free)``), the caller runs the work on its virtual
+    clock, and :meth:`release` reports the observed end time.
+
+    Because callers execute synchronously between ``admit`` and ``release``,
+    per-queue busy intervals are appended in non-decreasing order, which keeps
+    every metric query a binary search.
+    """
+
+    def __init__(self, bound: Optional[int] = None, label: str = ""):
+        if bound is not None and bound <= 0:
+            raise ValueError("work queue bound must be positive (or None)")
+        self.bound = bound
+        self.label = label
+        self.next_free_ms = 0.0
+        self.busy_ms = 0.0
+        self.completed = 0
+        self._starts: List[float] = []
+        self._ends: List[float] = []
+        self._in_service_start: Optional[float] = None
+
+    def reset(self) -> None:
+        """Forget all reservations (a fresh driver run on a reused cluster)."""
+        self.next_free_ms = 0.0
+        self.busy_ms = 0.0
+        self.completed = 0
+        self._starts.clear()
+        self._ends.clear()
+        self._in_service_start = None
+
+    # -- admission ---------------------------------------------------------
+    def admit(self, arrival_ms: float) -> float:
+        """Reserve the server; returns the service start time (>= arrival)."""
+        if self._in_service_start is not None:
+            raise RuntimeError(f"work queue {self.label!r} admitted re-entrantly")
+        start = max(float(arrival_ms), self.next_free_ms)
+        self._in_service_start = start
+        return start
+
+    def release(self, end_ms: float) -> None:
+        """Report the observed end of the admitted work item."""
+        if self._in_service_start is None:
+            raise RuntimeError(f"work queue {self.label!r} released without admit")
+        start = self._in_service_start
+        self._in_service_start = None
+        end = max(float(end_ms), start)
+        self.next_free_ms = max(self.next_free_ms, end)
+        self.busy_ms += end - start
+        self.completed += 1
+        self._starts.append(start)
+        self._ends.append(end)
+
+    # -- metrics -----------------------------------------------------------
+    def busy_at(self, at_ms: float) -> bool:
+        """Whether the server has reserved work at (or beyond) ``at_ms``."""
+        return self.next_free_ms > at_ms or self._in_service_start is not None
+
+    def depth(self, at_ms: float) -> int:
+        """Items in service or reserved to run after ``at_ms`` (queue depth)."""
+        pending = len(self._ends) - bisect_right(self._ends, at_ms)
+        if self._in_service_start is not None:
+            pending += 1
+        return pending
+
+    def is_full(self, at_ms: float) -> bool:
+        return self.bound is not None and self.depth(at_ms) >= self.bound
+
+    def busy_between(self, start_ms: float, end_ms: float) -> float:
+        """Total reserved-busy time overlapping ``[start_ms, end_ms]``."""
+        if end_ms <= start_ms:
+            return 0.0
+        low = bisect_right(self._ends, start_ms)
+        busy = 0.0
+        for index in range(low, len(self._starts)):
+            s = self._starts[index]
+            if s >= end_ms:
+                break
+            busy += min(self._ends[index], end_ms) - max(s, start_ms)
+        return busy
+
+
+class FifoQueue:
+    """Multi-server FIFO queue with service times known at reservation.
+
+    This is the abstract capacity pool behind the timeline simulation: a
+    reservation picks the earliest-free server, so arrivals processed in time
+    order receive FIFO service.  Capacity can change between reservations
+    (autoscaling); existing reservations are never revoked.
+    """
+
+    def __init__(self, servers: int, label: str = ""):
+        if servers <= 0:
+            raise ValueError("a FIFO queue needs at least one server")
+        self.label = label
+        self._free_at: List[float] = [0.0] * servers
+        self.completed = 0
+        self.busy_ms = 0.0
+
+    @property
+    def servers(self) -> int:
+        return len(self._free_at)
+
+    def set_servers(self, servers: int, now_ms: float = 0.0) -> None:
+        """Grow or shrink capacity; shrinking drops the latest-free servers."""
+        if servers <= 0:
+            raise ValueError("a FIFO queue needs at least one server")
+        if servers > len(self._free_at):
+            self._free_at.extend([now_ms] * (servers - len(self._free_at)))
+        else:
+            self._free_at.sort()
+            del self._free_at[servers:]
+
+    def reserve(self, arrival_ms: float, service_ms: float) -> Tuple[float, float]:
+        """Reserve the earliest-free server; returns ``(start, end)``."""
+        if service_ms < 0:
+            raise ValueError("service time cannot be negative")
+        index = min(range(len(self._free_at)), key=lambda i: (self._free_at[i], i))
+        start = max(float(arrival_ms), self._free_at[index])
+        end = start + float(service_ms)
+        self._free_at[index] = end
+        self.completed += 1
+        self.busy_ms += float(service_ms)
+        return start, end
+
+    def busy_servers(self, at_ms: float) -> int:
+        return sum(1 for free in self._free_at if free > at_ms)
+
+    def utilization(self, at_ms: float) -> float:
+        return self.busy_servers(at_ms) / len(self._free_at)
+
+
+class ProcessorSharingQueue:
+    """Egalitarian processor sharing, approximated at reservation time.
+
+    A job arriving while ``n`` others overlap it runs at ``capacity / (n+1)``
+    of full speed.  The stretch factor is fixed at reservation from the
+    overlap count at arrival — an approximation (true PS re-computes rates at
+    every arrival/departure) that preserves the qualitative property the
+    benchmarks need: concurrency inflates completion times smoothly instead
+    of queueing behind a FIFO.
+    """
+
+    def __init__(self, capacity: float = 1.0, label: str = ""):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = float(capacity)
+        self.label = label
+        self._ends: List[float] = []  # sorted end times of overlapping jobs
+
+    def active_at(self, at_ms: float) -> int:
+        return len(self._ends) - bisect_right(self._ends, at_ms)
+
+    def reserve(self, arrival_ms: float, demand_ms: float) -> Tuple[float, float]:
+        """Admit a job with ``demand_ms`` of work; returns ``(start, end)``."""
+        if demand_ms < 0:
+            raise ValueError("demand cannot be negative")
+        arrival = float(arrival_ms)
+        sharers = self.active_at(arrival) + 1
+        stretch = max(1.0, sharers / self.capacity)
+        end = arrival + demand_ms * stretch
+        insort(self._ends, end)
+        return arrival, end
+
+
+class ForkJoin:
+    """Fork/join bookkeeping for parallel branches of one request.
+
+    A DAG execution forks a branch per function: each branch becomes ready
+    when all its upstream branches finish (``ready_at``), and the request
+    joins at the slowest sink (``join``).  Extracted from the scheduler's
+    hand-rolled per-branch clock bookkeeping so any layer can fork work onto
+    the engine's timeline.
+    """
+
+    def __init__(self, base_ms: float = 0.0):
+        self.base_ms = float(base_ms)
+        self._finish_ms: Dict[str, float] = {}
+
+    def ready_at(self, dependencies: Iterable[str]) -> float:
+        """When a branch gated on ``dependencies`` may start."""
+        ready = self.base_ms
+        for name in dependencies:
+            try:
+                ready = max(ready, self._finish_ms[name])
+            except KeyError:
+                raise KeyError(f"fork/join dependency {name!r} has not completed")
+        return ready
+
+    def complete(self, name: str, end_ms: float) -> None:
+        if name in self._finish_ms:
+            raise ValueError(f"branch {name!r} completed twice")
+        self._finish_ms[name] = float(end_ms)
+
+    def finish_of(self, name: str) -> float:
+        return self._finish_ms[name]
+
+    @property
+    def completed(self) -> List[str]:
+        return list(self._finish_ms)
+
+    def join(self) -> float:
+        """The join time: when the slowest completed branch finished."""
+        if not self._finish_ms:
+            return self.base_ms
+        return max(self._finish_ms.values())

@@ -8,6 +8,7 @@ single integer seed makes an entire experiment reproducible.
 from __future__ import annotations
 
 import random
+import zlib
 from typing import List, Optional, Sequence, TypeVar
 
 T = TypeVar("T")
@@ -21,8 +22,14 @@ class RandomSource:
         self._rng = random.Random(self.seed)
 
     def spawn(self, namespace: str) -> "RandomSource":
-        """Derive an independent child source; same seed + namespace is stable."""
-        child_seed = hash((self.seed, namespace)) & 0x7FFFFFFF
+        """Derive an independent child source; same seed + namespace is stable.
+
+        Uses CRC32 rather than ``hash()`` so the derived seed is identical
+        across processes (``hash()`` of a str is salted per interpreter run,
+        which would make "same seed, same results" hold only within one
+        process).
+        """
+        child_seed = zlib.crc32(f"{self.seed}/{namespace}".encode("utf-8")) & 0x7FFFFFFF
         return RandomSource(child_seed)
 
     # -- primitive draws -------------------------------------------------

@@ -118,6 +118,44 @@ class ThroughputPoint:
     allocated_nodes: int
 
 
+def capacity_at(capacity_timeline: Sequence[tuple], at_ms: float) -> int:
+    """Evaluate a step-function capacity timeline ``[(time_ms, value), ...]``."""
+    if not capacity_timeline:
+        return 0
+    value = capacity_timeline[0][1]
+    for timestamp, capacity in capacity_timeline:
+        if timestamp <= at_ms:
+            value = capacity
+        else:
+            break
+    return value
+
+
+def build_throughput_curve(completion_buckets: Dict[int, int],
+                           capacity_timeline: Sequence[tuple],
+                           bucket_ms: float, end_ms: float,
+                           threads_per_node: int = 3) -> List[ThroughputPoint]:
+    """Assemble the throughput-over-time curve shared by every load driver.
+
+    ``completion_buckets`` maps ``int(completion_time // bucket_ms)`` to a
+    completion count; capacity is attributed at each bucket's end.
+    """
+    curve: List[ThroughputPoint] = []
+    if end_ms <= 0:
+        return curve
+    per_node = max(1, threads_per_node)
+    for bucket in range(int(end_ms // bucket_ms) + 1):
+        completions = completion_buckets.get(bucket, 0)
+        capacity = capacity_at(capacity_timeline, (bucket + 1) * bucket_ms)
+        curve.append(ThroughputPoint(
+            time_s=(bucket * bucket_ms) / 1000.0,
+            requests_per_s=completions / (bucket_ms / 1000.0),
+            allocated_threads=capacity,
+            allocated_nodes=max(1, math.ceil(capacity / per_node)),
+        ))
+    return curve
+
+
 def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
                  title: Optional[str] = None) -> str:
     """Render a plain-text table for benchmark output."""

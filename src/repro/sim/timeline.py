@@ -1,28 +1,23 @@
-"""Discrete-event closed-loop queueing simulation.
+"""Closed-loop queueing simulation, as a thin wrapper over the event engine.
 
-The latency microbenchmarks (Figures 1, 5, 6, 8, 9, 11) are measured with
-sequential closed-loop clients, so per-request latency accounting via
-:class:`~repro.sim.clock.RequestContext` is sufficient.  The *throughput*
-experiments (Figures 7, 10 and 12) additionally depend on contention: many
-clients share a bounded pool of executor threads, and the paper's autoscaler
-changes that pool size over time.  This module provides the event-driven
-simulation used by those experiments.
+This module used to own its own hand-rolled event heap.  It is now a small
+client of :mod:`repro.sim.engine`: the :class:`~repro.sim.engine.Engine`
+provides the event loop and deterministic ordering, and this module only
+keeps the closed-loop client/capacity bookkeeping.
 
-Model: a FIFO queue in front of ``capacity`` identical executor threads.
-Clients are closed-loop — each client has at most one outstanding request and
-issues the next one as soon as the previous completes.  Service times are
-drawn from a caller-provided function so experiments can reuse the same
-request paths that the latency benchmarks exercise.
+The *throughput* figures (7, 10 and 12) no longer use this abstraction — they
+drive concurrent clients through the real ``Scheduler.call``/``call_dag``
+path via :mod:`repro.bench.harness` — but the queue model remains useful for
+unit-testing autoscaling policies against an analytically tractable pool.
 """
 
 from __future__ import annotations
 
-import heapq
-import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
-from .stats import LatencyRecorder, ThroughputPoint
+from .engine import Engine
+from .stats import LatencyRecorder, ThroughputPoint, build_throughput_curve
 
 
 @dataclass
@@ -78,13 +73,7 @@ class SimulationResult:
 
 
 class ClosedLoopSimulation:
-    """Event-driven simulation of closed-loop clients over a thread pool."""
-
-    _ARRIVAL = 0
-    _COMPLETION = 1
-    _CLIENT_STOP = 2
-    _POLICY_TICK = 3
-    _CAPACITY_CHANGE = 4
+    """Closed-loop clients over an abstract thread pool, on the shared engine."""
 
     def __init__(self,
                  service_time_fn: ServiceTimeFn,
@@ -108,8 +97,7 @@ class ClosedLoopSimulation:
         self._max_requests = max_requests
         self._bucket_ms = throughput_bucket_ms
 
-        self._events: List[Tuple[float, int, int, dict]] = []
-        self._event_counter = itertools.count()
+        self._engine = Engine()
         self._busy_threads = 0
         self._wait_queue: List[Tuple[float, int]] = []  # (enqueue_time, client_id)
         self._active_clients: Dict[int, bool] = {}
@@ -121,46 +109,27 @@ class ClosedLoopSimulation:
         self._window_arrivals = 0
         self._window_completions = 0
 
-    # -- event plumbing ----------------------------------------------------
-    def _push(self, at_ms: float, kind: int, payload: dict) -> None:
-        heapq.heappush(self._events, (at_ms, kind, next(self._event_counter), payload))
-
     def run(self) -> SimulationResult:
-        client_id = itertools.count()
+        engine = self._engine
+        next_client_id = 0
         for group in self._client_groups:
             for _ in range(group.count):
-                cid = next(client_id)
-                self._push(group.start_ms, self._ARRIVAL, {"client": cid})
-                if group.stop_ms is not None:
-                    self._push(group.stop_ms, self._CLIENT_STOP, {"client": cid})
+                cid = next_client_id
+                next_client_id += 1
                 self._active_clients[cid] = False  # becomes True at arrival
+                engine.at(group.start_ms, lambda cid=cid: self._handle_arrival(cid))
+                if group.stop_ms is not None:
+                    engine.at(group.stop_ms, lambda cid=cid: self._stop_client(cid))
         if self._policy is not None:
-            self._push(self._policy_interval_ms, self._POLICY_TICK, {})
-
-        now = 0.0
-        while self._events:
-            now, kind, _, payload = heapq.heappop(self._events)
-            if now > self._max_duration_ms:
-                now = self._max_duration_ms
-                break
-            if self._max_requests is not None and self._completed >= self._max_requests:
-                break
-            if kind == self._ARRIVAL:
-                self._handle_arrival(now, payload["client"])
-            elif kind == self._COMPLETION:
-                self._handle_completion(now, payload)
-            elif kind == self._CLIENT_STOP:
-                self._active_clients[payload["client"]] = False
-            elif kind == self._POLICY_TICK:
-                self._handle_policy_tick(now)
-            elif kind == self._CAPACITY_CHANGE:
-                self._apply_capacity_change(now, payload["delta"])
-        return self._build_result(now)
+            engine.at(self._policy_interval_ms, self._handle_policy_tick)
+        engine.run(until_ms=self._max_duration_ms)
+        return self._build_result(min(engine.now_ms, self._max_duration_ms))
 
     # -- handlers ----------------------------------------------------------
-    def _handle_arrival(self, now: float, client: int) -> None:
-        if self._active_clients.get(client) is False and now > 0 and not self._client_is_starting(client, now):
+    def _handle_arrival(self, client: int) -> None:
+        if self._done():
             return
+        now = self._engine.now_ms
         self._active_clients[client] = True
         self._window_arrivals += 1
         if self._busy_threads < self._capacity:
@@ -168,32 +137,35 @@ class ClosedLoopSimulation:
         else:
             self._wait_queue.append((now, client))
 
-    def _client_is_starting(self, client: int, now: float) -> bool:
-        # Arrival events created at t=group.start_ms always start the client.
-        return True
+    def _stop_client(self, client: int) -> None:
+        self._active_clients[client] = False
 
     def _start_service(self, now: float, enqueued_at: float, client: int) -> None:
         self._busy_threads += 1
         service_ms = max(0.0, self._service_time_fn(now))
-        self._push(now + service_ms, self._COMPLETION, {
-            "client": client,
-            "enqueued_at": enqueued_at,
-        })
+        self._engine.at(now + service_ms,
+                        lambda: self._handle_completion(enqueued_at, client))
 
-    def _handle_completion(self, now: float, payload: dict) -> None:
+    def _handle_completion(self, enqueued_at: float, client: int) -> None:
+        now = self._engine.now_ms
         self._busy_threads -= 1
         self._completed += 1
         self._window_completions += 1
-        latency = now - payload["enqueued_at"]
-        self._latencies.record(latency)
+        self._latencies.record(now - enqueued_at)
         bucket = int(now // self._bucket_ms)
         self._completion_buckets[bucket] = self._completion_buckets.get(bucket, 0) + 1
-        client = payload["client"]
+        if self._done():
+            self._engine.stop()
+            return
         # Closed loop: the client immediately issues its next request if still active.
         if self._active_clients.get(client, False):
-            self._push(now, self._ARRIVAL, {"client": client})
+            self._engine.at(now, lambda: self._handle_arrival(client))
         # A freed thread can serve the next queued request.
         self._drain_queue(now)
+
+    def _done(self) -> bool:
+        return (self._max_requests is not None
+                and self._completed >= self._max_requests)
 
     def _drain_queue(self, now: float) -> None:
         while self._wait_queue and self._busy_threads < self._capacity:
@@ -202,7 +174,8 @@ class ClosedLoopSimulation:
                 continue
             self._start_service(now, enqueued_at, client)
 
-    def _handle_policy_tick(self, now: float) -> None:
+    def _handle_policy_tick(self) -> None:
+        now = self._engine.now_ms
         interval_s = self._policy_interval_ms / 1000.0
         metrics = {
             "arrival_rate_per_s": self._window_arrivals / interval_s,
@@ -216,14 +189,16 @@ class ClosedLoopSimulation:
         decision = self._policy(now, metrics) if self._policy else None
         if decision is not None:
             if decision.add_threads > 0:
-                self._push(now + decision.add_delay_ms, self._CAPACITY_CHANGE,
-                           {"delta": decision.add_threads})
+                delta = decision.add_threads
+                self._engine.at(now + decision.add_delay_ms,
+                                lambda: self._apply_capacity_change(delta))
             if decision.remove_threads > 0:
-                self._push(now, self._CAPACITY_CHANGE,
-                           {"delta": -decision.remove_threads})
-        self._push(now + self._policy_interval_ms, self._POLICY_TICK, {})
+                delta = -decision.remove_threads
+                self._engine.at(now, lambda: self._apply_capacity_change(delta))
+        self._engine.at(now + self._policy_interval_ms, self._handle_policy_tick)
 
-    def _apply_capacity_change(self, now: float, delta: int) -> None:
+    def _apply_capacity_change(self, delta: int) -> None:
+        now = self._engine.now_ms
         new_capacity = max(self._min_threads, self._capacity + delta)
         self._capacity = new_capacity
         self._capacity_timeline.append((now, new_capacity))
@@ -231,41 +206,21 @@ class ClosedLoopSimulation:
 
     # -- results -----------------------------------------------------------
     def _build_result(self, end_ms: float) -> SimulationResult:
-        curve: List[ThroughputPoint] = []
-        if end_ms > 0:
-            last_bucket = int(end_ms // self._bucket_ms)
-            for bucket in range(last_bucket + 1):
-                completions = self._completion_buckets.get(bucket, 0)
-                time_s = (bucket * self._bucket_ms) / 1000.0
-                capacity = self._capacity_at((bucket + 1) * self._bucket_ms)
-                curve.append(ThroughputPoint(
-                    time_s=time_s,
-                    requests_per_s=completions / (self._bucket_ms / 1000.0),
-                    allocated_threads=capacity,
-                    allocated_nodes=max(1, capacity // 3),
-                ))
         return SimulationResult(
             latencies=self._latencies,
-            throughput_curve=curve,
+            throughput_curve=build_throughput_curve(
+                self._completion_buckets, self._capacity_timeline,
+                self._bucket_ms, end_ms),
             completed_requests=self._completed,
             duration_ms=end_ms,
             capacity_timeline=list(self._capacity_timeline),
         )
 
-    def _capacity_at(self, at_ms: float) -> int:
-        capacity = self._capacity_timeline[0][1]
-        for timestamp, value in self._capacity_timeline:
-            if timestamp <= at_ms:
-                capacity = value
-            else:
-                break
-        return capacity
-
 
 def run_fixed_capacity(service_time_fn: ServiceTimeFn, threads: int, clients: int,
                        total_requests: int,
                        throughput_bucket_ms: float = 1_000.0) -> SimulationResult:
-    """Convenience wrapper for the scaling experiments (Figures 10 and 12)."""
+    """Convenience wrapper: a fixed pool driven to a total request count."""
     sim = ClosedLoopSimulation(
         service_time_fn=service_time_fn,
         initial_threads=threads,

@@ -1,0 +1,86 @@
+"""Property tests for the discrete-event engine: determinism and queue laws."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Engine, FifoQueue, WorkQueue
+
+
+def _replay(times):
+    """Run one engine over ``times`` and return the firing order."""
+    engine = Engine()
+    fired = []
+    for index, at_ms in enumerate(times):
+        engine.at(at_ms, lambda i=index, t=at_ms: fired.append((engine.now_ms, t, i)))
+    engine.run()
+    return fired
+
+
+@given(st.lists(st.floats(min_value=0.0, max_value=1e6, allow_nan=False,
+                          allow_infinity=False), max_size=60))
+@settings(max_examples=60, deadline=None)
+def test_same_schedule_replays_identically(times):
+    assert _replay(times) == _replay(times)
+
+
+@given(st.lists(st.floats(min_value=0.0, max_value=1e6, allow_nan=False,
+                          allow_infinity=False), max_size=60))
+@settings(max_examples=60, deadline=None)
+def test_events_fire_in_nondecreasing_time_with_fifo_ties(times):
+    fired = _replay(times)
+    observed = [t for _, t, _ in fired]
+    assert observed == sorted(observed)
+    # Among events at the same timestamp, insertion order wins.
+    by_time = {}
+    for _, t, index in fired:
+        by_time.setdefault(t, []).append(index)
+    for indices in by_time.values():
+        assert indices == sorted(indices)
+
+
+@given(st.lists(st.tuples(
+    st.floats(min_value=0.0, max_value=1e4, allow_nan=False, allow_infinity=False),
+    st.floats(min_value=0.0, max_value=1e3, allow_nan=False, allow_infinity=False),
+), max_size=50))
+@settings(max_examples=60, deadline=None)
+def test_work_queue_is_fifo_and_non_overlapping(jobs):
+    """Arrivals processed in order: service intervals never overlap and
+    starts are non-decreasing, regardless of the arrival pattern."""
+    queue = WorkQueue()
+    intervals = []
+    for arrival, service in sorted(jobs, key=lambda job: job[0]):
+        start = queue.admit(arrival)
+        assert start >= arrival
+        end = start + service
+        queue.release(end)
+        intervals.append((start, end))
+    for (s1, e1), (s2, e2) in zip(intervals, intervals[1:]):
+        assert s2 >= e1  # FIFO: next job starts after the previous ends
+    assert queue.completed == len(intervals)
+    assert queue.busy_ms == sum(e - s for s, e in intervals)
+
+
+@given(st.integers(min_value=1, max_value=5),
+       st.lists(st.tuples(
+           st.floats(min_value=0.0, max_value=1e4, allow_nan=False,
+                     allow_infinity=False),
+           st.floats(min_value=0.0, max_value=1e3, allow_nan=False,
+                     allow_infinity=False),
+       ), max_size=40))
+@settings(max_examples=60, deadline=None)
+def test_fifo_queue_conserves_work_and_respects_arrivals(servers, jobs):
+    queue = FifoQueue(servers=servers)
+    total_service = 0.0
+    grants = []
+    for arrival, service in sorted(jobs, key=lambda job: job[0]):
+        start, end = queue.reserve(arrival, service)
+        assert start >= arrival
+        assert end - start == pytest.approx(service)
+        grants.append((start, end))
+        total_service += service
+    assert queue.busy_ms == pytest.approx(total_service)
+    # No instant ever has more overlapping reservations than servers.
+    for probe, _ in grants:
+        overlapping = sum(1 for s, e in grants if s <= probe < e)
+        assert overlapping <= servers

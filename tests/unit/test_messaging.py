@@ -83,6 +83,29 @@ class TestInboxFallback:
         assert not router.send("t1", "t999", "to-nowhere")
         assert anna.contains(inbox_key("t999"))
 
+    def test_mixed_backlog_merged_in_send_order(self, router):
+        # Interleave direct and inbox-fallback deliveries: recv must merge
+        # both sources into one sequence-ordered batch.
+        router.send("t1", "t2", "direct-1")
+        router.mark_unreachable("t2")
+        router.send("t1", "t2", "inbox-2")
+        router.mark_reachable("t2")
+        router.send("t1", "t2", "direct-3")
+        router.mark_unreachable("t2")
+        router.send("t1", "t2", "inbox-4")
+        router.mark_reachable("t2")
+        assert router.recv("t2") == ["direct-1", "inbox-2", "direct-3", "inbox-4"]
+        assert router.recv("t2") == []
+
+    def test_inbox_not_reread_after_drain(self, router, anna):
+        router.mark_unreachable("t2")
+        router.send("t1", "t2", "offline")
+        router.mark_reachable("t2")
+        assert router.recv("t2") == ["offline"]
+        # A later recv with direct traffic does not re-deliver inbox content.
+        router.send("t1", "t2", "direct")
+        assert router.recv("t2") == ["direct"]
+
 
 class TestAddressMapping:
     def test_mapping_is_deterministic(self, router):

@@ -152,3 +152,44 @@ class TestFaultHandling:
             vm.fail()
         with pytest.raises(Exception):
             scheduler.call("f")
+
+
+class TestConstructorParameters:
+    def test_overload_threshold_and_fault_timeout_are_parameters(self):
+        cluster = CloudburstCluster(executor_vms=2, threads_per_vm=2, seed=3,
+                                    overload_threshold=0.5,
+                                    fault_timeout_ms=1_234.0)
+        scheduler = cluster.schedulers[0]
+        assert scheduler.overload_threshold == 0.5
+        assert scheduler.fault_timeout_ms == 1_234.0
+
+    def test_overload_threshold_zero_still_schedules(self):
+        # Threshold 0 marks every executor saturated; the policy must fall
+        # back to the full pool instead of failing.
+        cluster = CloudburstCluster(executor_vms=2, threads_per_vm=2, seed=3,
+                                    overload_threshold=0.0)
+        scheduler = cluster.schedulers[0]
+        scheduler.register_function(lambda x: x + 1, name="inc")
+        for vm in cluster.vms:
+            vm.inflight = len(vm.threads)
+        assert scheduler.call("inc", [1]).value == 2
+
+    def test_fault_timeout_charged_on_retry(self):
+        from repro.errors import ExecutorFailedError
+        from repro.sim import RequestContext
+
+        cluster = CloudburstCluster(executor_vms=2, threads_per_vm=2, seed=3,
+                                    fault_timeout_ms=777.0)
+        scheduler = cluster.schedulers[0]
+
+        def dying():
+            raise ExecutorFailedError("t", "injected")
+
+        scheduler.register_function(dying, name="dying")
+        ctx = RequestContext()
+        with pytest.raises(Exception):
+            scheduler.call("dying", ctx=ctx)
+        # Every retry waited the configured fault timeout.
+        charges = ctx.charges_for("cloudburst", "fault_timeout")
+        assert charges
+        assert all(charge.latency_ms == 777.0 for charge in charges)

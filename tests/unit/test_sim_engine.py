@@ -1,0 +1,222 @@
+"""Unit tests for the shared discrete-event engine and its queue primitives."""
+
+import pytest
+
+from repro.sim import Engine, FifoQueue, ForkJoin, ProcessorSharingQueue, WorkQueue
+
+
+class TestEngine:
+    def test_events_fire_in_time_order(self):
+        engine = Engine()
+        fired = []
+        engine.at(5.0, lambda: fired.append("b"))
+        engine.at(1.0, lambda: fired.append("a"))
+        engine.at(9.0, lambda: fired.append("c"))
+        engine.run()
+        assert fired == ["a", "b", "c"]
+        assert engine.now_ms == 9.0
+
+    def test_ties_break_by_insertion_order(self):
+        engine = Engine()
+        fired = []
+        for name in ("first", "second", "third"):
+            engine.at(4.0, lambda n=name: fired.append(n))
+        engine.run()
+        assert fired == ["first", "second", "third"]
+
+    def test_schedule_is_relative_to_now(self):
+        engine = Engine()
+        times = []
+        engine.at(10.0, lambda: engine.schedule(5.0, lambda: times.append(engine.now_ms)))
+        engine.run()
+        assert times == [15.0]
+
+    def test_past_timestamps_clamp_to_now(self):
+        engine = Engine()
+        times = []
+        engine.at(10.0, lambda: engine.at(3.0, lambda: times.append(engine.now_ms)))
+        engine.run()
+        assert times == [10.0]
+
+    def test_cancelled_events_do_not_fire(self):
+        engine = Engine()
+        fired = []
+        event = engine.at(1.0, lambda: fired.append("no"))
+        engine.at(0.5, lambda: engine.cancel(event))
+        engine.run()
+        assert fired == []
+
+    def test_run_until_leaves_later_events_queued(self):
+        engine = Engine()
+        fired = []
+        engine.at(1.0, lambda: fired.append(1))
+        engine.at(50.0, lambda: fired.append(50))
+        engine.run(until_ms=10.0)
+        assert fired == [1]
+        assert engine.now_ms == 10.0
+        assert engine.pending == 1
+
+    def test_stop_halts_processing(self):
+        engine = Engine()
+        fired = []
+        engine.at(1.0, lambda: (fired.append(1), engine.stop()))
+        engine.at(2.0, lambda: fired.append(2))
+        engine.run()
+        assert fired == [1]
+
+    def test_events_scheduled_while_running(self):
+        engine = Engine()
+        fired = []
+
+        def chain(n):
+            fired.append(n)
+            if n < 3:
+                engine.schedule(1.0, lambda: chain(n + 1))
+
+        engine.at(0.0, lambda: chain(0))
+        engine.run()
+        assert fired == [0, 1, 2, 3]
+        assert engine.now_ms == 3.0
+
+
+class TestWorkQueue:
+    def test_admit_when_idle_starts_immediately(self):
+        queue = WorkQueue()
+        assert queue.admit(10.0) == 10.0
+        queue.release(25.0)
+        assert queue.next_free_ms == 25.0
+        assert queue.busy_ms == 15.0
+
+    def test_fifo_wait_behind_earlier_work(self):
+        queue = WorkQueue()
+        queue.admit(0.0)
+        queue.release(40.0)
+        start = queue.admit(10.0)
+        assert start == 40.0
+        queue.release(55.0)
+        assert queue.completed == 2
+
+    def test_depth_counts_in_service_and_future(self):
+        queue = WorkQueue()
+        queue.admit(0.0)
+        queue.release(10.0)
+        queue.admit(0.0)  # reserved [10, ...)
+        assert queue.depth(5.0) == 2
+        queue.release(20.0)
+        assert queue.depth(5.0) == 2
+        assert queue.depth(15.0) == 1
+        assert queue.depth(25.0) == 0
+
+    def test_bound_and_is_full(self):
+        queue = WorkQueue(bound=2)
+        queue.admit(0.0)
+        queue.release(10.0)
+        queue.admit(0.0)
+        queue.release(20.0)
+        assert queue.is_full(5.0)
+        assert not queue.is_full(15.0)
+
+    def test_reentrant_admit_rejected(self):
+        queue = WorkQueue()
+        queue.admit(0.0)
+        with pytest.raises(RuntimeError):
+            queue.admit(1.0)
+
+    def test_release_without_admit_rejected(self):
+        with pytest.raises(RuntimeError):
+            WorkQueue().release(1.0)
+
+    def test_busy_between_overlap(self):
+        queue = WorkQueue()
+        queue.admit(0.0)
+        queue.release(10.0)
+        queue.admit(20.0)
+        queue.release(30.0)
+        assert queue.busy_between(0.0, 30.0) == 20.0
+        assert queue.busy_between(5.0, 25.0) == 10.0
+        assert queue.busy_between(12.0, 18.0) == 0.0
+
+    def test_reset_clears_reservations(self):
+        queue = WorkQueue()
+        queue.admit(0.0)
+        queue.release(10.0)
+        queue.reset()
+        assert queue.next_free_ms == 0.0
+        assert queue.depth(0.0) == 0
+        assert queue.admit(0.0) == 0.0
+
+
+class TestFifoQueue:
+    def test_parallel_servers(self):
+        queue = FifoQueue(servers=2)
+        assert queue.reserve(0.0, 10.0) == (0.0, 10.0)
+        assert queue.reserve(0.0, 10.0) == (0.0, 10.0)
+        # Third arrival waits for the earliest-free server.
+        assert queue.reserve(0.0, 10.0) == (10.0, 20.0)
+
+    def test_busy_servers_and_utilization(self):
+        queue = FifoQueue(servers=4)
+        queue.reserve(0.0, 10.0)
+        queue.reserve(0.0, 20.0)
+        assert queue.busy_servers(5.0) == 2
+        assert queue.utilization(5.0) == 0.5
+        assert queue.busy_servers(15.0) == 1
+
+    def test_capacity_changes(self):
+        queue = FifoQueue(servers=1)
+        queue.reserve(0.0, 10.0)
+        queue.set_servers(2, now_ms=0.0)
+        assert queue.reserve(0.0, 10.0) == (0.0, 10.0)
+        queue.set_servers(1, now_ms=10.0)
+        assert queue.servers == 1
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            FifoQueue(servers=0)
+        with pytest.raises(ValueError):
+            FifoQueue(servers=1).reserve(0.0, -1.0)
+
+
+class TestProcessorSharingQueue:
+    def test_lone_job_runs_at_full_speed(self):
+        queue = ProcessorSharingQueue()
+        assert queue.reserve(0.0, 10.0) == (0.0, 10.0)
+
+    def test_concurrency_stretches_service(self):
+        queue = ProcessorSharingQueue()
+        queue.reserve(0.0, 100.0)
+        start, end = queue.reserve(0.0, 10.0)
+        assert start == 0.0
+        assert end == 20.0  # two sharers -> half speed
+
+    def test_capacity_absorbs_sharers(self):
+        queue = ProcessorSharingQueue(capacity=2.0)
+        queue.reserve(0.0, 100.0)
+        _, end = queue.reserve(0.0, 10.0)
+        assert end == 10.0  # 2 sharers over capacity 2 -> full speed
+
+
+class TestForkJoin:
+    def test_diamond_join_at_slowest_branch(self):
+        fork_join = ForkJoin(base_ms=100.0)
+        assert fork_join.ready_at([]) == 100.0
+        fork_join.complete("source", 110.0)
+        assert fork_join.ready_at(["source"]) == 110.0
+        fork_join.complete("left", 150.0)
+        fork_join.complete("right", 130.0)
+        assert fork_join.ready_at(["left", "right"]) == 150.0
+        fork_join.complete("sink", 160.0)
+        assert fork_join.join() == 160.0
+
+    def test_unknown_dependency_raises(self):
+        with pytest.raises(KeyError):
+            ForkJoin().ready_at(["ghost"])
+
+    def test_double_complete_raises(self):
+        fork_join = ForkJoin()
+        fork_join.complete("a", 1.0)
+        with pytest.raises(ValueError):
+            fork_join.complete("a", 2.0)
+
+    def test_empty_join_is_base(self):
+        assert ForkJoin(base_ms=7.0).join() == 7.0
