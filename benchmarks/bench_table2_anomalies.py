@@ -4,6 +4,11 @@ Paper claim: over 4,000 executions the shadow accounting flags ~904 single-key
 anomalies, ~35 additional multi-key (single-cache causal-cut) anomalies, ~104
 additional distributed-session causal anomalies, and 46 repeatable-read
 anomalies; counts accrue with the strictness of the causal levels.
+
+Engine-driven: the anomalies here come from genuinely concurrent DAG sessions
+interleaving on shared executor caches, with the staleness window set by
+Anna's periodic ``propagation_interval_ms`` engine tick — there is no
+per-request flush counter on the hot path.
 """
 
 from conftest import emit, scale
@@ -15,12 +20,14 @@ from repro.sim import format_table
 def test_table2_anomalies(bench_once):
     report = bench_once(run_table2, executions=scale(4000), dag_count=scale(100),
                         populated_keys=scale(1000), executor_vms=5,
-                        flush_every=10, seed=0)
+                        clients=8, propagation_interval_ms=50.0, seed=0)
     row = report.as_row()
-    emit("Table 2: inconsistencies observed (cumulative, as in the paper)",
+    emit("Table 2: inconsistencies observed (cumulative, as in the paper), "
+         "8 concurrent session clients",
          format_table(["LWW", "SK", "MK", "DSC", "DSRR"],
                       [[row["LWW"], row["SK"], row["MK"], row["DSC"], row["DSRR"]]])
          + f"\nexecutions = {report.executions}"
          + "\npaper (4,000 executions): LWW 0, SK 904, MK 939, DSC 1043, DSRR 46")
-    assert row["LWW"] == 0
-    assert 0 < row["SK"] <= row["MK"] <= row["DSC"]
+    # The paper's qualitative ordering: single-key causality flags by far the
+    # most anomalies, repeatable read the fewest (shared §6.2.2 checker).
+    assert report.invariant_violations() == []

@@ -2,14 +2,22 @@
 """Run the throughput benchmarks and emit a machine-readable snapshot.
 
 Produces ``BENCH_throughput.json`` (median / p99 / requests-per-second for
-Figures 7, 10 and 12) so successive PRs have a perf trajectory to compare
-against.  All three figures run the real Cloudburst stack under the
-discrete-event engine; the snapshot also records wall-clock runtime of each
-harness, which is the number future performance PRs want to push down.
+Figures 7, 10 and 12, plus the engine-driven consistency experiments:
+Figure 8 per-level latency and Table 2 anomaly counts) so successive PRs have
+a perf trajectory to compare against.  Everything runs the real Cloudburst
+stack under the discrete-event engine; the snapshot also records wall-clock
+runtime of each harness, which is the number future performance PRs want to
+push down.
+
+The Table 2 section is also a consistency regression gate: the run exits
+nonzero if the anomaly sanity invariants break (LWW == 0,
+SK >= MK-increment >= 0, SK <= MK <= DSC cumulative, DSRR < SK), so future
+PRs catch consistency regressions straight from the bench snapshot.
 
 Usage::
 
     python benchmarks/run_all.py                  # default (reduced) scale
+    python benchmarks/run_all.py --quick          # smallest scale, same gates
     python benchmarks/run_all.py --full           # benchmark-default scale
     python benchmarks/run_all.py --output out.json --seed 3
 """
@@ -26,7 +34,13 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
-from repro.bench import run_figure7, run_figure10, run_figure12  # noqa: E402
+from repro.bench import (  # noqa: E402
+    run_figure7,
+    run_figure8,
+    run_figure10,
+    run_figure12,
+    run_table2,
+)
 
 
 def _summary(recorder) -> dict:
@@ -38,20 +52,26 @@ def _summary(recorder) -> dict:
     }
 
 
-def snapshot_figure7(seed: int, full: bool) -> dict:
+def snapshot_figure7(seed: int, scale: str) -> dict:
     started = time.time()
-    if full:
+    if scale == "full":
         experiment = run_figure7(seed=seed)
     else:
         from repro.cloudburst.monitoring import MonitoringConfig
 
-        experiment = run_figure7(
-            initial_threads=6, client_count=12,
-            load_duration_s=20.0, total_duration_s=30.0,
-            policy_interval_ms=2_500.0,
-            monitoring_config=MonitoringConfig(
-                vms_per_scale_up=1, node_startup_delay_ms=5_000.0, max_vms=10),
-            seed=seed)
+        if scale == "quick":
+            kwargs = dict(initial_threads=6, client_count=8,
+                          load_duration_s=10.0, total_duration_s=15.0,
+                          monitoring_config=MonitoringConfig(
+                              vms_per_scale_up=1, node_startup_delay_ms=5_000.0,
+                              max_vms=6))
+        else:
+            kwargs = dict(initial_threads=6, client_count=12,
+                          load_duration_s=20.0, total_duration_s=30.0,
+                          monitoring_config=MonitoringConfig(
+                              vms_per_scale_up=1, node_startup_delay_ms=5_000.0,
+                              max_vms=10))
+        experiment = run_figure7(policy_interval_ms=2_500.0, seed=seed, **kwargs)
     sim = experiment.simulation
     return {
         "initial_threads": experiment.initial_threads,
@@ -86,23 +106,91 @@ def snapshot_scaling(run, thread_counts, requests_per_point, seed: int,
     }
 
 
+def snapshot_figure8(seed: int, requests_per_level: int, dag_count: int,
+                     populated_keys: int, executor_vms: int, clients: int,
+                     propagation_interval_ms: float) -> dict:
+    started = time.time()
+    result = run_figure8(requests_per_level=requests_per_level,
+                         dag_count=dag_count, populated_keys=populated_keys,
+                         executor_vms=executor_vms, clients=clients,
+                         propagation_interval_ms=propagation_interval_ms,
+                         seed=seed)
+    return {
+        "clients": clients,
+        "propagation_interval_ms": propagation_interval_ms,
+        "levels": {label: _summary(recorder)
+                   for label, recorder in result.comparison.recorders.items()},
+        "metadata_overhead_bytes": {
+            level: {"median": round(oh.median_bytes, 1),
+                    "p99": round(oh.p99_bytes, 1)}
+            for level, oh in result.metadata_overhead.items()
+        },
+        "wall_seconds": round(time.time() - started, 2),
+    }
+
+
+def snapshot_table2(seed: int, executions: int, dag_count: int,
+                    populated_keys: int, executor_vms: int, clients: int,
+                    propagation_interval_ms: float) -> dict:
+    started = time.time()
+    report = run_table2(executions=executions, dag_count=dag_count,
+                        populated_keys=populated_keys,
+                        executor_vms=executor_vms, clients=clients,
+                        propagation_interval_ms=propagation_interval_ms,
+                        seed=seed)
+    return {
+        "clients": clients,
+        "propagation_interval_ms": propagation_interval_ms,
+        "executions": report.executions,
+        "anomalies": report.as_row(),
+        "multi_key_additional": report.multi_key_additional,
+        "distributed_session_additional": report.distributed_session_additional,
+        # Single source of truth: AnomalyReport.invariant_violations (§6.2.2),
+        # also asserted by the bench wrappers and smoke tests.
+        "invariant_violations": report.invariant_violations(),
+        "wall_seconds": round(time.time() - started, 2),
+    }
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--output", default=str(REPO_ROOT / "BENCH_throughput.json"))
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--full", action="store_true",
                         help="run at the benchmark-default (slower) scale")
+    parser.add_argument("--quick", action="store_true",
+                        help="smallest scale (CI smoke); same consistency gates")
     args = parser.parse_args()
+    if args.full and args.quick:
+        parser.error("--full and --quick are mutually exclusive")
 
     if args.full:
+        scale_label = "full"
         fig10_counts, fig10_requests = (10, 20, 40, 80, 160), 2_000
         fig12_counts, fig12_requests = (10, 20, 40, 80, 160), 5_000
+        fig8_kwargs = dict(requests_per_level=2_000, dag_count=100,
+                           populated_keys=2_000, executor_vms=5)
+        table2_kwargs = dict(executions=4_000, dag_count=100,
+                             populated_keys=1_000, executor_vms=5)
+    elif args.quick:
+        scale_label = "quick"
+        fig10_counts, fig10_requests = (10, 40), 300
+        fig12_counts, fig12_requests = (10, 40), 500
+        fig8_kwargs = dict(requests_per_level=300, dag_count=40,
+                           populated_keys=600, executor_vms=4)
+        table2_kwargs = dict(executions=800, dag_count=40,
+                             populated_keys=400, executor_vms=4)
     else:
+        scale_label = "reduced"
         fig10_counts, fig10_requests = (10, 40, 160), 600
         fig12_counts, fig12_requests = (10, 40, 160), 1_000
+        fig8_kwargs = dict(requests_per_level=800, dag_count=80,
+                           populated_keys=1_200, executor_vms=5)
+        table2_kwargs = dict(executions=2_000, dag_count=80,
+                             populated_keys=800, executor_vms=5)
 
     print("figure 7 (autoscaling)...", flush=True)
-    fig7 = snapshot_figure7(args.seed, args.full)
+    fig7 = snapshot_figure7(args.seed, scale_label)
     print(f"  {fig7['requests_per_s']} req/s overall, "
           f"peak {fig7['peak_requests_per_s']} req/s "
           f"[{fig7['wall_seconds']}s]")
@@ -116,17 +204,40 @@ def main() -> int:
                   f"{point['requests_per_s']:10.1f} req/s  "
                   f"median={point['median_ms']:.2f}ms p99={point['p99_ms']:.2f}ms")
 
+    print("figure 8 (consistency latency, engine-driven sessions)...", flush=True)
+    fig8 = snapshot_figure8(args.seed, clients=4, propagation_interval_ms=50.0,
+                            **fig8_kwargs)
+    for level, stats in fig8["levels"].items():
+        print(f"  fig8 {level:5s} median={stats['median_ms']:.2f}ms "
+              f"p99={stats['p99_ms']:.2f}ms")
+    print("table 2 (anomaly counts, engine-driven sessions)...", flush=True)
+    table2 = snapshot_table2(args.seed, clients=8, propagation_interval_ms=50.0,
+                             **table2_kwargs)
+    print(f"  table2 {table2['anomalies']} over {table2['executions']} executions "
+          f"[{table2['wall_seconds']}s]")
+
+    invariant_errors = table2["invariant_violations"]
+
     payload = {
-        "schema": 1,
+        "schema": 2,
         "seed": args.seed,
-        "scale": "full" if args.full else "reduced",
+        "scale": scale_label,
         "figure7_autoscaling": fig7,
         "figure10_prediction_scaling": fig10,
         "figure12_retwis_scaling": fig12,
+        "figure8_consistency": fig8,
+        "table2_anomalies": table2,
+        "consistency_invariants_ok": not invariant_errors,
     }
     output = Path(args.output)
     output.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     print(f"wrote {output}")
+
+    if invariant_errors:
+        print("CONSISTENCY INVARIANT FAILURES:", file=sys.stderr)
+        for error in invariant_errors:
+            print(f"  - {error}", file=sys.stderr)
+        return 1
     return 0
 
 

@@ -48,17 +48,27 @@ class AnnaCluster:
                  latency_model: Optional[LatencyModel] = None,
                  virtual_nodes: int = 64,
                  memory_capacity_keys: int = 1_000_000,
-                 propagation_mode: str = PROPAGATE_IMMEDIATE):
+                 propagation_mode: str = PROPAGATE_IMMEDIATE,
+                 propagation_interval_ms: float = 0.0):
         if node_count <= 0:
             raise ValueError("node_count must be positive")
         if replication_factor <= 0:
             raise ValueError("replication_factor must be positive")
         if propagation_mode not in (self.PROPAGATE_IMMEDIATE, self.PROPAGATE_PERIODIC):
             raise ValueError(f"unknown propagation mode: {propagation_mode!r}")
+        if propagation_interval_ms < 0:
+            raise ValueError("propagation_interval_ms cannot be negative")
         self.latency_model = latency_model or LatencyModel()
         self.replication_factor = replication_factor
         self.memory_capacity_keys = memory_capacity_keys
         self.propagation_mode = propagation_mode
+        #: Virtual-time period of the engine-driven propagation tick.  Only
+        #: meaningful in periodic mode with an engine attached; replaces the
+        #: hand-rolled "flush every N requests" counters the consistency
+        #: benchmarks used to run.
+        self.propagation_interval_ms = float(propagation_interval_ms)
+        self._engine = None
+        self._flush_event = None
         self._pending_updates: List[str] = []
         self._ring = HashRing(virtual_nodes=virtual_nodes)
         self._nodes: Dict[str, StorageNode] = {}
@@ -266,6 +276,44 @@ class AnnaCluster:
             listener = self._update_listeners.get(cache_id)
             if listener is not None:
                 listener(key, value)
+
+    # -- engine-timed propagation ------------------------------------------------------
+    def attach_engine(self, engine) -> None:
+        """Drive periodic update propagation from a discrete-event engine.
+
+        While attached — in periodic mode with a positive
+        ``propagation_interval_ms`` — a recurring engine event calls
+        :meth:`flush_updates` every interval of *virtual* time.  Staleness
+        windows then emerge from the shared timeline itself (how much load
+        lands between two ticks) instead of from a per-request flush counter
+        hand-rolled into each benchmark loop.
+        """
+        self.detach_engine()
+        self._engine = engine
+        if (self.propagation_mode == self.PROPAGATE_PERIODIC
+                and self.propagation_interval_ms > 0):
+            self._flush_event = engine.schedule(self.propagation_interval_ms,
+                                                self._engine_flush_tick)
+
+    def detach_engine(self) -> None:
+        """Stop the engine-driven propagation tick (back to manual flushes)."""
+        if self._engine is not None and self._flush_event is not None:
+            self._engine.cancel(self._flush_event)
+        self._engine = None
+        self._flush_event = None
+
+    def _engine_flush_tick(self) -> None:
+        engine = self._engine
+        if engine is None:
+            return
+        self.flush_updates()
+        # Keep ticking only while other work is queued: the ticker must not
+        # keep an otherwise-finished run alive forever.
+        if engine.pending > 0:
+            self._flush_event = engine.schedule(self.propagation_interval_ms,
+                                                self._engine_flush_tick)
+        else:
+            self._flush_event = None
 
     def flush_updates(self) -> int:
         """Run one periodic propagation round (no-op in immediate mode).

@@ -25,7 +25,14 @@ from .consistency_bench import (
     run_figure8,
     run_table2,
 )
-from .harness import ComparisonResult, SweepResult, run_closed_loop
+from .harness import (
+    ComparisonResult,
+    EngineLoadDriver,
+    SessionLoadDriver,
+    SweepResult,
+    run_closed_loop,
+    run_session_closed_loop,
+)
 from .microbenchmarks import (
     AutoscalingExperiment,
     measure_autoscaling_service_time,
@@ -56,8 +63,11 @@ __all__ = [
     "run_figure8",
     "run_table2",
     "ComparisonResult",
+    "EngineLoadDriver",
+    "SessionLoadDriver",
     "SweepResult",
     "run_closed_loop",
+    "run_session_closed_loop",
     "AutoscalingExperiment",
     "measure_autoscaling_service_time",
     "run_figure1",

@@ -6,6 +6,14 @@ its result to one of the keys the DAG read.  Figure 8 measures per-DAG latency
 (normalised by DAG depth) under the five consistency levels; Table 2 runs the
 system under last-writer-wins and counts the anomalies each stricter level
 would have prevented.
+
+Both experiments run **engine-driven** by default: many concurrent clients
+issue DAG sessions through ``Scheduler.call_dag_on_engine`` on one shared
+discrete-event timeline, and Anna's update propagation is a periodic engine
+event (``propagation_interval_ms``).  Staleness windows and anomaly counts
+therefore emerge from genuine interleaving of in-flight sessions — not from
+the old hand-rolled "flush every N requests" counter, which is kept only as
+the sequential cross-check path (``driver="sequential"``).
 """
 
 from __future__ import annotations
@@ -18,7 +26,16 @@ from ..cloudburst import AnomalyReport, AnomalyTracker, CloudburstCluster, Consi
 from ..lattices import CausalLattice
 from ..sim import LatencyRecorder, RandomSource, median, percentile
 from ..workloads.dags import ConsistencyWorkload
-from .harness import ComparisonResult
+from .harness import ComparisonResult, SessionLoadDriver
+
+#: Default virtual-time period of Anna's engine-driven update propagation.
+#: Plays the role the paper's periodic cache-update gossip plays: between two
+#: ticks, caches serve stale data, which is the window in which the §6.2
+#: anomalies arise.
+DEFAULT_PROPAGATION_INTERVAL_MS = 50.0
+
+#: Default number of concurrent closed-loop session clients.
+DEFAULT_CLIENTS = 4
 
 
 @dataclass
@@ -39,21 +56,36 @@ class ConsistencyLatencyResult:
     metadata_overhead: Dict[str, MetadataOverhead] = field(default_factory=dict)
 
 
-def _run_level(level: ConsistencyLevel, dag_count: int, requests: int,
-               populated_keys: int, executor_vms: int, seed: int,
-               anomaly_tracker: Optional[AnomalyTracker] = None,
-               propagation_flush_every: int = 0) -> Dict[str, object]:
-    """Drive the §6.2 workload on a fresh cluster at one consistency level."""
-    propagation = (AnnaCluster.PROPAGATE_PERIODIC if propagation_flush_every
-                   else AnnaCluster.PROPAGATE_IMMEDIATE)
+def _build_workload(level: ConsistencyLevel, dag_count: int, populated_keys: int,
+                    executor_vms: int, seed: int,
+                    anomaly_tracker: Optional[AnomalyTracker],
+                    propagation: str, propagation_interval_ms: float = 0.0):
     cluster = CloudburstCluster(executor_vms=executor_vms, consistency=level,
                                 seed=seed, anomaly_tracker=anomaly_tracker,
-                                anna_propagation=propagation)
+                                anna_propagation=propagation,
+                                propagation_interval_ms=propagation_interval_ms)
     client = cluster.connect(consistency=level)
     workload = ConsistencyWorkload(dag_count=dag_count, seed=seed)
     workload.populate(client, populated_keys=populated_keys)
     dags = workload.generate_dags(client)
+    return cluster, client, workload, dags
 
+
+def _run_level_sequential(level: ConsistencyLevel, dag_count: int, requests: int,
+                          populated_keys: int, executor_vms: int, seed: int,
+                          anomaly_tracker: Optional[AnomalyTracker] = None,
+                          propagation_flush_every: int = 0) -> Dict[str, object]:
+    """Drive the §6.2 workload one request at a time (the cross-check path).
+
+    Kept for comparison against the engine-driven driver: one sequential
+    client, staleness faked by flushing Anna's pending updates every
+    ``propagation_flush_every`` requests.
+    """
+    propagation = (AnnaCluster.PROPAGATE_PERIODIC if propagation_flush_every
+                   else AnnaCluster.PROPAGATE_IMMEDIATE)
+    cluster, client, workload, dags = _build_workload(
+        level, dag_count, populated_keys, executor_vms, seed, anomaly_tracker,
+        propagation)
     recorder = LatencyRecorder(label=level.short_name)
     rng = RandomSource(seed).spawn("dag-choice")
     for index in range(requests):
@@ -65,6 +97,102 @@ def _run_level(level: ConsistencyLevel, dag_count: int, requests: int,
         if propagation_flush_every and (index + 1) % propagation_flush_every == 0:
             cluster.kvs.flush_updates()
     return {"cluster": cluster, "recorder": recorder, "workload": workload}
+
+
+def _run_level_engine(level: ConsistencyLevel, dag_count: int, requests: int,
+                      populated_keys: int, executor_vms: int, seed: int,
+                      clients: int = DEFAULT_CLIENTS,
+                      propagation_interval_ms: float = DEFAULT_PROPAGATION_INTERVAL_MS,
+                      anomaly_tracker: Optional[AnomalyTracker] = None
+                      ) -> Dict[str, object]:
+    """Drive the §6.2 workload with concurrent sessions on the engine.
+
+    ``clients`` closed-loop clients issue DAG sessions through
+    ``Scheduler.call_dag_on_engine``; every DAG function is its own engine
+    event, so in-flight sessions interleave their cache and snapshot accesses,
+    and Anna propagates updates on a periodic ``propagation_interval_ms``
+    engine tick rather than a per-request flush counter.
+    """
+    propagation = (AnnaCluster.PROPAGATE_PERIODIC if propagation_interval_ms > 0
+                   else AnnaCluster.PROPAGATE_IMMEDIATE)
+    cluster, _client, workload, dags = _build_workload(
+        level, dag_count, populated_keys, executor_vms, seed, anomaly_tracker,
+        propagation, propagation_interval_ms)
+    scheduler = cluster.schedulers[0]
+    recorder = LatencyRecorder(label=level.short_name)
+    rng = RandomSource(seed).spawn("dag-choice")
+
+    def session(ctx, _client_id, _index, done):
+        dag = rng.choice(dags)
+        function_args, _sink_key = workload.sample_request(dag)
+        depth = dag.longest_path_length()
+
+        def complete(result):
+            recorder.record(result.latency_ms / depth)
+            done(result)
+
+        scheduler.call_dag_on_engine(dag.name, function_args, consistency=level,
+                                     engine=cluster.engine, ctx=ctx,
+                                     on_complete=complete,
+                                     # A session that exhausts its retries is
+                                     # dropped; the other clients keep going.
+                                     on_error=lambda _exc: done())
+
+    driver = SessionLoadDriver(cluster, session, clients=clients,
+                               max_requests=requests, label=level.short_name)
+    simulation = driver.run()
+    return {"cluster": cluster, "recorder": recorder, "workload": workload,
+            "simulation": simulation}
+
+
+def _resolve_driver_knobs(driver: str, clients: Optional[int],
+                          propagation_interval_ms: Optional[float],
+                          flush_every: Optional[int],
+                          default_clients: int):
+    """Apply per-driver defaults and reject knobs the driver would ignore.
+
+    ``flush_every`` only exists on the sequential cross-check path and
+    ``clients``/``propagation_interval_ms`` only on the engine path; silently
+    discarding a knob the caller set would change the meaning of their run.
+    """
+    if driver == "engine":
+        if flush_every is not None:
+            raise ValueError(
+                "flush_every only applies to driver='sequential'; the engine "
+                "driver propagates on propagation_interval_ms of virtual time")
+        return (default_clients if clients is None else clients,
+                DEFAULT_PROPAGATION_INTERVAL_MS if propagation_interval_ms is None
+                else propagation_interval_ms,
+                0)
+    if driver == "sequential":
+        if clients is not None or propagation_interval_ms is not None:
+            raise ValueError(
+                "clients/propagation_interval_ms only apply to driver='engine'; "
+                "the sequential driver is one client with flush_every staleness")
+        return 1, 0.0, (10 if flush_every is None else flush_every)
+    raise ValueError(f"unknown consistency driver {driver!r}")
+
+
+def _run_level(level: ConsistencyLevel, dag_count: int, requests: int,
+               populated_keys: int, executor_vms: int, seed: int,
+               anomaly_tracker: Optional[AnomalyTracker] = None,
+               driver: str = "engine",
+               clients: int = DEFAULT_CLIENTS,
+               propagation_interval_ms: float = DEFAULT_PROPAGATION_INTERVAL_MS,
+               propagation_flush_every: int = 0) -> Dict[str, object]:
+    if driver == "engine":
+        return _run_level_engine(
+            level, dag_count=dag_count, requests=requests,
+            populated_keys=populated_keys, executor_vms=executor_vms, seed=seed,
+            clients=clients, propagation_interval_ms=propagation_interval_ms,
+            anomaly_tracker=anomaly_tracker)
+    if driver == "sequential":
+        return _run_level_sequential(
+            level, dag_count=dag_count, requests=requests,
+            populated_keys=populated_keys, executor_vms=executor_vms, seed=seed,
+            anomaly_tracker=anomaly_tracker,
+            propagation_flush_every=propagation_flush_every)
+    raise ValueError(f"unknown consistency driver {driver!r}")
 
 
 def _metadata_overhead(cluster: CloudburstCluster, key_prefix: str = "cw-",
@@ -91,23 +219,35 @@ def _metadata_overhead(cluster: CloudburstCluster, key_prefix: str = "cw-",
 
 def run_figure8(requests_per_level: int = 2_000, dag_count: int = 100,
                 populated_keys: int = 2_000, executor_vms: int = 5,
-                seed: int = 0, flush_every: int = 10,
+                seed: int = 0,
+                driver: str = "engine",
+                clients: Optional[int] = None,
+                propagation_interval_ms: Optional[float] = None,
+                flush_every: Optional[int] = None,
                 levels: Sequence[ConsistencyLevel] = tuple(ConsistencyLevel)
                 ) -> ConsistencyLatencyResult:
     """Per-DAG latency (normalised by DAG depth) under each consistency level.
 
-    ``flush_every`` keeps Anna's cache-update propagation periodic (as in the
-    real system); the resulting staleness is what forces the distributed
-    session protocols to take their remote-fetch slow paths and is therefore
-    what separates the tail latencies in this figure.
+    Engine-driven by default: ``clients`` concurrent sessions per level with
+    Anna propagating updates every ``propagation_interval_ms`` of virtual
+    time.  The staleness between ticks is what forces the distributed session
+    protocols to take their remote-fetch slow paths and therefore what
+    separates the tail latencies in this figure.  ``driver="sequential"``
+    keeps the old one-request-at-a-time cross-check (staleness from
+    ``flush_every``).
     """
+    clients, propagation_interval_ms, flush_every = _resolve_driver_knobs(
+        driver, clients, propagation_interval_ms, flush_every,
+        default_clients=DEFAULT_CLIENTS)
     comparison = ComparisonResult(
         title="Figure 8: DAG latency by consistency level (normalised by DAG depth)")
     overheads: Dict[str, MetadataOverhead] = {}
     for offset, level in enumerate(levels):
         outcome = _run_level(level, dag_count=dag_count, requests=requests_per_level,
                              populated_keys=populated_keys, executor_vms=executor_vms,
-                             seed=seed + offset, propagation_flush_every=flush_every)
+                             seed=seed + offset, driver=driver, clients=clients,
+                             propagation_interval_ms=propagation_interval_ms,
+                             propagation_flush_every=flush_every)
         comparison.add(outcome["recorder"])
         if level.is_causal:
             overheads[level.short_name] = _metadata_overhead(outcome["cluster"])
@@ -116,16 +256,27 @@ def run_figure8(requests_per_level: int = 2_000, dag_count: int = 100,
 
 def run_table2(executions: int = 4_000, dag_count: int = 100,
                populated_keys: int = 1_000, executor_vms: int = 5,
-               flush_every: int = 10, seed: int = 0) -> AnomalyReport:
+               seed: int = 0,
+               driver: str = "engine",
+               clients: Optional[int] = None,
+               propagation_interval_ms: Optional[float] = None,
+               flush_every: Optional[int] = None) -> AnomalyReport:
     """Run the workload under LWW and count would-be anomalies per level.
 
-    ``flush_every`` controls Anna's periodic update propagation to caches: a
-    larger value widens the staleness window and therefore raises the anomaly
-    counts.  The paper observes 904 SK / +35 MK / +104 DSC / 46 DSRR anomalies
-    over 4,000 executions.
+    Engine-driven by default: the anomalies come from genuinely concurrent
+    sessions interleaving on shared caches, with the staleness window set by
+    ``propagation_interval_ms`` (a wider window raises the counts).  The
+    paper observes 904 SK / +35 MK / +104 DSC / 46 DSRR anomalies over 4,000
+    executions.  ``driver="sequential"`` keeps the old one-client cross-check
+    whose staleness comes from flushing every ``flush_every`` requests.
     """
+    clients, propagation_interval_ms, flush_every = _resolve_driver_knobs(
+        driver, clients, propagation_interval_ms, flush_every,
+        default_clients=2 * DEFAULT_CLIENTS)
     tracker = AnomalyTracker()
     _run_level(ConsistencyLevel.LWW, dag_count=dag_count, requests=executions,
                populated_keys=populated_keys, executor_vms=executor_vms, seed=seed,
-               anomaly_tracker=tracker, propagation_flush_every=flush_every)
+               anomaly_tracker=tracker, driver=driver, clients=clients,
+               propagation_interval_ms=propagation_interval_ms,
+               propagation_flush_every=flush_every)
     return tracker.report

@@ -1,6 +1,6 @@
 """Shared benchmark plumbing: load drivers and result tables.
 
-Two request drivers live here:
+Three request drivers live here:
 
 * :func:`run_closed_loop` — the sequential driver used by the latency
   figures: one client, one request at a time, per-request virtual clocks.
@@ -10,6 +10,11 @@ Two request drivers live here:
   shared discrete-event engine, so contention flows through the actual
   scheduler placement policy, executor work queues, caches and Anna — not
   through a synthetic service-time model.
+* :class:`SessionLoadDriver` — the session-aware variant used by the
+  consistency experiments (Figure 8, Table 2): each request is a stateful
+  DAG session whose functions run as their own engine events
+  (``Scheduler.call_dag_on_engine``), so concurrent sessions interleave
+  their cache and snapshot accesses on the shared timeline.
 """
 
 from __future__ import annotations
@@ -176,14 +181,16 @@ class EngineLoadDriver:
         self._window_arrivals += 1
         ctx = RequestContext(clock=SimClock(start))
         self.request_fn(ctx, client, index)
-        end = ctx.clock.now_ms
-        self.latencies.record(end - start)
+        return self._record_completion(start, ctx.clock.now_ms)
+
+    def _record_completion(self, start_ms: float, end_ms: float) -> float:
+        self.latencies.record(end_ms - start_ms)
         self.completed += 1
-        heapq.heappush(self._future_completions, end)
-        self._last_completion_ms = max(self._last_completion_ms, end)
-        bucket = int(end // self.bucket_ms)
+        heapq.heappush(self._future_completions, end_ms)
+        self._last_completion_ms = max(self._last_completion_ms, end_ms)
+        bucket = int(end_ms // self.bucket_ms)
         self._completion_buckets[bucket] = self._completion_buckets.get(bucket, 0) + 1
-        return end
+        return end_ms
 
     # -- autoscaling -------------------------------------------------------
     def _policy_tick(self) -> None:
@@ -244,6 +251,12 @@ class EngineLoadDriver:
                     thread.alive = False
                     self.cluster.router.mark_unreachable(thread.thread_id)
                     count -= 1
+            if not any(thread.alive for thread in vm.threads):
+                # Every thread drained: retire the whole VM so its cache
+                # stops receiving Anna's update pushes and leaves the peer
+                # registry (dangling listeners would leak for the rest of
+                # the cluster's lifetime).
+                self.cluster.drain_vm(vm)
             if count <= 0:
                 break
         self._capacity_timeline.append((self.engine.now_ms,
@@ -275,6 +288,85 @@ class EngineLoadDriver:
             duration_ms=duration,
             capacity_timeline=list(self._capacity_timeline),
         )
+
+
+#: Signature of a session request: (ctx, client_id, request_index, done).
+#: The function must start a session on the engine (e.g.
+#: ``scheduler.call_dag_on_engine(..., ctx=ctx, on_complete=...)``) and
+#: arrange for ``done(result)`` to be called from the session's completion
+#: event — or ``done()`` with no result if the session failed, which counts
+#: it in ``SessionLoadDriver.failed`` instead of the latency results.  The
+#: driver reads the end time off the context clock at that moment.
+SessionRequestFn = Callable[[RequestContext, int, int, Callable[[], None]], None]
+
+
+class SessionLoadDriver(EngineLoadDriver):
+    """Concurrent clients issuing *stateful DAG sessions* on one timeline.
+
+    :class:`EngineLoadDriver` executes each request synchronously inside its
+    arrival event, which is fine for single-function calls but means two DAG
+    sessions can never interleave their per-function cache accesses.  This
+    driver hands each request a completion callback instead: the session's
+    functions run as their own engine events (``Scheduler.call_dag_on_engine``)
+    and the client's next closed-loop arrival is scheduled only when the
+    session's sink completes.  Many sessions are therefore genuinely in
+    flight at once on the same caches — the regime the §6.2 consistency
+    experiments (Figure 8, Table 2) measure.
+    """
+
+    def __init__(self, cluster, session_fn: SessionRequestFn, **kwargs):
+        super().__init__(cluster, request_fn=_reject_sync_request, **kwargs)
+        self.session_fn = session_fn
+        self.inflight = 0
+        self.failed = 0
+
+    def _issue_request(self, client: int) -> Optional[float]:
+        start = self.engine.now_ms
+        index = self.issued
+        self.issued += 1
+        self._window_arrivals += 1
+        self.inflight += 1
+        ctx = RequestContext(clock=SimClock(start))
+
+        def done(result=None) -> None:
+            self.inflight -= 1
+            end = ctx.clock.now_ms
+            if result is None:
+                # Session aborted (e.g. retries exhausted): the client moves
+                # on, but a failure is not a completion — its fault-timeout
+                # latency must not pollute the latency/throughput results.
+                self.failed += 1
+            else:
+                end = self._record_completion(start, end)
+            self._next_arrival(client, end)
+
+        self.session_fn(ctx, client, index, done)
+        # Completion (and the client's next arrival) is driven by ``done``.
+        return None
+
+    def _next_arrival(self, client: int, end_ms: float) -> None:
+        if self.mode != "closed":
+            return
+        if not self._active.get(client, False) or self._exhausted():
+            return
+        self.engine.at(end_ms + self.think_time_ms,
+                       lambda: self._client_arrival(client))
+
+
+def _reject_sync_request(ctx, client, index):  # pragma: no cover - guard only
+    raise RuntimeError("SessionLoadDriver issues sessions, not sync requests")
+
+
+def run_session_closed_loop(cluster, session_fn: SessionRequestFn, *,
+                            clients: int, total_requests: int,
+                            label: str = "session-closed-loop",
+                            throughput_bucket_ms: float = 1_000.0) -> SimulationResult:
+    """Closed-loop DAG-session clients through the real stack."""
+    driver = SessionLoadDriver(
+        cluster, session_fn, clients=clients, mode="closed",
+        max_requests=total_requests, throughput_bucket_ms=throughput_bucket_ms,
+        label=label)
+    return driver.run()
 
 
 def run_engine_closed_loop(cluster, request_fn: DriverRequestFn, *,

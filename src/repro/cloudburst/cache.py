@@ -38,6 +38,12 @@ class CacheStats:
     upstream_fetches: int = 0
     update_pushes_received: int = 0
     snapshots_created: int = 0
+    #: Dependencies fetched from Anna while repairing the causal cut.
+    causal_dep_fetches: int = 0
+    #: Dependencies the cut maintenance could not resolve (absent from the
+    #: KVS).  These used to be skipped silently — together with the old
+    #: depth-8 recursion cap — which hid holes in the causal cut.
+    causal_deps_unresolved: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -54,6 +60,7 @@ class ExecutorCache:
         self.cache_id = cache_id
         self.kvs = kvs
         self.latency_model = latency_model or kvs.latency_model
+        self.closed = False
         self._data: Dict[str, Lattice] = {}
         # Snapshots pinned for in-flight DAGs: (execution_id, key) -> lattice.
         self._snapshots: Dict[Tuple[str, str], Lattice] = {}
@@ -83,6 +90,10 @@ class ExecutorCache:
         """Return the locally cached value, charging one IPC round trip."""
         local = self._data.get(key)
         if local is None:
+            # A failed lookup is still a miss; not counting it inflated
+            # hit_rate for every caller that probes with get() before
+            # falling back to the KVS.
+            self.stats.misses += 1
             raise KeyNotFoundError(key)
         if ctx is not None:
             self.latency_model.charge(ctx, "cache", "get", size_bytes=local.size_bytes())
@@ -138,6 +149,25 @@ class ExecutorCache:
         self._snapshots.clear()
         self._snapshot_keys_by_execution.clear()
 
+    def close(self) -> None:
+        """Tear the cache down when its VM leaves the cluster (scale-down).
+
+        Deregisters the Anna update listener (so a drained VM stops receiving
+        pushes), drops this cache's entries from the key-to-cache index,
+        removes it from the shared peer registry so no in-flight session
+        tries to fetch snapshots from it, and frees local state.  Idempotent;
+        ``stats`` survive for post-run reporting.
+        """
+        if self.closed:
+            return
+        self.closed = True
+        self.kvs.unregister_update_listener(self.cache_id)
+        if self._peers.get(self.cache_id) is self:
+            self._peers.pop(self.cache_id)
+        self._data.clear()
+        self._snapshots.clear()
+        self._snapshot_keys_by_execution.clear()
+
     def _store(self, key: str, value: Lattice) -> Lattice:
         existing = self._data.get(key)
         merged = value if existing is None else existing.merge(value)
@@ -154,6 +184,8 @@ class ExecutorCache:
 
     def receive_update(self, key: str, value: Lattice) -> None:
         """Anna pushes an update for a key this cache holds; merge it in."""
+        if self.closed:
+            return
         if key in self._data:
             self._data[key] = self._data[key].merge(value)
             self.stats.update_pushes_received += 1
@@ -191,12 +223,19 @@ class ExecutorCache:
         return len(self._snapshots)
 
     def fetch_from_upstream(self, upstream_cache_id: str, execution_id: str, key: str,
-                            ctx: Optional[RequestContext] = None) -> Lattice:
+                            ctx: Optional[RequestContext] = None,
+                            expected_version=None) -> Lattice:
         """Fetch the exact version snapshot held by an upstream cache.
 
         Used when the local copy's version does not satisfy the session's
         read-set or dependency constraints (Algorithm 1 line 5, Algorithm 2
         lines 8 and 14).  Costs one cache-to-cache network round trip.
+
+        When ``expected_version`` is given and the pinned snapshot is gone,
+        the fall-back to the upstream's live copy only succeeds if the live
+        version still matches: with many sessions in flight on the same
+        cache, the live copy may have been advanced by a *different* session,
+        and silently returning it would break the exact-version guarantee.
         """
         upstream = self._peers.get(upstream_cache_id)
         if upstream is None:
@@ -206,6 +245,14 @@ class ExecutorCache:
         value = upstream.get_snapshot(execution_id, key)
         if value is None:
             value = upstream.get_local(key)
+            if value is not None and expected_version is not None:
+                from .serialization import LatticeEncapsulator
+
+                if LatticeEncapsulator.version_of(value) != expected_version:
+                    raise ConsistencyError(
+                        f"upstream cache {upstream_cache_id!r} no longer holds the "
+                        f"pinned version of {key!r} for execution {execution_id!r}"
+                    )
         if value is None:
             raise ConsistencyError(
                 f"upstream cache {upstream_cache_id!r} no longer holds {key!r} "
@@ -221,8 +268,7 @@ class ExecutorCache:
 
     # -- bolt-on causal cut maintenance (§5.3) ----------------------------------------
     def ensure_causal_cut(self, lattice: Lattice,
-                          ctx: Optional[RequestContext] = None,
-                          _depth: int = 0) -> None:
+                          ctx: Optional[RequestContext] = None) -> None:
         """Make the local cache a causal cut that includes ``lattice``.
 
         For every dependency ``l -> k`` of the given causally wrapped value,
@@ -230,10 +276,22 @@ class ExecutorCache:
         newer than the dependency's vector clock; otherwise it fetches a fresh
         version from Anna.  This is the bolt-on causal consistency protocol
         ([9]) run at the cache layer.
+
+        The traversal is an iterative worklist with a visited set: dependency
+        chains of any depth are repaired (the old recursion silently stopped
+        after 8 hops) and cyclic dependency graphs terminate.  Dependencies
+        that cannot be resolved from the KVS are counted in
+        ``stats.causal_deps_unresolved`` instead of being dropped silently.
         """
-        if not isinstance(lattice, CausalLattice) or _depth > 8:
+        if not isinstance(lattice, CausalLattice):
             return
-        for dep_key, dep_clock in lattice.dependencies.items():
+        worklist: List[Tuple[str, object]] = list(lattice.dependencies.items())
+        visited: Set[str] = set()
+        while worklist:
+            dep_key, dep_clock = worklist.pop()
+            if dep_key in visited:
+                continue
+            visited.add(dep_key)
             local = self._data.get(dep_key)
             if local is not None and isinstance(local, CausalLattice):
                 local_clock = local.vector_clock
@@ -243,15 +301,22 @@ class ExecutorCache:
             # Local copy is missing or causally stale: fetch from the KVS.
             fetched = self.kvs.get_or_none(dep_key, ctx)
             if fetched is None:
+                self.stats.causal_deps_unresolved += 1
                 continue
+            self.stats.causal_dep_fetches += 1
             self._store(dep_key, fetched)
-            self.ensure_causal_cut(fetched, ctx, _depth=_depth + 1)
+            if isinstance(fetched, CausalLattice):
+                worklist.extend(fetched.dependencies.items())
 
     def violates_causal_cut(self) -> List[Tuple[str, str]]:
         """Pairs (key, dependency) where the cut property does not hold.
 
         Used by tests and by the anomaly accounting: an empty list means the
-        cache currently stores a causal cut.
+        cache currently stores a causal cut.  A causal cut requires *every*
+        dependency to be present at a concurrent-or-newer version, so a
+        missing dependency (or one held without version metadata) is a
+        violation — the old code skipped those pairs, reporting holes in the
+        cut as if the property held.
         """
         violations: List[Tuple[str, str]] = []
         for key, lattice in self._data.items():
@@ -260,6 +325,7 @@ class ExecutorCache:
             for dep_key, dep_clock in lattice.dependencies.items():
                 local = self._data.get(dep_key)
                 if local is None or not isinstance(local, CausalLattice):
+                    violations.append((key, dep_key))
                     continue
                 local_clock = local.vector_clock
                 if not (local_clock.dominates_or_equal(dep_clock)

@@ -45,6 +45,7 @@ class CloudburstCluster:
                  anomaly_tracker: Optional[AnomalyTracker] = None,
                  monitoring_config: Optional[MonitoringConfig] = None,
                  anna_propagation: str = AnnaCluster.PROPAGATE_IMMEDIATE,
+                 propagation_interval_ms: float = 0.0,
                  overload_threshold: float = OVERLOAD_THRESHOLD,
                  fault_timeout_ms: float = DEFAULT_FAULT_TIMEOUT_MS,
                  work_queue_bound: Optional[int] = DEFAULT_WORK_QUEUE_BOUND):
@@ -66,7 +67,8 @@ class CloudburstCluster:
 
         self.kvs = AnnaCluster(node_count=anna_nodes, replication_factor=anna_replication,
                                latency_model=self.latency_model,
-                               propagation_mode=anna_propagation)
+                               propagation_mode=anna_propagation,
+                               propagation_interval_ms=propagation_interval_ms)
         self.router = MessageRouter(self.kvs, self.latency_model)
         self.cache_registry: Dict[str, ExecutorCache] = {}
         self.vms: List[ExecutorVM] = []
@@ -134,6 +136,7 @@ class CloudburstCluster:
         queues.  Work-queue state from any previous run is discarded.
         """
         self.engine = engine
+        self.kvs.attach_engine(engine)
         for vm in self.vms:
             vm.engine = engine
             for thread in vm.threads:
@@ -147,6 +150,7 @@ class CloudburstCluster:
         read as permanent saturation to the scheduling policy.
         """
         self.engine = None
+        self.kvs.detach_engine()
         for vm in self.vms:
             vm.engine = None
             for thread in vm.threads:
@@ -166,14 +170,31 @@ class CloudburstCluster:
             self.vms.remove(vm)
         for thread in vm.threads:
             self.router.unregister_thread(thread.thread_id)
-        self.kvs.unregister_update_listener(vm.cache.cache_id)
-        self.cache_registry.pop(vm.cache.cache_id, None)
+        # close() deregisters the Anna update listener, drops the cache's
+        # index entries and removes it from the shared peer registry
+        # (self.cache_registry) — a removed VM must stop receiving pushes.
+        vm.cache.close()
         # Drop stale pins referring to the departed VM's threads.
         departed = set(vm.thread_ids())
         for scheduler in self.schedulers:
             for name, pins in scheduler.function_pins.items():
                 scheduler.function_pins[name] = [p for p in pins if p not in departed]
         return vm
+
+    def drain_vm(self, vm: ExecutorVM) -> None:
+        """Deactivate a VM at scale-down without removing it from the roster.
+
+        The load-driver autoscaler drains executor threads in place; once a
+        VM has no live threads its cache must be closed — otherwise drained
+        VMs keep receiving Anna's update pushes and leak peer-registry
+        entries for as long as the cluster lives.
+        """
+        vm.alive = False
+        for thread in vm.threads:
+            if thread.alive:
+                thread.alive = False
+                self.router.mark_unreachable(thread.thread_id)
+        vm.cache.close()
 
     def fail_vm(self, vm_id: str) -> ExecutorVM:
         """Fault injection: kill a VM mid-flight (its cache contents are lost)."""

@@ -79,6 +79,34 @@ class AnomalyReport:
             "DSRR": self.repeatable_read,
         }
 
+    def invariant_violations(self) -> List[str]:
+        """The §6.2.2 sanity invariants every Table 2 run must satisfy.
+
+        Single source of truth for the benchmark assertions and the
+        ``run_all.py`` regression gate: LWW flags nothing, single-key
+        causality flags by far the most anomalies (more than the multi-key
+        increment and far more than repeatable read), and the cumulative
+        counts grow with strictness.  Returns human-readable violation
+        messages; an empty list means the report is sane.
+        """
+        row = self.as_row()
+        errors: List[str] = []
+        if row["LWW"] != 0:
+            errors.append(f"LWW must flag nothing, got {row['LWW']}")
+        if not (row["SK"] >= self.multi_key_additional >= 0):
+            errors.append(
+                f"expected SK >= MK-increment >= 0, got SK={row['SK']} "
+                f"MK-increment={self.multi_key_additional}")
+        if not (0 < row["SK"] <= row["MK"] <= row["DSC"]):
+            errors.append(
+                f"cumulative anomaly counts must be ordered 0 < SK <= MK <= DSC, "
+                f"got SK={row['SK']} MK={row['MK']} DSC={row['DSC']}")
+        if not (row["DSRR"] < row["SK"]):
+            errors.append(
+                f"expected DSRR < SK (repeatable read flags far fewer anomalies "
+                f"than single-key causality), got DSRR={row['DSRR']} SK={row['SK']}")
+        return errors
+
 
 class AnomalyTracker:
     """Observes reads and writes and counts would-be anomalies per level."""
@@ -132,6 +160,16 @@ class AnomalyTracker:
         self._shadow_latest[key] = (
             shadow_lattice if existing is None else existing.merge(shadow_lattice)
         )
+
+    def abandon_execution(self, execution_id: str) -> None:
+        """Discard an attempt that will be retried (§4.5 re-execution).
+
+        A failed DAG attempt's reads must not linger in the tracker: the
+        retry creates a fresh execution id, so without this the abandoned
+        reads leaked forever and were never evaluated — or worse, were mixed
+        into a *different* execution that happened to reuse the id.
+        """
+        self._reads_by_execution.pop(execution_id, None)
 
     def complete_execution(self, execution_id: str) -> None:
         """Evaluate the DAG-scoped anomalies once the execution finishes."""

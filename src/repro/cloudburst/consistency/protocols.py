@@ -26,6 +26,7 @@ import uuid
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Set
 
+from ...errors import ConsistencyError
 from ...lattices import CausalLattice, Lattice, VectorClock, estimate_size
 from ...sim import RequestContext
 from ..cache import ExecutorCache
@@ -164,10 +165,25 @@ class RepeatableReadProtocol(ConsistencyProtocol):
             cache_version = cache.get_metadata(key)
             if cache_version is None or cache_version != entry.version:
                 # Version mismatch: query the upstream cache that pinned the
-                # snapshot (Algorithm 1, line 5).
+                # snapshot (Algorithm 1, line 5).  ``expected_version`` keeps
+                # the exact-version guarantee honest under concurrency: if the
+                # snapshot is gone, the upstream's live copy is only accepted
+                # when another session has not advanced it.
                 state.upstream_fetches += 1
-                value = cache.fetch_from_upstream(entry.cache_id, state.execution_id,
-                                                  key, ctx)
+                try:
+                    value = cache.fetch_from_upstream(
+                        entry.cache_id, state.execution_id, key, ctx,
+                        expected_version=entry.version)
+                except ConsistencyError:
+                    # The upstream cache was drained (scale-down) or no longer
+                    # holds the pinned version.  The local cache re-pins every
+                    # constrained read (below), so its own snapshot — the
+                    # exact version — usually survives; only fall back to a
+                    # live read when that is gone too, rather than failing
+                    # the whole session mid-flight.
+                    value = cache.get_snapshot(state.execution_id, key)
+                    if value is None:
+                        value = cache.get_or_fetch(key, ctx)
             else:
                 value = cache.get(key, ctx)
             # The local cache now also holds the snapshot for later functions.
@@ -272,8 +288,6 @@ class DistributedSessionCausalProtocol(ConsistencyProtocol):
     def _read_constrained(self, cache: ExecutorCache, key: str, required,
                           upstream_cache_id: str, ctx, state: SessionState) -> Lattice:
         """Lines 2-14 of Algorithm 2: serve locally only if causally valid."""
-        from ...errors import ConsistencyError
-
         cache_version = cache.get_metadata(key)
         if _causally_valid(cache_version, required):
             return cache.get(key, ctx)

@@ -126,6 +126,7 @@ class UserLibrary:
             clock_ms=executor.kvs.wall_clock_ms(),
             prior=prior,
             dependencies=dependencies,
+            key=key,
         )
         self._protocol.write(executor.cache, key, lattice, self._ctx, self._state)
 

@@ -224,7 +224,11 @@ class Scheduler:
                 break
             except ExecutorFailedError:
                 # §4.5: if a machine fails mid-DAG, the whole DAG re-executes
-                # after a configurable timeout.
+                # after a configurable timeout.  The failed attempt's session
+                # must be released first — its pinned snapshots and shadow
+                # reads would otherwise leak, since the retry runs under a
+                # fresh execution id.
+                self._release_session(state, protocol)
                 retries += 1
                 if retries > self.max_retries:
                     raise DagExecutionError(
@@ -242,6 +246,46 @@ class Scheduler:
                                execution_id=state.execution_id, ctx=ctx,
                                retries=retries, result_key=result_key, session=state)
 
+    def call_dag_on_engine(self, dag_name: str,
+                           function_args: Optional[Dict[str, Sequence[Any]]] = None,
+                           consistency: Optional[ConsistencyLevel] = None,
+                           engine=None,
+                           ctx: Optional[RequestContext] = None,
+                           on_complete: Optional[Callable[["ExecutionResult"], None]] = None,
+                           on_error: Optional[Callable[[Exception], None]] = None,
+                           ) -> "_EngineDagSession":
+        """Schedule a DAG execution as discrete events on a shared engine.
+
+        The sequential :meth:`call_dag` runs a whole DAG to completion inside
+        one Python call, so even when two sessions' *virtual* times overlap
+        their cache and snapshot accesses can never actually interleave.
+        This variant turns every DAG function into its own engine event fired
+        at the function's fork/join ready time: many in-flight sessions
+        genuinely interleave their reads, writes, snapshot pins and update
+        propagation on one timeline — which is what the §6.2 consistency
+        experiments need.  The sink event finalizes the session (snapshot
+        eviction, anomaly accounting) and hands an :class:`ExecutionResult`
+        to ``on_complete``.  If the DAG exhausts its §4.5 retries, the
+        failure goes to ``on_error`` when provided (so one poisoned session
+        cannot abort a whole multi-client driver run); without ``on_error``
+        the :class:`DagExecutionError` propagates out of the engine loop,
+        matching the sequential :meth:`call_dag` contract.
+        """
+        if engine is None:
+            raise ValueError("call_dag_on_engine needs a discrete-event engine")
+        level = consistency or self.default_consistency
+        ctx = ctx or RequestContext(clock=SimClock(engine.now_ms))
+        start_ms = ctx.clock.now_ms
+        dag = self.dag_registry.get(dag_name)
+        self.dag_registry.record_call(dag_name)
+        self.stats.record_dag_call(dag_name)
+        self.latency_model.charge(ctx, "cloudburst", "client_to_scheduler")
+        self.latency_model.charge(ctx, "cloudburst", "schedule")
+        session = _EngineDagSession(self, dag, function_args or {}, ctx, start_ms,
+                                    level, engine, on_complete, on_error)
+        session.start()
+        return session
+
     def _execute_dag(self, dag: Dag, function_args: Dict[str, Sequence[Any]],
                      ctx: RequestContext, state: SessionState, protocol) -> Any:
         """Run every DAG function in dependency order with fork/join timing.
@@ -258,21 +302,8 @@ class Scheduler:
         fork_join = ForkJoin(base_ms=ctx.clock.now_ms)
         branches: List[RequestContext] = []
         for name in order:
-            upstream = dag.upstream_of(name)
-            ready_ms = fork_join.ready_at(upstream)
-            branch = RequestContext(clock=SimClock(ready_ms),
-                                    metadata=dict(ctx.metadata))
-            pinned = self.pinned_threads(name)
-            args = [results[u] for u in upstream] + list(function_args.get(name, ()))
-            thread = self._pick_executor(name, args, candidates=pinned or None,
-                                         now_ms=ready_ms)
-            if not upstream:
-                self.latency_model.charge(branch, "cloudburst", "scheduler_to_executor")
-            else:
-                # Downstream trigger ships the session's consistency metadata.
-                self.latency_model.charge(branch, "cloudburst", "dag_trigger",
-                                          size_bytes=state.metadata_bytes())
-            value = self._run_on_thread(thread, name, args, branch, state, protocol)
+            value, branch = self._dispatch_function(dag, name, results, function_args,
+                                                    fork_join, ctx, state, protocol)
             results[name] = value
             fork_join.complete(name, branch.clock.now_ms)
             branches.append(branch)
@@ -281,6 +312,34 @@ class Scheduler:
         if len(sinks) == 1:
             return results[sinks[0]]
         return {sink: results[sink] for sink in sinks}
+
+    def _dispatch_function(self, dag: Dag, name: str, results: Dict[str, Any],
+                           function_args: Dict[str, Sequence[Any]],
+                           fork_join: ForkJoin, ctx: RequestContext,
+                           state: SessionState, protocol) -> Tuple[Any, RequestContext]:
+        """Place and run one DAG function at its fork/join ready time.
+
+        Shared by the sequential loop above and the engine-event path
+        (:class:`_EngineDagSession`) so the two stay charge-for-charge
+        identical — the single-client cross-check in the consistency tests
+        depends on that parity.  Returns ``(value, branch_context)``.
+        """
+        upstream = dag.upstream_of(name)
+        ready_ms = fork_join.ready_at(upstream)
+        branch = RequestContext(clock=SimClock(ready_ms),
+                                metadata=dict(ctx.metadata))
+        pinned = self.pinned_threads(name)
+        args = [results[u] for u in upstream] + list(function_args.get(name, ()))
+        thread = self._pick_executor(name, args, candidates=pinned or None,
+                                     now_ms=ready_ms)
+        if not upstream:
+            self.latency_model.charge(branch, "cloudburst", "scheduler_to_executor")
+        else:
+            # Downstream trigger ships the session's consistency metadata.
+            self.latency_model.charge(branch, "cloudburst", "dag_trigger",
+                                      size_bytes=state.metadata_bytes())
+        value = self._run_on_thread(thread, name, args, branch, state, protocol)
+        return value, branch
 
     def _run_on_thread(self, thread: ExecutorThread, function_name: str,
                        args: Sequence[Any], ctx: RequestContext,
@@ -386,3 +445,121 @@ class Scheduler:
     def _complete_anomaly_tracking(self, state: SessionState) -> None:
         if self.anomaly_tracker is not None:
             self.anomaly_tracker.complete_execution(state.execution_id)
+
+    def _release_session(self, state: SessionState, protocol) -> None:
+        """Release an abandoned attempt's snapshots and shadow bookkeeping."""
+        protocol.finalize(state, self._cache_registry())
+        if self.anomaly_tracker is not None:
+            self.anomaly_tracker.abandon_execution(state.execution_id)
+
+
+class _EngineDagSession:
+    """One in-flight DAG execution decomposed into engine events.
+
+    Mirrors :meth:`Scheduler._execute_dag` — same charges, same fork/join
+    timing, same consistency-protocol calls — but each function runs in its
+    own engine event at its ready time, so concurrent sessions interleave
+    their cache accesses in the order virtual time dictates.  Failed
+    attempts release their session state (snapshots, shadow reads) before
+    the §4.5 whole-DAG retry.
+    """
+
+    def __init__(self, scheduler: Scheduler, dag: Dag,
+                 function_args: Dict[str, Sequence[Any]], ctx: RequestContext,
+                 start_ms: float, level: ConsistencyLevel, engine,
+                 on_complete: Optional[Callable[[ExecutionResult], None]],
+                 on_error: Optional[Callable[[Exception], None]] = None):
+        self.scheduler = scheduler
+        self.dag = dag
+        self.function_args = function_args
+        self.ctx = ctx
+        self.start_ms = start_ms
+        self.level = level
+        self.engine = engine
+        self.on_complete = on_complete
+        self.on_error = on_error
+        self.retries = 0
+        self.done = False
+        self.result: Optional[ExecutionResult] = None
+        self.error: Optional[Exception] = None
+        self._reset_attempt()
+
+    def _reset_attempt(self) -> None:
+        self.state = SessionState.create(self.level)
+        self.protocol = self.scheduler._make_protocol(self.level)
+        self.results: Dict[str, Any] = {}
+        self.branches: List[RequestContext] = []
+        self.remaining = len(self.dag.functions)
+        self.fork_join = ForkJoin(base_ms=self.ctx.clock.now_ms)
+        self._scheduled: set = set()
+
+    def start(self) -> None:
+        base = self.ctx.clock.now_ms
+        for name in self.dag.sources:
+            self._schedule(name, base)
+
+    def _schedule(self, name: str, at_ms: float) -> None:
+        if name in self._scheduled:
+            return
+        self._scheduled.add(name)
+        attempt = self.state
+        self.engine.at(at_ms, lambda: self._run_function(name, attempt))
+
+    def _run_function(self, name: str, attempt: SessionState) -> None:
+        if attempt is not self.state or self.done:
+            return  # stale event from an attempt that failed and restarted
+        try:
+            value, branch = self.scheduler._dispatch_function(
+                self.dag, name, self.results, self.function_args,
+                self.fork_join, self.ctx, self.state, self.protocol)
+        except ExecutorFailedError:
+            self._retry()
+            return
+        self.results[name] = value
+        self.fork_join.complete(name, branch.clock.now_ms)
+        self.branches.append(branch)
+        self.remaining -= 1
+        for downstream in self.dag.downstream_of(name):
+            gates = self.dag.upstream_of(downstream)
+            if all(u in self.results for u in gates):
+                self._schedule(downstream, self.fork_join.ready_at(gates))
+        if self.remaining == 0:
+            self._finish()
+
+    def _retry(self) -> None:
+        scheduler = self.scheduler
+        scheduler._release_session(self.state, self.protocol)
+        self.retries += 1
+        if self.retries > scheduler.max_retries:
+            error = DagExecutionError(
+                f"DAG {self.dag.name!r} failed after {self.retries} attempts")
+            self.done = True
+            self.error = error
+            if self.on_error is not None:
+                # Deliver the failure to this session's owner; other sessions
+                # sharing the engine keep running (raising here would abort
+                # the whole driver run for every concurrent client).
+                self.on_error(error)
+                return
+            raise error
+        self.ctx.charge("cloudburst", "fault_timeout", scheduler.fault_timeout_ms)
+        self._reset_attempt()
+        self.engine.at(self.ctx.clock.now_ms, self.start)
+
+    def _finish(self) -> None:
+        scheduler = self.scheduler
+        ctx = self.ctx
+        ctx.join(self.branches)
+        scheduler.latency_model.charge(ctx, "cloudburst", "result_to_client")
+        self.protocol.finalize(self.state, scheduler._cache_registry())
+        scheduler._complete_anomaly_tracking(self.state)
+        sinks = self.dag.sinks
+        value = (self.results[sinks[0]] if len(sinks) == 1
+                 else {sink: self.results[sink] for sink in sinks})
+        self.done = True
+        self.result = ExecutionResult(
+            value=value, latency_ms=ctx.clock.now_ms - self.start_ms,
+            execution_id=self.state.execution_id, ctx=ctx,
+            retries=self.retries, session=self.state)
+        if self.on_complete is not None:
+            self.on_complete(self.result)

@@ -39,32 +39,45 @@ class LatticeEncapsulator:
     # -- wrapping --------------------------------------------------------------
     def encapsulate(self, value: Any, clock_ms: float = 0.0,
                     prior: Optional[Lattice] = None,
-                    dependencies: Optional[Mapping[str, VectorClock]] = None) -> Lattice:
+                    dependencies: Optional[Mapping[str, VectorClock]] = None,
+                    key: Optional[str] = None) -> Lattice:
         """Wrap ``value`` for storage in Anna.
 
         ``prior`` is the lattice currently stored for the key (if known); the
         causal modes use it to extend the key's vector clock rather than start
         a fresh causal history.  ``dependencies`` is the writer's current
         dependency set (key -> vector clock of the version read), shipped only
-        by the levels that track cross-key dependencies.
+        by the levels that track cross-key dependencies.  ``key`` names the
+        key being written so the new version can causally follow the
+        session's own observation of that key (see below).
         """
         if value is None or isinstance(value, Lattice):
             # Already a lattice (system metadata) — store as-is.
             if isinstance(value, Lattice):
                 return value
         if self.level.is_causal:
-            return self._encapsulate_causal(value, prior, dependencies)
+            return self._encapsulate_causal(value, prior, dependencies, key)
         return LWWLattice(self._timestamps.next(clock_ms), value)
 
     def _encapsulate_causal(self, value: Any, prior: Optional[Lattice],
-                            dependencies: Optional[Mapping[str, VectorClock]]) -> Lattice:
+                            dependencies: Optional[Mapping[str, VectorClock]],
+                            key: Optional[str] = None) -> Lattice:
         base_clock = VectorClock()
         if isinstance(prior, CausalLattice):
             base_clock = prior.vector_clock
-        new_clock = base_clock.increment(self.node_id)
         deps: Dict[str, VectorClock] = {}
         if self.level.tracks_dependencies and dependencies:
             deps = dict(dependencies)
+        if key is not None and dependencies and key in dependencies:
+            # A session that read ``key`` on a *different* cache may find no
+            # (or an older) local prior; without this merge the new version
+            # would sit concurrent with the very version it claims to follow
+            # — self-contradictory causal metadata that made downstream reads
+            # look anomalous.  The write causally follows everything the
+            # session observed of the key, so its clock must dominate it.
+            base_clock = base_clock.merge(dependencies[key])
+            deps.pop(key, None)  # a version does not depend on itself
+        new_clock = base_clock.increment(self.node_id)
         return CausalLattice(new_clock, value, dependencies=deps)
 
     # -- unwrapping -------------------------------------------------------------

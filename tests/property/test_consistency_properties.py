@@ -120,7 +120,7 @@ def test_distributed_session_causal_invariant(schedule):
                 if isinstance(entry.version, VectorClock)
             }
             lattice = encapsulators[cache_index].encapsulate(
-                f"{key}-session", prior=prior, dependencies=dependencies)
+                f"{key}-session", prior=prior, dependencies=dependencies, key=key)
             protocol.write(caches[cache_index], key, lattice, None, state)
 
     # After any schedule, every cache the session touched can be made a causal

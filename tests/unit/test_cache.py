@@ -81,6 +81,18 @@ class TestBasicDataPath:
         cache.get_or_fetch("k")
         assert cache.stats.hit_rate == pytest.approx(0.5)
 
+    def test_get_miss_is_counted_before_raising(self, cache, anna):
+        # Regression: get() used to raise without touching stats.misses,
+        # inflating hit_rate for callers that probe the cache first.
+        anna.put("k", lww("v"))
+        cache.get_or_fetch("k")   # miss (fetched), then...
+        cache.get_or_fetch("k")   # ...hit
+        with pytest.raises(KeyNotFoundError):
+            cache.get("ghost")
+        assert cache.stats.misses == 2
+        assert cache.stats.hits == 1
+        assert cache.stats.hit_rate == pytest.approx(1 / 3)
+
 
 class TestFreshness:
     def test_publish_cached_keys_feeds_index(self, cache, anna):
@@ -177,3 +189,100 @@ class TestCausalCut:
     def test_non_causal_values_are_ignored(self, cache):
         cache.ensure_causal_cut(lww("x"))
         assert cache.violates_causal_cut() == []
+
+    def test_violates_causal_cut_reports_missing_dependency(self, cache):
+        # Regression: a *missing* dependency used to be skipped as if the cut
+        # held.  A causal cut requires every dependency present at a
+        # concurrent-or-newer version, so a hole in the cache is a violation.
+        cache._data["k"] = CausalLattice(VectorClock({"x": 1}), "v",
+                                         dependencies={"ghost": VectorClock({"w": 1})})
+        assert ("k", "ghost") in cache.violates_causal_cut()
+
+    def test_violates_causal_cut_reports_versionless_dependency(self, cache):
+        # A dependency present only as a non-causal lattice has no vector
+        # clock to compare against, so the cut property cannot hold either.
+        cache._data["dep"] = lww("plain")
+        cache._data["k"] = CausalLattice(VectorClock({"x": 1}), "v",
+                                         dependencies={"dep": VectorClock({"w": 1})})
+        assert ("k", "dep") in cache.violates_causal_cut()
+
+    def test_ensure_causal_cut_walks_chains_deeper_than_old_cap(self, cache, anna):
+        # Regression: the recursive implementation silently stopped after 8
+        # hops, leaving the tail of long dependency chains unrepaired.
+        depth = 12
+        clocks = {i: VectorClock({"w": i + 1}) for i in range(depth)}
+        anna.put("dep-0", CausalLattice(clocks[0], "v0"))
+        for i in range(1, depth):
+            anna.put(f"dep-{i}", CausalLattice(
+                clocks[i], f"v{i}",
+                dependencies={f"dep-{i - 1}": clocks[i - 1]}))
+        head = CausalLattice(VectorClock({"h": 1}), "head",
+                             dependencies={f"dep-{depth - 1}": clocks[depth - 1]})
+        cache.ensure_causal_cut(head)
+        assert all(cache.contains(f"dep-{i}") for i in range(depth))
+        assert cache.violates_causal_cut() == []
+        assert cache.stats.causal_dep_fetches == depth
+
+    def test_ensure_causal_cut_terminates_on_cyclic_dependencies(self, cache, anna):
+        anna.put("a", CausalLattice(VectorClock({"w": 1}), "a-v",
+                                    dependencies={"b": VectorClock({"w": 1})}))
+        anna.put("b", CausalLattice(VectorClock({"w": 1}), "b-v",
+                                    dependencies={"a": VectorClock({"w": 1})}))
+        head = CausalLattice(VectorClock({"h": 1}), "head",
+                             dependencies={"a": VectorClock({"w": 1})})
+        cache.ensure_causal_cut(head)  # must not loop forever
+        assert cache.contains("a") and cache.contains("b")
+
+    def test_ensure_causal_cut_counts_unresolved_dependencies(self, cache):
+        head = CausalLattice(VectorClock({"h": 1}), "head",
+                             dependencies={"nowhere": VectorClock({"w": 3})})
+        cache.ensure_causal_cut(head)
+        assert cache.stats.causal_deps_unresolved == 1
+        # And storing the head now reports the hole as a violation.
+        cache._data["head"] = head
+        assert ("head", "nowhere") in cache.violates_causal_cut()
+
+
+class TestClose:
+    def test_close_deregisters_listener_and_peer_entry(self, anna, peers):
+        cache = ExecutorCache("cache-x", anna, peer_registry=peers)
+        other = ExecutorCache("cache-y", anna, peer_registry=peers)
+        cache.put("k", lww("v1", clock=1.0))
+        cache.close()
+        assert "cache-x" not in peers
+        assert "cache-x" not in anna.cache_index.caches_for("k")
+        # A newer write no longer reaches the closed cache.
+        other.put("k", lww("v2", clock=9.0))
+        assert cache.stats.update_pushes_received == 0
+        assert not cache.contains("k")
+
+    def test_close_is_idempotent(self, cache):
+        cache.close()
+        cache.close()
+        assert cache.closed
+
+    def test_fetch_from_closed_upstream_raises_consistency_error(self, anna, peers):
+        upstream = ExecutorCache("up", anna, peer_registry=peers)
+        downstream = ExecutorCache("down", anna, peer_registry=peers)
+        upstream.create_snapshot("exec-1", "k", lww("pinned"))
+        upstream.close()
+        with pytest.raises(ConsistencyError):
+            downstream.fetch_from_upstream("up", "exec-1", "k")
+
+    def test_fallback_rejects_mismatched_live_version(self, anna, peers):
+        # With many sessions in flight, the upstream's live copy may have been
+        # advanced by a different session after the snapshot was evicted; the
+        # exact-version fetch must refuse it rather than silently serve it.
+        upstream = ExecutorCache("up", anna, peer_registry=peers)
+        downstream = ExecutorCache("down", anna, peer_registry=peers)
+        pinned = lww("pinned", clock=1.0)
+        upstream.put("k", pinned)
+        expected = Timestamp(1.0, "n")
+        upstream.evict_snapshots("exec-1")  # no snapshot pinned at all
+        assert downstream.fetch_from_upstream(
+            "up", "exec-1", "k", expected_version=expected).reveal() == "pinned"
+        # Another session advances the live copy; the fallback must now fail.
+        upstream.put("k", lww("advanced", clock=5.0))
+        with pytest.raises(ConsistencyError):
+            downstream.fetch_from_upstream("up", "exec-2", "k",
+                                           expected_version=expected)

@@ -50,6 +50,23 @@ class TestCausalEncapsulation:
         assert dsc.encapsulate("v", dependencies=deps).dependencies == deps
         assert sk.encapsulate("v", dependencies=deps).dependencies == {}
 
+    def test_write_dominates_sessions_own_observation_of_the_key(self):
+        # Regression: a session that read k on another cache has no local
+        # prior; the new version still must causally *follow* the version the
+        # session observed (shipped in ``dependencies[key]``), not sit
+        # concurrent with it — otherwise the write carries self-contradictory
+        # metadata ("depends on a version it does not dominate").
+        enc = LatticeEncapsulator("writer-0", ConsistencyLevel.DISTRIBUTED_SESSION_CAUSAL)
+        observed = VectorClock({"seed": 1})
+        lattice = enc.encapsulate("v", prior=None,
+                                  dependencies={"k": observed,
+                                                "other": VectorClock({"w": 2})},
+                                  key="k")
+        assert lattice.vector_clock.dominates(observed)
+        # A version does not depend on itself; cross-key deps survive.
+        assert "k" not in lattice.dependencies
+        assert lattice.dependencies == {"other": VectorClock({"w": 2})}
+
     def test_concurrent_versions_helper(self):
         enc = LatticeEncapsulator("a", ConsistencyLevel.MULTI_KEY_CAUSAL)
         lattice = enc.encapsulate("v")
