@@ -16,8 +16,10 @@ def test_figure1_composition(bench_once):
         f"Cloudburst vs Dask (median):            {result.speedup('Cloudburst', 'Dask'):6.1f}x",
         f"Cloudburst vs Lambda (median):          {result.speedup('Cloudburst', 'Lambda'):6.1f}x",
         f"Cloudburst vs SAND (median):            {result.speedup('Cloudburst', 'SAND'):6.1f}x",
-        f"Cloudburst vs Lambda+S3 (median):       {result.speedup('Cloudburst', 'Lambda + S3'):6.1f}x",
-        f"Cloudburst vs Step Functions (median):  {result.speedup('Cloudburst', 'Step Functions'):6.1f}x",
+        f"Cloudburst vs Lambda+S3 (median):       "
+        f"{result.speedup('Cloudburst', 'Lambda + S3'):6.1f}x",
+        f"Cloudburst vs Step Functions (median):  "
+        f"{result.speedup('Cloudburst', 'Step Functions'):6.1f}x",
         "paper: Step Functions ~82x slower than Cloudburst, Lambda ~10x faster than Step Functions",
     ]))
     assert result.median("Cloudburst") < result.median("Lambda")

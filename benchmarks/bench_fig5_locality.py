@@ -17,11 +17,16 @@ def test_figure5_locality(bench_once):
     at_8mb = sweep.points["8MB"]
     at_80mb = sweep.points["80MB"]
     emit("Figure 5: key ratios @ 8MB / 80MB", "\n".join([
-        f"Hot vs Cold @8MB:        {at_8mb.speedup('Cloudburst (Hot)', 'Cloudburst (Cold)'):6.1f}x  (paper ~10x)",
-        f"Hot vs Lambda+Redis @8MB:{at_8mb.speedup('Cloudburst (Hot)', 'Lambda (Redis)'):6.1f}x  (paper ~25x)",
-        f"Hot vs Lambda+S3 @8MB:   {at_8mb.speedup('Cloudburst (Hot)', 'Lambda (S3)'):6.1f}x  (paper ~79x)",
-        f"Hot vs Cold @80MB:       {at_80mb.speedup('Cloudburst (Hot)', 'Cloudburst (Cold)'):6.1f}x  (paper ~9x)",
-        f"Hot vs Lambda+S3 @80MB:  {at_80mb.speedup('Cloudburst (Hot)', 'Lambda (S3)'):6.1f}x  (paper ~24x)",
+        f"Hot vs Cold @8MB:        "
+        f"{at_8mb.speedup('Cloudburst (Hot)', 'Cloudburst (Cold)'):6.1f}x  (paper ~10x)",
+        f"Hot vs Lambda+Redis @8MB:"
+        f"{at_8mb.speedup('Cloudburst (Hot)', 'Lambda (Redis)'):6.1f}x  (paper ~25x)",
+        f"Hot vs Lambda+S3 @8MB:   "
+        f"{at_8mb.speedup('Cloudburst (Hot)', 'Lambda (S3)'):6.1f}x  (paper ~79x)",
+        f"Hot vs Cold @80MB:       "
+        f"{at_80mb.speedup('Cloudburst (Hot)', 'Cloudburst (Cold)'):6.1f}x  (paper ~9x)",
+        f"Hot vs Lambda+S3 @80MB:  "
+        f"{at_80mb.speedup('Cloudburst (Hot)', 'Lambda (S3)'):6.1f}x  (paper ~24x)",
     ]))
     assert at_8mb.median("Cloudburst (Hot)") < at_8mb.median("Cloudburst (Cold)")
     assert at_80mb.median("Lambda (S3)") < at_80mb.median("Lambda (Redis)")

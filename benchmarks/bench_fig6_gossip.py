@@ -14,10 +14,14 @@ def test_figure6_aggregation(bench_once):
     result = bench_once(run_figure6, repetitions=scale(100), seed=0)
     emit("Figure 6: distributed aggregation latency", result.as_table())
     emit("Figure 6: key ratios", "\n".join([
-        f"CB gather vs Lambda+Redis gather:  {result.speedup('Cloudburst (gather)', 'Lambda+Redis (gather)'):6.1f}x  (paper ~22x)",
-        f"CB gather vs Lambda+Dynamo gather: {result.speedup('Cloudburst (gather)', 'Lambda+Dynamo (gather)'):6.1f}x  (paper ~53x)",
-        f"CB gossip vs Lambda+Dynamo gather: {result.speedup('Cloudburst (gossip)', 'Lambda+Dynamo (gather)'):6.1f}x  (paper ~3x)",
-        f"CB gossip vs Lambda+Redis gather:  {result.speedup('Cloudburst (gossip)', 'Lambda+Redis (gather)'):6.2f}x  (paper ~1.1x)",
+        f"CB gather vs Lambda+Redis gather:  "
+        f"{result.speedup('Cloudburst (gather)', 'Lambda+Redis (gather)'):6.1f}x  (paper ~22x)",
+        f"CB gather vs Lambda+Dynamo gather: "
+        f"{result.speedup('Cloudburst (gather)', 'Lambda+Dynamo (gather)'):6.1f}x  (paper ~53x)",
+        f"CB gossip vs Lambda+Dynamo gather: "
+        f"{result.speedup('Cloudburst (gossip)', 'Lambda+Dynamo (gather)'):6.1f}x  (paper ~3x)",
+        f"CB gossip vs Lambda+Redis gather:  "
+        f"{result.speedup('Cloudburst (gossip)', 'Lambda+Redis (gather)'):6.2f}x  (paper ~1.1x)",
     ]))
     assert result.median("Cloudburst (gossip)") < result.median("Lambda+Dynamo (gather)")
     assert result.median("Cloudburst (gather)") < result.median("Lambda+Redis (gather)")

@@ -14,9 +14,12 @@ def test_figure9_prediction_serving(bench_once):
     result = bench_once(run_figure9, requests=scale(50), seed=0)
     emit("Figure 9: prediction-serving latency", result.as_table())
     emit("Figure 9: key ratios", "\n".join([
-        f"Cloudburst vs Python (median):    {result.speedup('Python', 'Cloudburst'):6.2f}x slower  (paper ~1.07x)",
-        f"Sagemaker vs Cloudburst (median): {result.speedup('Cloudburst', 'AWS Sagemaker'):6.2f}x slower (paper ~1.6x)",
-        f"Lambda (Actual) vs Cloudburst:    {result.speedup('Cloudburst', 'Lambda (Actual)'):6.2f}x slower (paper ~5x)",
+        f"Cloudburst vs Python (median):    "
+        f"{result.speedup('Python', 'Cloudburst'):6.2f}x slower  (paper ~1.07x)",
+        f"Sagemaker vs Cloudburst (median): "
+        f"{result.speedup('Cloudburst', 'AWS Sagemaker'):6.2f}x slower (paper ~1.6x)",
+        f"Lambda (Actual) vs Cloudburst:    "
+        f"{result.speedup('Cloudburst', 'Lambda (Actual)'):6.2f}x slower (paper ~5x)",
     ]))
     assert result.median("Python") <= result.median("Cloudburst")
     assert result.median("Cloudburst") < result.median("AWS Sagemaker")

@@ -2,17 +2,19 @@
 """Run the throughput benchmarks and emit a machine-readable snapshot.
 
 Produces ``BENCH_throughput.json`` (median / p99 / requests-per-second for
-Figures 7, 10 and 12, plus the engine-driven consistency experiments:
+Figures 5, 6, 7, 10 and 12, plus the engine-driven consistency experiments:
 Figure 8 per-level latency and Table 2 anomaly counts) so successive PRs have
 a perf trajectory to compare against.  Everything runs the real Cloudburst
-stack under the discrete-event engine; the snapshot also records wall-clock
-runtime of each harness, which is the number future performance PRs want to
-push down.
+stack under the discrete-event engine — including, since the storage tier
+moved onto it, the Anna nodes themselves (bounded work queues, quorum-of-1
+writes, anti-entropy gossip); the snapshot also records wall-clock runtime of
+each harness, which is the number future performance PRs want to push down.
 
-The Table 2 section is also a consistency regression gate: the run exits
-nonzero if the anomaly sanity invariants break (LWW == 0,
-SK >= MK-increment >= 0, SK <= MK <= DSC cumulative, DSRR < SK), so future
-PRs catch consistency regressions straight from the bench snapshot.
+The run is also a regression gate (the job CI runs on every push): it exits
+nonzero if the consistency invariants break (LWW == 0,
+SK >= MK-increment >= 0, SK <= MK <= DSC cumulative, DSRR < SK) or if the
+Figure 5/6 paper orderings flip (hot cache < cold < Redis < S3 at 8 MB, the
+S3/Redis crossover at 80 MB, Cloudburst gather beating the Lambda gathers).
 
 Usage::
 
@@ -26,7 +28,6 @@ from __future__ import annotations
 
 import argparse
 import json
-import os
 import sys
 import time
 from pathlib import Path
@@ -35,6 +36,8 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro.bench import (  # noqa: E402
+    run_figure5,
+    run_figure6,
     run_figure7,
     run_figure8,
     run_figure10,
@@ -50,6 +53,91 @@ def _summary(recorder) -> dict:
         "median_ms": round(stats.median_ms, 3),
         "p99_ms": round(stats.p99_ms, 3),
     }
+
+
+def snapshot_figure5(seed: int, requests_per_size: int,
+                     sizes=("8MB", "80MB")) -> dict:
+    started = time.time()
+    sweep = run_figure5(requests_per_size=requests_per_size, sizes=sizes,
+                        seed=seed)
+    return {
+        "driver": "engine",
+        "sizes": {
+            label: {system: _summary(recorder)
+                    for system, recorder in point.recorders.items()}
+            for label, point in sweep.points.items()
+        },
+        "wall_seconds": round(time.time() - started, 2),
+    }
+
+
+def snapshot_figure6(seed: int, repetitions: int) -> dict:
+    started = time.time()
+    result = run_figure6(repetitions=repetitions, seed=seed)
+    return {
+        "driver": "engine",
+        "systems": {system: _summary(recorder)
+                    for system, recorder in result.recorders.items()},
+        "wall_seconds": round(time.time() - started, 2),
+    }
+
+
+def _median(section: dict, system: str) -> float:
+    return section[system]["median_ms"]
+
+
+def figure5_ordering_errors(fig5: dict) -> list:
+    """The paper's Figure 5 orderings, checked on the snapshot payload."""
+    errors = []
+    sizes = fig5["sizes"]
+    small = sizes.get("8MB")
+    if small is not None:
+        chain = ["Cloudburst (Hot)", "Cloudburst (Cold)",
+                 "Lambda (Redis)", "Lambda (S3)"]
+        for faster, slower in zip(chain, chain[1:]):
+            if not _median(small, faster) < _median(small, slower):
+                errors.append(f"fig5@8MB: expected {faster} < {slower}, got "
+                              f"{_median(small, faster):.2f} >= "
+                              f"{_median(small, slower):.2f} ms")
+        if not _median(small, "Cloudburst (Hot)") * 10 < \
+                _median(small, "Lambda (Redis)"):
+            errors.append("fig5@8MB: hot cache no longer >10x faster than "
+                          "Lambda over Redis")
+    large = sizes.get("80MB")
+    if large is not None:
+        if not _median(large, "Lambda (S3)") < _median(large, "Lambda (Redis)"):
+            errors.append("fig5@80MB: the S3/Redis bandwidth crossover flipped")
+        if not _median(large, "Cloudburst (Hot)") * 4 < \
+                _median(large, "Cloudburst (Cold)"):
+            errors.append("fig5@80MB: hot cache no longer >4x faster than cold")
+    return errors
+
+
+def figure6_ordering_errors(fig6: dict) -> list:
+    """The paper's Figure 6 orderings, checked on the snapshot payload."""
+    errors = []
+    systems = fig6["systems"]
+    chain = [("Cloudburst (gather)", "Cloudburst (gossip)"),
+             ("Cloudburst (gossip)", "Lambda+Dynamo (gather)"),
+             ("Lambda+Redis (gather)", "Lambda+S3 (gather)")]
+    for faster, slower in chain:
+        if not _median(systems, faster) < _median(systems, slower):
+            errors.append(f"fig6: expected {faster} < {slower}, got "
+                          f"{_median(systems, faster):.2f} >= "
+                          f"{_median(systems, slower):.2f} ms")
+    if not _median(systems, "Cloudburst (gather)") * 5 < \
+            _median(systems, "Lambda+Redis (gather)"):
+        errors.append("fig6: Cloudburst gather no longer >5x faster than "
+                      "Lambda+Redis gather")
+    return errors
+
+
+def collect_gate_errors(payload: dict) -> list:
+    """Every invariant the bench snapshot gates CI on, as error strings."""
+    errors = list(payload["table2_anomalies"]["invariant_violations"])
+    errors += figure5_ordering_errors(payload["figure5_locality"])
+    errors += figure6_ordering_errors(payload["figure6_aggregation"])
+    return errors
 
 
 def snapshot_figure7(seed: int, scale: str) -> dict:
@@ -81,6 +169,9 @@ def snapshot_figure7(seed: int, scale: str) -> dict:
         "completed_requests": sim.completed_requests,
         "capacity_timeline": sim.capacity_timeline,
         "latency": _summary(sim.latencies),
+        "storage": experiment.storage_stats,
+        "storage_node_timeline": (experiment.storage_autoscaler.node_count_timeline
+                                  if experiment.storage_autoscaler else []),
         "wall_seconds": round(time.time() - started, 2),
     }
 
@@ -152,20 +243,21 @@ def snapshot_table2(seed: int, executions: int, dag_count: int,
     }
 
 
-def main() -> int:
+def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--output", default=str(REPO_ROOT / "BENCH_throughput.json"))
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--full", action="store_true",
                         help="run at the benchmark-default (slower) scale")
     parser.add_argument("--quick", action="store_true",
-                        help="smallest scale (CI smoke); same consistency gates")
-    args = parser.parse_args()
+                        help="smallest scale (CI smoke); same gates")
+    args = parser.parse_args(argv)
     if args.full and args.quick:
         parser.error("--full and --quick are mutually exclusive")
 
     if args.full:
         scale_label = "full"
+        fig5_requests, fig6_repetitions = 100, 100
         fig10_counts, fig10_requests = (10, 20, 40, 80, 160), 2_000
         fig12_counts, fig12_requests = (10, 20, 40, 80, 160), 5_000
         fig8_kwargs = dict(requests_per_level=2_000, dag_count=100,
@@ -174,6 +266,7 @@ def main() -> int:
                              populated_keys=1_000, executor_vms=5)
     elif args.quick:
         scale_label = "quick"
+        fig5_requests, fig6_repetitions = 8, 10
         fig10_counts, fig10_requests = (10, 40), 300
         fig12_counts, fig12_requests = (10, 40), 500
         fig8_kwargs = dict(requests_per_level=300, dag_count=40,
@@ -182,12 +275,24 @@ def main() -> int:
                              populated_keys=400, executor_vms=4)
     else:
         scale_label = "reduced"
+        fig5_requests, fig6_repetitions = 20, 30
         fig10_counts, fig10_requests = (10, 40, 160), 600
         fig12_counts, fig12_requests = (10, 40, 160), 1_000
         fig8_kwargs = dict(requests_per_level=800, dag_count=80,
                            populated_keys=1_200, executor_vms=5)
         table2_kwargs = dict(executions=2_000, dag_count=80,
                              populated_keys=800, executor_vms=5)
+
+    print("figure 5 (data locality, engine-attached storage)...", flush=True)
+    fig5 = snapshot_figure5(args.seed, fig5_requests)
+    for label, point in fig5["sizes"].items():
+        hot = point["Cloudburst (Hot)"]["median_ms"]
+        cold = point["Cloudburst (Cold)"]["median_ms"]
+        print(f"  fig5 @{label}: hot={hot:.2f}ms cold={cold:.2f}ms")
+    print("figure 6 (gossip vs gather, engine-attached storage)...", flush=True)
+    fig6 = snapshot_figure6(args.seed, fig6_repetitions)
+    for system, stats in fig6["systems"].items():
+        print(f"  fig6 {system:24s} median={stats['median_ms']:.2f}ms")
 
     print("figure 7 (autoscaling)...", flush=True)
     fig7 = snapshot_figure7(args.seed, scale_label)
@@ -216,26 +321,29 @@ def main() -> int:
     print(f"  table2 {table2['anomalies']} over {table2['executions']} executions "
           f"[{table2['wall_seconds']}s]")
 
-    invariant_errors = table2["invariant_violations"]
-
     payload = {
-        "schema": 2,
+        "schema": 3,
         "seed": args.seed,
         "scale": scale_label,
+        "figure5_locality": fig5,
+        "figure6_aggregation": fig6,
         "figure7_autoscaling": fig7,
         "figure10_prediction_scaling": fig10,
         "figure12_retwis_scaling": fig12,
         "figure8_consistency": fig8,
         "table2_anomalies": table2,
-        "consistency_invariants_ok": not invariant_errors,
     }
+    gate_errors = collect_gate_errors(payload)
+    payload["consistency_invariants_ok"] = \
+        not table2["invariant_violations"]
+    payload["bench_gate_ok"] = not gate_errors
     output = Path(args.output)
     output.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     print(f"wrote {output}")
 
-    if invariant_errors:
-        print("CONSISTENCY INVARIANT FAILURES:", file=sys.stderr)
-        for error in invariant_errors:
+    if gate_errors:
+        print("BENCH GATE FAILURES:", file=sys.stderr)
+        for error in gate_errors:
             print(f"  - {error}", file=sys.stderr)
         return 1
     return 0

@@ -12,13 +12,21 @@ from .autoscaler import (
     StorageAutoscalerReport,
     hot_key_report,
 )
-from .cluster import AnnaCluster
+from .cluster import DEFAULT_GOSSIP_INTERVAL_MS, AnnaCluster
 from .hash_ring import HashRing, stable_hash
 from .index import IndexOverhead, KeyCacheIndex
-from .storage_node import KeyStats, StorageNode
+from .storage_node import (
+    DEFAULT_NODE_QUEUE_BOUND,
+    KeyStats,
+    StorageNode,
+    StorageServiceModel,
+)
 
 __all__ = [
     "AnnaCluster",
+    "DEFAULT_GOSSIP_INTERVAL_MS",
+    "DEFAULT_NODE_QUEUE_BOUND",
+    "StorageServiceModel",
     "HashRing",
     "stable_hash",
     "IndexOverhead",

@@ -11,7 +11,7 @@ manages storage.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from .cluster import AnnaCluster
 
@@ -45,13 +45,41 @@ class StorageAutoscalerReport:
 
 
 class StorageAutoscaler:
-    """Periodic policy engine for the Anna storage tier."""
+    """Periodic policy engine for the Anna storage tier.
+
+    On the synchronous path callers invoke :meth:`tick` by hand; with a
+    discrete-event engine the autoscaler runs as a recurring engine event
+    (:meth:`attach_engine`, usually wired through
+    ``AnnaCluster.set_autoscaler``), evaluating the policy every interval of
+    *virtual* time.  Add/remove-node decisions rebalance the hash ring
+    through the cluster's migration path, so shard state follows membership.
+    """
 
     def __init__(self, cluster: AnnaCluster,
                  config: Optional[StorageAutoscalerConfig] = None):
         self.cluster = cluster
         self.config = config or StorageAutoscalerConfig()
         self._last_total_accesses = 0
+        self._engine_event = None
+        #: One report per tick, in tick order (observability + tests).
+        self.history: List[StorageAutoscalerReport] = []
+        #: ``(virtual_ms, node_count)`` after every tick — the storage-tier
+        #: analogue of the compute driver's capacity timeline.
+        self.node_count_timeline: List[Tuple[float, int]] = []
+
+    # -- engine attachment -------------------------------------------------------
+    def attach_engine(self, engine, interval_ms: float = 5_000.0) -> None:
+        """Run :meth:`tick` as a recurring engine event on virtual time."""
+        if interval_ms <= 0:
+            raise ValueError("autoscaler interval must be positive")
+        self.detach_engine()
+        self._engine_event = engine.every(
+            interval_ms, lambda: self.tick(now_ms=engine.now_ms))
+
+    def detach_engine(self) -> None:
+        if self._engine_event is not None:
+            self._engine_event.cancel()
+            self._engine_event = None
 
     def tick(self, now_ms: float = 0.0) -> StorageAutoscalerReport:
         """Run one policy evaluation and apply its decisions."""
@@ -79,6 +107,8 @@ class StorageAutoscaler:
 
         # 3. Cold-data demotion to the disk tier.
         report.keys_demoted = self._demote_cold_keys(now_ms)
+        self.history.append(report)
+        self.node_count_timeline.append((now_ms, self.cluster.node_count()))
         return report
 
     def _demote_cold_keys(self, now_ms: float) -> int:

@@ -14,24 +14,37 @@ a laptop-scale reimplementation with the properties Cloudburst relies on:
   only the affected shard of the key space.
 
 Latency: every remote ``get``/``put`` issued with a request context charges
-one Anna round trip sized by the payload.  Replica fan-out and update
-propagation are asynchronous in the paper and therefore charge nothing to the
-caller.
+one Anna round trip (network model) plus the target node's deterministic
+service time for the tier holding the key.  On the synchronous path that is
+the whole story; with a discrete-event engine attached, storage nodes are
+first-class engine participants — each charged operation additionally waits
+in the target node's bounded FIFO work queue, a put lands on *one* replica
+(the first whose queue has room: multi-master, quorum-of-1) and reaches the
+rest through periodic anti-entropy gossip on virtual time, and a put that
+finds every replica's queue full fails fast with ``StorageOverloadError``.
+Background traffic (gossip, asynchronous cache write-backs, rebalancing)
+never occupies the work queues and charges nothing, matching the paper's
+treatment of replication as asynchronous and free for the caller.
 """
 
 from __future__ import annotations
 
 from typing import Callable, Dict, Iterable, List, Optional
 
-from ..errors import KeyNotFoundError
-from ..lattices import Lattice, LWWLattice, Timestamp, TimestampGenerator
+from ..errors import KeyNotFoundError, StorageOverloadError
+from ..lattices import Lattice, LWWLattice, TimestampGenerator
 from ..sim import LatencyModel, RequestContext
 from .hash_ring import HashRing
 from .index import KeyCacheIndex
-from .storage_node import StorageNode
+from .storage_node import DEFAULT_NODE_QUEUE_BOUND, StorageNode, StorageServiceModel
 
 #: Callback signature for asynchronous update propagation to caches.
 UpdateListener = Callable[[str, Lattice], None]
+
+#: Default virtual-time period of the anti-entropy gossip round that carries
+#: writes from the replica that accepted them to the rest of the replica set
+#: while an engine is attached.
+DEFAULT_GOSSIP_INTERVAL_MS = 25.0
 
 
 class AnnaCluster:
@@ -49,7 +62,10 @@ class AnnaCluster:
                  virtual_nodes: int = 64,
                  memory_capacity_keys: int = 1_000_000,
                  propagation_mode: str = PROPAGATE_IMMEDIATE,
-                 propagation_interval_ms: float = 0.0):
+                 propagation_interval_ms: float = 0.0,
+                 storage_service: Optional[StorageServiceModel] = None,
+                 node_queue_bound: Optional[int] = DEFAULT_NODE_QUEUE_BOUND,
+                 gossip_interval_ms: float = DEFAULT_GOSSIP_INTERVAL_MS):
         if node_count <= 0:
             raise ValueError("node_count must be positive")
         if replication_factor <= 0:
@@ -58,18 +74,39 @@ class AnnaCluster:
             raise ValueError(f"unknown propagation mode: {propagation_mode!r}")
         if propagation_interval_ms < 0:
             raise ValueError("propagation_interval_ms cannot be negative")
+        if gossip_interval_ms < 0:
+            raise ValueError("gossip_interval_ms cannot be negative")
         self.latency_model = latency_model or LatencyModel()
         self.replication_factor = replication_factor
         self.memory_capacity_keys = memory_capacity_keys
+        self.storage_service = storage_service or StorageServiceModel()
+        self.node_queue_bound = node_queue_bound
         self.propagation_mode = propagation_mode
         #: Virtual-time period of the engine-driven propagation tick.  Only
         #: meaningful in periodic mode with an engine attached; replaces the
         #: hand-rolled "flush every N requests" counters the consistency
         #: benchmarks used to run.
         self.propagation_interval_ms = float(propagation_interval_ms)
+        #: Virtual-time period of replica anti-entropy gossip (engine only).
+        #: Zero disables gossip, falling back to instant write fan-out even
+        #: while an engine is attached.
+        self.gossip_interval_ms = float(gossip_interval_ms)
         self._engine = None
         self._flush_event = None
+        self._gossip_event = None
+        self._autoscaler = None
+        self._autoscaler_interval_ms = 5_000.0
         self._pending_updates: List[str] = []
+        #: Keys written at a node but not yet gossiped to its peer replicas.
+        self._dirty: Dict[str, set] = {}
+        self.gossip_rounds = 0
+        self.gossip_key_exchanges = 0
+        # Lifetime counters carried over from retired nodes and reset queues,
+        # so scale-downs and engine detach don't erase a run's storage costs.
+        self._retired_queue_busy_ms = 0.0
+        self._retired_rejections = 0
+        self._retired_read_redirects = 0
+        self._retired_demotions = 0
         self._ring = HashRing(virtual_nodes=virtual_nodes)
         self._nodes: Dict[str, StorageNode] = {}
         self._node_sequence = 0
@@ -94,22 +131,42 @@ class AnnaCluster:
 
     # -- membership -------------------------------------------------------------
     def add_node(self, node_id: Optional[str] = None) -> str:
-        """Add a storage node and migrate the shard it now owns."""
+        """Add a storage node and migrate the shard it now owns.
+
+        Migration reads peers with ``peek`` and merges with
+        ``count_access=False``: rebalancing is system traffic and must not
+        register as client load with the hot-key or autoscaling policies.
+        """
         if node_id is None:
             node_id = f"anna-node-{self._node_sequence}"
             self._node_sequence += 1
-        node = StorageNode(node_id, memory_capacity_keys=self.memory_capacity_keys)
-        existing_data: Dict[str, Lattice] = {}
+        node = StorageNode(node_id, memory_capacity_keys=self.memory_capacity_keys,
+                           service_model=self.storage_service,
+                           queue_bound=self.node_queue_bound)
+        all_keys = set()
         for other in self._nodes.values():
-            for key in list(other.keys()):
-                existing_data.setdefault(key, other.get(key))
+            all_keys.update(other.keys())
         self._nodes[node_id] = node
         self._ring.add_node(node_id)
-        # Re-place every key whose replica set now includes the new node.
-        for key, value in existing_data.items():
-            owners = self._owners(key)
-            if node_id in owners:
-                node.put(key, value)
+        # Copy over only the keys whose replica set now includes the new node
+        # (boosted hot keys have wider replica sets than the base factor),
+        # merging *every* replica's copy of each: an ex-owner may still hold a
+        # stale version of a key whose ownership moved away from it, and
+        # first-copy-wins would seed the new node from that stale copy.
+        moving = set(self._ring.owned_by(sorted(all_keys), node_id,
+                                         self.replication_factor))
+        moving.update(key for key in self._hot_key_extra_replicas
+                      if key in all_keys and node_id in self._owners(key))
+        for key in sorted(moving):
+            merged: Optional[Lattice] = None
+            for other in self._nodes.values():
+                if other is node:
+                    continue
+                value = other.peek(key)
+                if value is not None:
+                    merged = value if merged is None else merged.merge(value)
+            if merged is not None:
+                node.put(key, merged, count_access=False)
         return node_id
 
     def remove_node(self, node_id: str) -> None:
@@ -120,9 +177,16 @@ class AnnaCluster:
             raise ValueError("cannot remove the last storage node")
         departing = self._nodes.pop(node_id)
         self._ring.remove_node(node_id)
+        self._retired_queue_busy_ms += departing.work_queue.busy_ms
+        self._retired_rejections += departing.rejections
+        self._retired_read_redirects += departing.read_redirects
+        self._retired_demotions += departing.demotions
+        # The departing node's copies reach every current replica directly,
+        # so its not-yet-gossiped writes cannot be lost.
+        self._dirty.pop(node_id, None)
         for key, value in departing.drain().items():
             for owner in self._owners(key):
-                self._nodes[owner].put(key, value)
+                self._nodes[owner].put(key, value, count_access=False)
 
     @property
     def node_ids(self) -> List[str]:
@@ -137,46 +201,156 @@ class AnnaCluster:
     # -- data path -----------------------------------------------------------------
     def put(self, key: str, value: Lattice, ctx: Optional[RequestContext] = None,
             propagate: bool = True, originating_cache: str = "") -> Lattice:
-        """Merge ``value`` into every replica of ``key``.
+        """Merge ``value`` into ``key``'s replica set.
 
-        Returns the merged lattice as stored at the primary replica.  If a
-        request context is supplied, one network round trip (sized by the
-        payload) is charged; replication and cache update propagation are
-        asynchronous and free for the caller.
+        Synchronous path (no engine): the merge is applied to every replica
+        inline and the caller — if it supplied a request context — is charged
+        one network round trip plus the primary's service time.
+
+        Engine path: the put lands on the *first replica whose work queue has
+        room* (multi-master, quorum-of-1), waits out that node's queue, and
+        is marked dirty so the periodic anti-entropy gossip carries it to the
+        remaining replicas on virtual time.  If every replica's queue is full
+        the put fails with :class:`~repro.errors.StorageOverloadError`.
+        Uncharged puts (``ctx=None`` — asynchronous cache write-backs) are
+        background traffic: they land on the primary without queueing.
         """
         if not isinstance(value, Lattice):
             raise TypeError("Anna stores lattices; wrap plain values first "
                             "(see repro.cloudburst.serialization)")
         if ctx is not None:
             self.latency_model.charge(ctx, "anna", "put", size_bytes=value.size_bytes())
-        now_ms = ctx.clock.now_ms if ctx is not None else 0.0
-        merged: Optional[Lattice] = None
-        for owner in self._owners(key):
-            result = self._nodes[owner].put(key, value, now_ms=now_ms)
-            if merged is None:
-                merged = result
-        assert merged is not None
+        owners = self._owners(key)
+        if self._engine is not None and self.gossip_interval_ms > 0:
+            merged = self._put_engine(key, value, ctx, owners)
+        else:
+            merged = self._put_fanout(key, value, ctx, owners)
         if propagate:
             self._propagate_update(key, merged, exclude=originating_cache)
         return merged
 
-    def get(self, key: str, ctx: Optional[RequestContext] = None) -> Lattice:
-        """Read ``key`` from its primary replica (one charged round trip)."""
-        owners = self._owners(key)
-        now_ms = ctx.clock.now_ms if ctx is not None else 0.0
-        value: Optional[Lattice] = None
+    def _put_fanout(self, key: str, value: Lattice, ctx: Optional[RequestContext],
+                    owners: List[str]) -> Lattice:
+        """Instant write fan-out: every replica merges inline.
+
+        This is the synchronous path, and also the engine path when gossip is
+        disabled (``gossip_interval_ms=0``).  In the latter case the bounded
+        queues still backpressure with the same contract as the quorum-of-1
+        path: the caller is charged at the first replica whose queue has
+        room, and only a put that finds *every* replica saturated rejects.
+        """
+        charged = owners[0]
+        if self._engine is not None and ctx is not None:
+            charged = self._first_available(key, owners, ctx.clock.now_ms)
+        merged: Optional[Lattice] = None
         for owner in owners:
             node = self._nodes[owner]
-            if node.contains(key):
-                value = node.get(key, now_ms=now_ms)
-                break
-        if value is None:
+            if owner == charged:
+                self._serve(node, key, ctx, size_bytes=value.size_bytes(),
+                            fresh=not node.contains(key))
+                merged = node.put(key, value, now_ms=self._op_time(ctx))
+            else:
+                # Replication is system traffic: one client put is one write,
+                # whichever propagation mode carries it to the other replicas
+                # (otherwise fan-out and gossip report R-times different load
+                # to the hot-key and autoscaling policies).
+                node.put(key, value, count_access=False)
+        assert merged is not None
+        return merged
+
+    def _first_available(self, key: str, owners: List[str], at_ms: float) -> str:
+        """The first replica whose queue has room, or reject the whole put.
+
+        Skipped-but-not-rejecting replicas are *not* counted as rejections —
+        the put still succeeds elsewhere (the same rule the read path applies
+        to redirects).  Only a put that finds every replica saturated fails,
+        and then every replica records the turn-away.
+        """
+        for owner in owners:
+            if not self._nodes[owner].work_queue.is_full(at_ms):
+                return owner
+        for owner in owners:
+            self._nodes[owner].rejections += 1
+        raise StorageOverloadError(key, owners)
+
+    def _put_engine(self, key: str, value: Lattice, ctx: Optional[RequestContext],
+                    owners: List[str]) -> Lattice:
+        """Quorum-of-1 engine write: one replica now, the rest via gossip."""
+        if ctx is None:
+            target = owners[0]
+        else:
+            target = self._first_available(key, owners, ctx.clock.now_ms)
+        node = self._nodes[target]
+        self._serve(node, key, ctx, size_bytes=value.size_bytes(),
+                    fresh=not node.contains(key))
+        merged = node.put(key, value, now_ms=self._op_time(ctx))
+        self._dirty.setdefault(target, set()).add(key)
+        return merged
+
+    def get(self, key: str, ctx: Optional[RequestContext] = None) -> Lattice:
+        """Read ``key`` from its replica set (one charged round trip).
+
+        The read is served by the first replica in ring order that holds the
+        key; on the engine path a replica whose work queue is full is skipped
+        in favour of a less-loaded one (reads redirect, writes reject), and
+        the chosen node's queueing delay is charged to the caller.
+        """
+        owners = self._owners(key)
+        holders = [owner for owner in owners if self._nodes[owner].contains(key)]
+        if not holders:
             if ctx is not None:
                 self.latency_model.charge(ctx, "anna", "get", size_bytes=0)
+                ctx.charge("anna", "service",
+                           self.storage_service.service_ms(StorageNode.MEMORY_TIER))
             raise KeyNotFoundError(key)
+        target = holders[0]
+        if self._engine is not None and ctx is not None:
+            at_ms = ctx.clock.now_ms
+            skipped = []
+            for owner in holders:
+                if not self._nodes[owner].work_queue.is_full(at_ms):
+                    target = owner
+                    break
+                skipped.append(owner)
+            else:
+                skipped = []  # every holder full: fall back to ring order
+            # A skipped holder is a redirect, not a rejection — the read still
+            # succeeds at the chosen replica (writes reject, reads redirect).
+            for owner in skipped:
+                self._nodes[owner].read_redirects += 1
+        node = self._nodes[target]
+        value = node.peek(key)
+        assert value is not None
         if ctx is not None:
             self.latency_model.charge(ctx, "anna", "get", size_bytes=value.size_bytes())
-        return value
+        self._serve(node, key, ctx, size_bytes=value.size_bytes())
+        return node.get(key, now_ms=self._op_time(ctx))
+
+    def _serve(self, node: StorageNode, key: str, ctx: Optional[RequestContext],
+               size_bytes: int = 0, fresh: bool = False) -> None:
+        """Charge one operation's queueing delay and service time at ``node``.
+
+        Queueing only exists on the engine path (and only for charged
+        requests); the deterministic service time is charged on both paths so
+        a one-client engine run reproduces the synchronous accounting
+        sample-for-sample.
+        """
+        if ctx is None:
+            return
+        tier = node.tier_of(key) or StorageNode.MEMORY_TIER
+        if fresh:
+            tier = StorageNode.MEMORY_TIER
+        service_ms = self.storage_service.service_ms(tier, size_bytes)
+        if self._engine is not None:
+            start = node.work_queue.reserve(ctx.clock.now_ms, service_ms)
+            wait_ms = start - ctx.clock.now_ms
+            if wait_ms > 0:
+                ctx.charge("anna", "queue", wait_ms)
+        ctx.charge("anna", "service", service_ms)
+
+    @staticmethod
+    def _op_time(ctx: Optional[RequestContext]) -> float:
+        return ctx.clock.now_ms if ctx is not None else 0.0
 
     def get_or_none(self, key: str, ctx: Optional[RequestContext] = None) -> Optional[Lattice]:
         try:
@@ -184,12 +358,22 @@ class AnnaCluster:
         except KeyNotFoundError:
             return None
 
+    def peek(self, key: str) -> Optional[Lattice]:
+        """Read without charges or access accounting (system/background paths)."""
+        for owner in self._owners(key):
+            value = self._nodes[owner].peek(key)
+            if value is not None:
+                return value
+        return None
+
     def delete(self, key: str, ctx: Optional[RequestContext] = None) -> bool:
         if ctx is not None:
             self.latency_model.charge(ctx, "anna", "put", size_bytes=0)
         deleted = False
         for node in self._nodes.values():
             deleted = node.delete(key) or deleted
+        for dirty in self._dirty.values():
+            dirty.discard(key)
         self._hot_key_extra_replicas.pop(key, None)
         return deleted
 
@@ -234,10 +418,11 @@ class AnnaCluster:
         if extra_replicas < 0:
             raise ValueError("extra_replicas must be non-negative")
         self._hot_key_extra_replicas[key] = extra_replicas
-        if self.contains(key):
-            value = self.get(key)
+        value = self.peek(key)
+        if value is not None:
             for owner in self._owners(key):
-                self._nodes[owner].put(key, value)
+                if not self._nodes[owner].contains(key):
+                    self._nodes[owner].put(key, value, count_access=False)
 
     def hot_keys(self, min_accesses: int = 100) -> List[str]:
         hot = set()
@@ -277,43 +462,113 @@ class AnnaCluster:
             if listener is not None:
                 listener(key, value)
 
-    # -- engine-timed propagation ------------------------------------------------------
+    # -- engine attachment: queueing, gossip, propagation, autoscaling ----------------
     def attach_engine(self, engine) -> None:
-        """Drive periodic update propagation from a discrete-event engine.
+        """Make the storage nodes first-class discrete-event participants.
 
-        While attached — in periodic mode with a positive
-        ``propagation_interval_ms`` — a recurring engine event calls
-        :meth:`flush_updates` every interval of *virtual* time.  Staleness
-        windows then emerge from the shared timeline itself (how much load
-        lands between two ticks) instead of from a per-request flush counter
-        hand-rolled into each benchmark loop.
+        While attached:
+
+        * charged ``get``/``put`` requests wait in the target node's bounded
+          FIFO work queue, so storage latency reflects real node contention;
+        * puts land on one replica and reach the rest through the periodic
+          anti-entropy gossip round (``gossip_interval_ms`` of virtual time);
+        * in periodic propagation mode with a positive
+          ``propagation_interval_ms``, a recurring engine event calls
+          :meth:`flush_updates` every interval, so cache staleness windows
+          emerge from the shared timeline;
+        * an attached :class:`~repro.anna.autoscaler.StorageAutoscaler`
+          (see :meth:`set_autoscaler`) ticks as a recurring engine event.
         """
         self.detach_engine()
         self._engine = engine
+        self._reset_work_queues()
         if (self.propagation_mode == self.PROPAGATE_PERIODIC
                 and self.propagation_interval_ms > 0):
-            self._flush_event = engine.schedule(self.propagation_interval_ms,
-                                                self._engine_flush_tick)
+            self._flush_event = engine.every(self.propagation_interval_ms,
+                                             self.flush_updates)
+        if self.gossip_interval_ms > 0:
+            self._gossip_event = engine.every(self.gossip_interval_ms,
+                                              self.run_gossip_round)
+        if self._autoscaler is not None:
+            self._autoscaler.attach_engine(engine, self._autoscaler_interval_ms)
 
     def detach_engine(self) -> None:
-        """Stop the engine-driven propagation tick (back to manual flushes)."""
-        if self._engine is not None and self._flush_event is not None:
-            self._engine.cancel(self._flush_event)
+        """Back to the synchronous path (instant fan-out, no queueing).
+
+        Any writes still awaiting gossip are propagated in a final
+        anti-entropy sweep so the cluster detaches fully replicated, and the
+        node work queues forget the run's reservations (sequential request
+        clocks restart at zero, so leftovers would read as saturation).
+        """
+        if self._flush_event is not None:
+            self._flush_event.cancel()
+        if self._gossip_event is not None:
+            self._gossip_event.cancel()
+        if self._autoscaler is not None:
+            self._autoscaler.detach_engine()
+        while self._dirty:
+            self.run_gossip_round()
         self._engine = None
         self._flush_event = None
+        self._gossip_event = None
+        self._reset_work_queues()
 
-    def _engine_flush_tick(self) -> None:
-        engine = self._engine
-        if engine is None:
-            return
-        self.flush_updates()
-        # Keep ticking only while other work is queued: the ticker must not
-        # keep an otherwise-finished run alive forever.
-        if engine.pending > 0:
-            self._flush_event = engine.schedule(self.propagation_interval_ms,
-                                                self._engine_flush_tick)
-        else:
-            self._flush_event = None
+    def _reset_work_queues(self) -> None:
+        """Forget queue reservations, folding their busy time into the totals."""
+        for node in self._nodes.values():
+            self._retired_queue_busy_ms += node.work_queue.busy_ms
+            node.work_queue.reset()
+
+    @property
+    def engine(self):
+        return self._engine
+
+    def set_autoscaler(self, autoscaler, interval_ms: float = 5_000.0) -> None:
+        """Attach a storage autoscaler that ticks as a recurring engine event."""
+        if interval_ms <= 0:
+            raise ValueError("autoscaler interval must be positive")
+        self._autoscaler = autoscaler
+        self._autoscaler_interval_ms = float(interval_ms)
+        if self._engine is not None:
+            autoscaler.attach_engine(self._engine, self._autoscaler_interval_ms)
+
+    def clear_autoscaler(self) -> None:
+        if self._autoscaler is not None:
+            self._autoscaler.detach_engine()
+        self._autoscaler = None
+
+    # -- anti-entropy gossip ------------------------------------------------------------
+    def run_gossip_round(self) -> int:
+        """Push every not-yet-replicated write to its peer replicas.
+
+        One round makes every dirty key fully replicated (each accepting node
+        pushes its merged copy to all current owners), so concurrent writes
+        accepted by different replicas converge after a single exchange.
+        Gossip merges bypass the work queues and access statistics: replica
+        maintenance is not client load.  Returns the number of key pushes.
+        """
+        dirty, self._dirty = self._dirty, {}
+        exchanged = 0
+        for node_id in sorted(dirty):
+            node = self._nodes.get(node_id)
+            if node is None:
+                continue
+            for key in sorted(dirty[node_id]):
+                value = node.peek(key)
+                if value is None:
+                    continue
+                for owner in self._owners(key):
+                    if owner == node_id:
+                        continue
+                    self._nodes[owner].put(key, value, count_access=False)
+                    exchanged += 1
+        self.gossip_rounds += 1
+        self.gossip_key_exchanges += exchanged
+        return exchanged
+
+    def dirty_key_count(self) -> int:
+        """Writes accepted by one replica but not yet gossiped to the rest."""
+        return sum(len(keys) for keys in self._dirty.values())
 
     def flush_updates(self) -> int:
         """Run one periodic propagation round (no-op in immediate mode).
@@ -326,7 +581,7 @@ class AnnaCluster:
         pending = sorted(set(self._pending_updates))
         self._pending_updates.clear()
         for key in pending:
-            value = self.get_or_none(key)
+            value = self.peek(key)
             if value is not None:
                 self._push_update(key, value)
         return len(pending)
@@ -344,3 +599,20 @@ class AnnaCluster:
             for key in node.keys():
                 total += node.stats(key).accesses
         return total
+
+    def total_demotions(self) -> int:
+        return self._retired_demotions + \
+            sum(node.demotions for node in self._nodes.values())
+
+    def total_rejections(self) -> int:
+        return self._retired_rejections + \
+            sum(node.rejections for node in self._nodes.values())
+
+    def total_read_redirects(self) -> int:
+        return self._retired_read_redirects + \
+            sum(node.read_redirects for node in self._nodes.values())
+
+    def total_queue_busy_ms(self) -> float:
+        """Cumulative work-queue service time, surviving resets and removals."""
+        return self._retired_queue_busy_ms + \
+            sum(node.work_queue.busy_ms for node in self._nodes.values())

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import bisect
 import hashlib
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Sequence
 
 
 def stable_hash(value: str) -> int:
@@ -88,6 +88,17 @@ class HashRing:
 
     def primary(self, key: str) -> str:
         return self.owners(key, 1)[0]
+
+    def owned_by(self, keys: Sequence[str], node_id: str, count: int = 1) -> List[str]:
+        """The subset of ``keys`` whose ``count``-way replica set includes ``node_id``.
+
+        Used by the cluster's rebalance path after membership changes: only
+        the keys that actually moved onto a node need their lattice state
+        copied there, not the whole key space.
+        """
+        if node_id not in self._members:
+            raise KeyError(f"node not on ring: {node_id!r}")
+        return [key for key in keys if node_id in self.owners(key, count)]
 
     def assignment_counts(self, keys: Sequence[str]) -> Dict[str, int]:
         """How many of ``keys`` map to each node (used by balance tests)."""

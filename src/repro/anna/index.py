@@ -17,7 +17,7 @@ scheme as the key space itself; this module tracks the per-key overhead that
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, List, Mapping, Set
+from typing import Dict, FrozenSet, Iterable, List, Set
 
 
 @dataclass

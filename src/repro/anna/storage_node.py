@@ -5,15 +5,50 @@ ring) and stores lattice values in two tiers: a memory tier for hot data and
 a disk tier for cold data (Anna's tiered autoscaling, [86]).  Puts merge the
 incoming lattice into whatever the node already stores, which is what makes
 Anna multi-master and coordination free.
+
+Since the storage tier moved onto the discrete-event engine, every node also
+carries a bounded FIFO :class:`~repro.sim.engine.WorkQueue` and a
+:class:`StorageServiceModel` describing how long one operation occupies the
+node's server (memory tier vs the much slower disk tier).  The queue is only
+consulted for *charged* client requests on the engine-driven path; background
+traffic — replica gossip, asynchronous cache write-backs — never occupies it,
+matching the paper's treatment of replication as free for the caller.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional
 
 from ..errors import KeyNotFoundError
 from ..lattices import Lattice
+from ..sim.engine import ReservationQueue
+
+#: Default bound on a storage node's work queue.  Large enough that the
+#: benchmark workloads queue (latency) before they reject (errors); small
+#: enough that a hot node saturates instead of buffering work forever.
+DEFAULT_NODE_QUEUE_BOUND = 128
+
+
+@dataclass(frozen=True)
+class StorageServiceModel:
+    """Deterministic per-operation service time at one storage node.
+
+    ``latency = base + size_bytes / bandwidth`` for the tier holding the key.
+    Deliberately jitter-free: the sequential cross-check requires the engine
+    path and the synchronous path to charge identical service times, so all
+    randomness stays in the network-latency model.
+    """
+
+    memory_base_ms: float = 0.02
+    memory_bandwidth_bytes_per_ms: float = 2_400_000.0  # ~2.4 GB/s DRAM path
+    disk_base_ms: float = 2.0
+    disk_bandwidth_bytes_per_ms: float = 150_000.0      # ~150 MB/s flash tier
+
+    def service_ms(self, tier: str, size_bytes: int = 0) -> float:
+        if tier == StorageNode.DISK_TIER:
+            return self.disk_base_ms + size_bytes / self.disk_bandwidth_bytes_per_ms
+        return self.memory_base_ms + size_bytes / self.memory_bandwidth_bytes_per_ms
 
 
 @dataclass
@@ -35,29 +70,66 @@ class StorageNode:
     MEMORY_TIER = "memory"
     DISK_TIER = "disk"
 
-    def __init__(self, node_id: str, memory_capacity_keys: int = 1_000_000):
+    def __init__(self, node_id: str, memory_capacity_keys: int = 1_000_000,
+                 service_model: Optional[StorageServiceModel] = None,
+                 queue_bound: Optional[int] = DEFAULT_NODE_QUEUE_BOUND):
         self.node_id = node_id
         self.memory_capacity_keys = memory_capacity_keys
+        self.service_model = service_model or StorageServiceModel()
+        #: Bounded single-server queue serialising charged client operations
+        #: when the cluster runs on a discrete-event engine.  Storage ops
+        #: arrive at private request-clock times that interleave across
+        #: callbacks, so the queue backfills idle gaps instead of assuming
+        #: timestamp-ordered arrivals (see :class:`ReservationQueue`).
+        self.work_queue = ReservationQueue(bound=queue_bound, label=node_id)
         self._memory: Dict[str, Lattice] = {}
         self._disk: Dict[str, Lattice] = {}
         self._stats: Dict[str, KeyStats] = {}
+        #: Keys pushed from memory to disk (autoscaler cold-data demotion or
+        #: capacity pressure on insert).
+        self.demotions = 0
+        #: Charged puts this node's bounded queue genuinely turned away.
+        self.rejections = 0
+        #: Charged reads that skipped this node's full queue for a less-loaded
+        #: replica (the read still succeeded elsewhere — not a rejection).
+        self.read_redirects = 0
+        #: Lattice merges received from peers (write fan-out / anti-entropy).
+        self.replica_merges = 0
 
     # -- storage operations ----------------------------------------------------
-    def put(self, key: str, value: Lattice, now_ms: float = 0.0) -> Lattice:
-        """Merge ``value`` into the node's copy of ``key``; returns the result."""
+    def put(self, key: str, value: Lattice, now_ms: float = 0.0,
+            count_access: bool = True) -> Lattice:
+        """Merge ``value`` into the node's copy of ``key``; returns the result.
+
+        A *fresh* key landing in the memory tier while the tier is at
+        ``memory_capacity_keys`` first demotes the coldest resident key to
+        disk, so a burst of new keys can no longer overfill memory between
+        autoscaler ticks.  ``count_access=False`` applies the merge without
+        touching access statistics (replica gossip must not look like client
+        load to the hot-key and autoscaling policies).
+        """
         existing = self._memory.get(key)
         tier = self.MEMORY_TIER
         if existing is None and key in self._disk:
             existing = self._disk[key]
             tier = self.DISK_TIER
+        if existing is None:
+            # Fresh key: make room in the memory tier before inserting.
+            # O(n) min scan, not coldest_memory_keys (which copies + sorts the
+            # whole tier) — this runs on every fresh put once at capacity.
+            while self._memory and len(self._memory) >= self.memory_capacity_keys:
+                self.demote(min(self._memory, key=self._last_access_ms))
         merged = value if existing is None else existing.merge(value)
         if tier == self.DISK_TIER:
             self._disk[key] = merged
         else:
             self._memory[key] = merged
-        stats = self._stats.setdefault(key, KeyStats())
-        stats.writes += 1
-        stats.last_access_ms = now_ms
+        if count_access:
+            stats = self._stats.setdefault(key, KeyStats())
+            stats.writes += 1
+            stats.last_access_ms = now_ms
+        else:
+            self.replica_merges += 1
         return merged
 
     def get(self, key: str, now_ms: float = 0.0) -> Lattice:
@@ -69,6 +141,13 @@ class StorageNode:
         stats = self._stats.setdefault(key, KeyStats())
         stats.reads += 1
         stats.last_access_ms = now_ms
+        return value
+
+    def peek(self, key: str) -> Optional[Lattice]:
+        """Read without access accounting (rebalancing, gossip, system reads)."""
+        value = self._memory.get(key)
+        if value is None:
+            value = self._disk.get(key)
         return value
 
     def delete(self, key: str) -> bool:
@@ -98,6 +177,7 @@ class StorageNode:
         if key not in self._memory:
             return False
         self._disk[key] = self._memory.pop(key)
+        self.demotions += 1
         return True
 
     def promote(self, key: str) -> bool:
@@ -110,10 +190,14 @@ class StorageNode:
     def over_memory_capacity(self) -> bool:
         return len(self._memory) > self.memory_capacity_keys
 
+    def _last_access_ms(self, key: str) -> float:
+        stats = self._stats.get(key)
+        return stats.last_access_ms if stats is not None else 0.0
+
     def coldest_memory_keys(self, count: int) -> List[str]:
         """The ``count`` least-recently-accessed keys in the memory tier."""
         in_memory = [key for key in self._memory]
-        in_memory.sort(key=lambda key: self._stats.get(key, KeyStats()).last_access_ms)
+        in_memory.sort(key=self._last_access_ms)
         return in_memory[:count]
 
     # -- introspection ------------------------------------------------------------

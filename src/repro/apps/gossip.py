@@ -22,7 +22,7 @@ mean (gossip) or for the leader to collect all published metrics (gather).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from ..baselines import SimulatedDynamoDB, SimulatedLambda, SimulatedRedis, SimulatedS3
 from ..cloudburst import CloudburstCluster
@@ -94,9 +94,15 @@ class GossipAggregation:
 
     def run(self, metrics: Optional[Sequence[float]] = None,
             max_rounds: int = 1000,
-            target_error: float = TARGET_RELATIVE_ERROR) -> AggregationResult:
-        """Run one aggregation until every actor is within ``target_error``."""
-        ctx = RequestContext()
+            target_error: float = TARGET_RELATIVE_ERROR,
+            ctx: Optional[RequestContext] = None) -> AggregationResult:
+        """Run one aggregation until every actor is within ``target_error``.
+
+        ``ctx`` threads an externally owned request context through the run —
+        the engine-driven Figure 6 harness uses this to place repetitions on
+        the shared virtual timeline instead of a fresh zero-based clock.
+        """
+        ctx = ctx or RequestContext()
         start = ctx.clock.now_ms
         values = list(metrics) if metrics is not None else [
             self.rng.uniform(0.0, 100.0) for _ in range(self.actor_count)]
@@ -182,8 +188,9 @@ class GatherAggregation:
             self.BACKEND_S3: SimulatedS3(self.latency_model),
         }.get(backend)
 
-    def run(self, metrics: Optional[Sequence[float]] = None) -> AggregationResult:
-        ctx = RequestContext()
+    def run(self, metrics: Optional[Sequence[float]] = None,
+            ctx: Optional[RequestContext] = None) -> AggregationResult:
+        ctx = ctx or RequestContext()
         start = ctx.clock.now_ms
         values = list(metrics) if metrics is not None else [
             self.rng.uniform(0.0, 100.0) for _ in range(self.actor_count)]
@@ -196,13 +203,19 @@ class GatherAggregation:
                                  latency_ms=ctx.clock.now_ms - start)
 
     def _run_on_cloudburst(self, values: Sequence[float], ctx: RequestContext) -> float:
-        """Actors publish to Anna through their caches; the leader reads them."""
+        """Actors publish to Anna through their caches; the leader reads them.
+
+        Each actor's publish is one local cache put; the cache's write-back to
+        Anna is asynchronous (uncharged background traffic, as everywhere else
+        in the reproduction), so only the charged leader reads below contend at
+        the storage nodes' work queues on the engine-driven path.
+        """
         kvs = self.cluster.kvs
         branches = []
         for index, value in enumerate(values):
             branch = ctx.fork()
             self.cluster.latency_model.charge(branch, "cache", "put", size_bytes=8)
-            kvs.put_plain(f"gather/metric-{index}", value, branch)
+            kvs.put_plain(f"gather/metric-{index}", value)
             branches.append(branch)
         ctx.join(branches)
         total = 0.0

@@ -13,7 +13,7 @@ the substitution preserves what the figure shows.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
@@ -24,7 +24,7 @@ from ..baselines import (
     SimulatedLambda,
     SimulatedS3,
 )
-from ..cloudburst import CloudburstClient, CloudburstCluster, CloudburstReference
+from ..cloudburst import CloudburstClient, CloudburstCluster
 from ..sim import LatencyModel, RequestContext
 
 #: Simulated compute cost of each stage on one c5.2xlarge core (milliseconds).

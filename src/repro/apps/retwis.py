@@ -28,16 +28,11 @@ the missing original — anomalies are prevented at the cost of extra reads.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
 
 from ..baselines import SimulatedRedis
-from ..cloudburst import (
-    CloudburstClient,
-    CloudburstCluster,
-    CloudburstReference,
-    ConsistencyLevel,
-)
+from ..cloudburst import CloudburstCluster, CloudburstReference, ConsistencyLevel
 from ..sim import LatencyModel, RequestContext
 from ..workloads.social import RetwisRequest, SocialGraph
 

@@ -9,11 +9,11 @@ User functions execute for real.
 
 from __future__ import annotations
 
-from typing import Any, Callable, List, Optional, Sequence
+from typing import Any, Callable, Optional, Sequence
 
 from ..lattices.base import estimate_size
 from ..sim import LatencyModel, RandomSource, RequestContext
-from .storage import SimulatedDynamoDB, SimulatedRedis, SimulatedS3, SimulatedStorageService
+from .storage import SimulatedStorageService
 
 
 class SimulatedLambda:

@@ -12,10 +12,10 @@ individual mechanisms the paper's design rests on:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict
 
 from ..cloudburst import CloudburstCluster, CloudburstReference
-from ..sim import LatencyRecorder, RandomSource
+from ..sim import LatencyRecorder
 from ..workloads.arrays import LocalityWorkloadKeys, make_arrays, sum_arrays_with_library
 from .harness import ComparisonResult, run_closed_loop
 

@@ -21,8 +21,9 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional
 
+from ..errors import StorageOverloadError
 from ..sim import (
     Engine,
     LatencyRecorder,
@@ -114,6 +115,9 @@ class EngineLoadDriver:
         self.latencies = LatencyRecorder(label=label)
         self.issued = 0
         self.completed = 0
+        #: Requests aborted by storage backpressure (StorageOverloadError):
+        #: the client moves on, but a failure is not a completion.
+        self.failed = 0
         self._future_completions: List[float] = []  # min-heap of end times
         self._last_completion_ms = 0.0
         self._completion_buckets: Dict[int, int] = {}
@@ -180,7 +184,16 @@ class EngineLoadDriver:
         self.issued += 1
         self._window_arrivals += 1
         ctx = RequestContext(clock=SimClock(start))
-        self.request_fn(ctx, client, index)
+        try:
+            self.request_fn(ctx, client, index)
+        except StorageOverloadError:
+            # Every replica of some key pushed back: this request fails fast
+            # (its partial latency is discarded) and the closed loop retries
+            # from the virtual time the rejection happened at, so one
+            # saturated replica set degrades throughput instead of unwinding
+            # the whole run.
+            self.failed += 1
+            return ctx.clock.now_ms
         return self._record_completion(start, ctx.clock.now_ms)
 
     def _record_completion(self, start_ms: float, end_ms: float) -> float:
@@ -262,6 +275,23 @@ class EngineLoadDriver:
         self._capacity_timeline.append((self.engine.now_ms,
                                         self._live_thread_count()))
 
+    def storage_report(self) -> Dict[str, float]:
+        """What the run cost at the Anna tier (engine-attached storage nodes).
+
+        Read after :meth:`run`; all quantities are cumulative over the
+        cluster's lifetime, so diff two reports to isolate one run.
+        """
+        kvs = self.cluster.kvs
+        return {
+            "nodes": kvs.node_count(),
+            "queue_busy_ms": round(kvs.total_queue_busy_ms(), 3),
+            "rejections": kvs.total_rejections(),
+            "read_redirects": kvs.total_read_redirects(),
+            "demotions": kvs.total_demotions(),
+            "gossip_rounds": kvs.gossip_rounds,
+            "gossip_key_exchanges": kvs.gossip_key_exchanges,
+        }
+
     # -- metrics helpers ---------------------------------------------------
     def _live_threads(self):
         for vm in self.cluster.vms:
@@ -318,7 +348,8 @@ class SessionLoadDriver(EngineLoadDriver):
         super().__init__(cluster, request_fn=_reject_sync_request, **kwargs)
         self.session_fn = session_fn
         self.inflight = 0
-        self.failed = 0
+        # self.failed comes from the base driver: session aborts and storage
+        # overloads both count there (a failure is never a completion).
 
     def _issue_request(self, client: int) -> Optional[float]:
         start = self.engine.now_ms

@@ -4,16 +4,31 @@ Each ``run_figure*`` function is self-contained: it builds the systems under
 test, drives the workload, and returns structured results that the
 ``benchmarks/`` wrappers print and that the integration tests assert on.
 Parameters default to paper-scale values but can be shrunk for fast runs.
+
+The Cloudburst sides of Figures 5 and 6 run **engine-driven** by default:
+concurrent closed-loop clients issue requests through the real stack on one
+shared discrete-event timeline with the Anna storage nodes attached as
+first-class participants — every charged KVS operation waits out the target
+node's bounded work queue, writes land on one replica and reach the rest via
+periodic anti-entropy gossip, so the locality and gossip-vs-gather numbers
+include real storage contention.  ``driver="sequential"`` keeps the old
+synchronous path as a cross-check; a 1-client engine run reproduces its
+latencies sample-for-sample (pinned by the integration tests).  The simulated
+Lambda/Redis/S3/DynamoDB baselines have no storage-node model and always run
+sequentially.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
-import numpy as np
 
-from ..anna import IndexOverhead
+from ..anna import (
+    IndexOverhead,
+    StorageAutoscaler,
+    StorageAutoscalerConfig,
+)
 from ..apps.gossip import GatherAggregation, GossipAggregation
 from ..baselines import (
     DaskCluster,
@@ -29,14 +44,12 @@ from ..cloudburst import CloudburstCluster, CloudburstReference
 from ..cloudburst.monitoring import AutoscalingPolicy, MonitoringConfig
 from ..sim import (
     LatencyModel,
-    LatencyRecorder,
     RandomSource,
     RequestContext,
     SimulationResult,
     ZipfGenerator,
 )
 from ..workloads.arrays import (
-    ARRAYS_PER_REQUEST,
     ELEMENTS_PER_ARRAY,
     FIGURE5_TOTAL_SIZES,
     LocalityWorkloadKeys,
@@ -143,21 +156,68 @@ def run_figure1(requests: int = 1000, seed: int = 0) -> ComparisonResult:
 # --------------------------------------------------------------------------------------
 # Figure 5: data locality (sum of 10 arrays, 80 KB - 80 MB total)
 # --------------------------------------------------------------------------------------
+#: Default number of concurrent closed-loop clients on the engine-driven
+#: locality/aggregation paths.  Small: Figures 5 and 6 are latency figures,
+#: so the point is real (but light) storage contention, not saturation.
+DEFAULT_MICRO_CLIENTS = 3
+
+
+def _resolve_micro_driver(driver: str, clients: Optional[int],
+                          default_clients: int = DEFAULT_MICRO_CLIENTS) -> int:
+    """Per-driver defaults; reject knobs the sequential driver would ignore."""
+    if driver == "engine":
+        return default_clients if clients is None else clients
+    if driver == "sequential":
+        if clients is not None:
+            raise ValueError("clients only applies to driver='engine'; the "
+                             "sequential cross-check is one synchronous client")
+        return 1
+    raise ValueError(f"unknown microbenchmark driver {driver!r}")
+
+
+def _run_cloudburst_loop(cluster, label: str, request_fn, requests: int,
+                         driver: str, clients: int):
+    """Drive ``request_fn(ctx)`` through the chosen driver, returning a recorder.
+
+    ``driver="engine"``: ``clients`` concurrent closed-loop clients on the
+    shared engine timeline (storage nodes attached, so KVS operations queue).
+    ``driver="sequential"``: the synchronous cross-check — one request at a
+    time on fresh zero-based clocks, storage charged service time but no
+    queueing.  A 1-client engine run reproduces it sample-for-sample.
+    """
+    if driver == "engine":
+        load = EngineLoadDriver(cluster, lambda ctx, _client, _index: request_fn(ctx),
+                                clients=clients, max_requests=requests, label=label)
+        return load.run().latencies
+
+    def sequential_request(_index: int) -> float:
+        ctx = RequestContext()
+        request_fn(ctx)
+        return ctx.clock.now_ms
+
+    return run_closed_loop(label, sequential_request, requests)
+
+
 def run_figure5(requests_per_size: int = 100,
                 sizes: Sequence[str] = FIGURE5_TOTAL_SIZES,
-                seed: int = 0) -> SweepResult:
+                seed: int = 0,
+                driver: str = "engine",
+                clients: Optional[int] = None) -> SweepResult:
     """Cloudburst hot/cold caches vs Lambda over ElastiCache (Redis) and S3."""
+    clients = _resolve_micro_driver(driver, clients)
     sweep = SweepResult(title="Figure 5: data locality (sum of 10 arrays)")
     rng = RandomSource(seed)
     for label in sizes:
         # Large inputs need fewer repetitions to keep runtime reasonable.
         requests = requests_per_size if ELEMENTS_PER_ARRAY[label] <= 100_000 \
             else max(10, requests_per_size // 5)
-        sweep.add(label, _figure5_one_size(label, requests, rng.spawn(label)))
+        sweep.add(label, _figure5_one_size(label, requests, rng.spawn(label),
+                                           driver, clients))
     return sweep
 
 
-def _figure5_one_size(label: str, requests: int, rng: RandomSource) -> ComparisonResult:
+def _figure5_one_size(label: str, requests: int, rng: RandomSource,
+                      driver: str, clients: int) -> ComparisonResult:
     result = ComparisonResult(title=f"Figure 5 @ total input {label}")
     arrays = make_arrays(label, seed=rng.randint(0, 1 << 16))
     keys = LocalityWorkloadKeys.shared(label)
@@ -171,19 +231,21 @@ def _figure5_one_size(label: str, requests: int, rng: RandomSource) -> Compariso
     cloud.register(sum_arrays_with_library, name="sum_arrays")
     references = [CloudburstReference(key) for key in keys.keys]
 
-    def hot_request(i: int) -> float:
-        return cloud.call("sum_arrays", references).latency_ms
+    def hot_request(ctx: RequestContext) -> None:
+        cloud.call("sum_arrays", references, ctx=ctx)
 
-    def cold_request(i: int) -> float:
+    def cold_request(ctx: RequestContext) -> None:
         # Cold: every retrieval misses the executor cache and goes to Anna.
         for vm in cluster.vms:
             vm.cache.clear()
-        return cloud.call("sum_arrays", references).latency_ms
+        cloud.call("sum_arrays", references, ctx=ctx)
 
     # One warm-up request so "hot" measures steady-state cache hits.
     cloud.call("sum_arrays", references)
-    result.add(run_closed_loop("Cloudburst (Hot)", hot_request, requests))
-    result.add(run_closed_loop("Cloudburst (Cold)", cold_request, requests))
+    result.add(_run_cloudburst_loop(cluster, "Cloudburst (Hot)", hot_request,
+                                    requests, driver, clients))
+    result.add(_run_cloudburst_loop(cluster, "Cloudburst (Cold)", cold_request,
+                                    requests, driver, clients))
 
     # -- Lambda over Redis and S3 ------------------------------------------------------------
     model = LatencyModel(rng.spawn("lambda-model"))
@@ -219,17 +281,26 @@ def _figure5_one_size(label: str, requests: int, rng: RandomSource) -> Compariso
 # Figure 6: distributed aggregation (gossip vs gather)
 # --------------------------------------------------------------------------------------
 def run_figure6(repetitions: int = 100, actor_count: int = 10,
-                seed: int = 0) -> ComparisonResult:
-    """Gossip on Cloudburst vs centralized gather on Cloudburst/Redis/Dynamo/S3."""
+                seed: int = 0,
+                driver: str = "engine",
+                clients: Optional[int] = None) -> ComparisonResult:
+    """Gossip on Cloudburst vs centralized gather on Cloudburst/Redis/Dynamo/S3.
+
+    The two Cloudburst-backed algorithms run through the chosen driver (the
+    engine default puts concurrent aggregations on one timeline, with the
+    gather leader's storage reads queueing at real Anna nodes); the Lambda
+    gathers are simulated baselines and always run sequentially.
+    """
+    clients = _resolve_micro_driver(driver, clients)
     result = ComparisonResult(
         title="Figure 6: distributed aggregation latency (10 actors)")
     rng = RandomSource(seed)
     cluster = CloudburstCluster(executor_vms=4, threads_per_vm=3, seed=seed)
     gossip = GossipAggregation(cluster, actor_count=actor_count, seed=seed)
-    gathers = {
-        "Cloudburst (gather)": GatherAggregation(
-            GatherAggregation.BACKEND_CLOUDBURST, actor_count, cluster=cluster,
-            seed=seed + 1),
+    cloudburst_gather = GatherAggregation(
+        GatherAggregation.BACKEND_CLOUDBURST, actor_count, cluster=cluster,
+        seed=seed + 1)
+    lambda_gathers = {
         "Lambda+Redis (gather)": GatherAggregation(
             GatherAggregation.BACKEND_REDIS, actor_count,
             latency_model=LatencyModel(rng.spawn("redis")), seed=seed + 2),
@@ -241,9 +312,13 @@ def run_figure6(repetitions: int = 100, actor_count: int = 10,
             latency_model=LatencyModel(rng.spawn("s3")), seed=seed + 4),
     }
 
-    result.add(run_closed_loop("Cloudburst (gossip)",
-                               lambda i: gossip.run().latency_ms, repetitions))
-    for label, gather in gathers.items():
+    result.add(_run_cloudburst_loop(
+        cluster, "Cloudburst (gossip)", lambda ctx: gossip.run(ctx=ctx),
+        repetitions, driver, clients))
+    result.add(_run_cloudburst_loop(
+        cluster, "Cloudburst (gather)", lambda ctx: cloudburst_gather.run(ctx=ctx),
+        repetitions, driver, clients))
+    for label, gather in lambda_gathers.items():
         result.add(run_closed_loop(label, lambda i, g=gather: g.run().latency_ms,
                                    repetitions))
     return result
@@ -260,6 +335,12 @@ class AutoscalingExperiment:
     index_overhead: IndexOverhead
     initial_threads: int
     client_count: int
+    #: The storage-tier policy that ticked alongside the compute autoscaler
+    #: (its ``history`` and ``node_count_timeline`` expose what it decided).
+    storage_autoscaler: Optional[StorageAutoscaler] = None
+    #: What the run cost at the Anna tier (``EngineLoadDriver.storage_report``:
+    #: node count, queue busy time, rejections, demotions, gossip traffic).
+    storage_stats: Optional[Dict[str, float]] = None
 
     @property
     def peak_throughput_per_s(self) -> float:
@@ -314,6 +395,7 @@ def run_figure7(initial_threads: int = 18, client_count: int = 40,
                 total_duration_s: float = 120.0,
                 policy_interval_ms: float = 5_000.0,
                 monitoring_config: Optional[MonitoringConfig] = None,
+                storage_config: Optional[StorageAutoscalerConfig] = None,
                 key_count: int = 2_000,
                 seed: int = 0) -> AutoscalingExperiment:
     """Reproduce the Figure 7 timeline: load spike, stepwise scale-up, drain.
@@ -343,6 +425,19 @@ def run_figure7(initial_threads: int = 18, client_count: int = 40,
     cloud.register(_sleep_workload_function, name="sleep_workload")
     scheduler = cluster.schedulers[0]
 
+    # The storage tier scales on its own policy, as a recurring engine event
+    # on the same timeline: hot Zipf keys gain replicas, access spikes add
+    # Anna nodes (the hash ring rebalances on each membership change).
+    storage_scaler = StorageAutoscaler(
+        cluster.kvs,
+        storage_config or StorageAutoscalerConfig(
+            scale_up_accesses_per_node=800.0,
+            scale_down_accesses_per_node=50.0,
+            hot_key_threshold=150,
+            max_nodes=16,
+        ))
+    cluster.kvs.set_autoscaler(storage_scaler, interval_ms=policy_interval_ms)
+
     def request(ctx: RequestContext, client: int, index: int) -> None:
         a = f"autoscale-{zipf.next() % populated}"
         b = f"autoscale-{zipf.next() % populated}"
@@ -361,6 +456,7 @@ def run_figure7(initial_threads: int = 18, client_count: int = 40,
         label="figure7",
     )
     sim_result = driver.run()
+    storage_stats = driver.storage_report()
 
     # Per-key cache-index overhead (§6.1.4), measured on a live cluster where
     # many caches hold overlapping Zipfian key sets.
@@ -380,4 +476,6 @@ def run_figure7(initial_threads: int = 18, client_count: int = 40,
     overhead = index_cluster.kvs.cache_index.overhead()
     return AutoscalingExperiment(simulation=sim_result, index_overhead=overhead,
                                  initial_threads=initial_threads,
-                                 client_count=client_count)
+                                 client_count=client_count,
+                                 storage_autoscaler=storage_scaler,
+                                 storage_stats=storage_stats)

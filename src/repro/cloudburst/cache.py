@@ -19,8 +19,8 @@ consistency protocols need (§5.3):
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
 
 from ..anna import AnnaCluster
 from ..errors import ConsistencyError, KeyNotFoundError
@@ -38,6 +38,9 @@ class CacheStats:
     upstream_fetches: int = 0
     update_pushes_received: int = 0
     snapshots_created: int = 0
+    #: Virtual time this cache's KVS fetches spent queued at storage nodes
+    #: (engine-driven runs only; zero on the synchronous path).
+    kvs_queue_wait_ms: float = 0.0
     #: Dependencies fetched from Anna while repairing the causal cut.
     causal_dep_fetches: int = 0
     #: Dependencies the cut maintenance could not resolve (absent from the
@@ -109,8 +112,16 @@ class ExecutorCache:
             self.stats.hits += 1
             return local
         self.stats.misses += 1
+        mark = len(ctx.charges) if ctx is not None else 0
         value = self.kvs.get(key, ctx)
         if ctx is not None:
+            # Surface how much of the miss penalty was storage-node queueing
+            # (nonzero only when the cluster runs on the event engine).  Only
+            # the charges this fetch appended are scanned — a full ctx.total()
+            # would rescan the request's whole charge log on every miss.
+            self.stats.kvs_queue_wait_ms += sum(
+                charge.latency_ms for charge in ctx.charges[mark:]
+                if charge.service == "anna" and charge.operation == "queue")
             self.latency_model.charge(ctx, "cache", "get", size_bytes=value.size_bytes())
         self._store(key, value)
         return value

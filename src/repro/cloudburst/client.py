@@ -10,10 +10,8 @@ a :class:`~repro.cloudburst.references.CloudburstFuture` stored in the KVS.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, Optional, Sequence, Tuple
 
-from ..errors import KeyNotFoundError
 from ..sim import LatencyRecorder, RequestContext
 from .consistency.levels import ConsistencyLevel
 from .dag import Dag

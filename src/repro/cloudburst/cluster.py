@@ -46,6 +46,8 @@ class CloudburstCluster:
                  monitoring_config: Optional[MonitoringConfig] = None,
                  anna_propagation: str = AnnaCluster.PROPAGATE_IMMEDIATE,
                  propagation_interval_ms: float = 0.0,
+                 anna_gossip_interval_ms: Optional[float] = None,
+                 anna_node_queue_bound: Optional[int] = None,
                  overload_threshold: float = OVERLOAD_THRESHOLD,
                  fault_timeout_ms: float = DEFAULT_FAULT_TIMEOUT_MS,
                  work_queue_bound: Optional[int] = DEFAULT_WORK_QUEUE_BOUND):
@@ -65,10 +67,16 @@ class CloudburstCluster:
         #: Shared discrete-event engine; None while running sequentially.
         self.engine: Optional[Engine] = None
 
+        anna_kwargs = {}
+        if anna_gossip_interval_ms is not None:
+            anna_kwargs["gossip_interval_ms"] = anna_gossip_interval_ms
+        if anna_node_queue_bound is not None:
+            anna_kwargs["node_queue_bound"] = anna_node_queue_bound
         self.kvs = AnnaCluster(node_count=anna_nodes, replication_factor=anna_replication,
                                latency_model=self.latency_model,
                                propagation_mode=anna_propagation,
-                               propagation_interval_ms=propagation_interval_ms)
+                               propagation_interval_ms=propagation_interval_ms,
+                               **anna_kwargs)
         self.router = MessageRouter(self.kvs, self.latency_model)
         self.cache_registry: Dict[str, ExecutorCache] = {}
         self.vms: List[ExecutorVM] = []

@@ -27,7 +27,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Set, Tuple
 
-from ...lattices import CausalLattice, Lattice, LWWLattice, VectorClock
+from ...lattices import CausalLattice, Lattice, VectorClock
 from ..serialization import LatticeEncapsulator
 
 

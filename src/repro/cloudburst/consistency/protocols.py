@@ -24,10 +24,10 @@ from __future__ import annotations
 
 import uuid
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Set
+from typing import Any, Dict, Optional, Set
 
 from ...errors import ConsistencyError
-from ...lattices import CausalLattice, Lattice, VectorClock, estimate_size
+from ...lattices import CausalLattice, Lattice, VectorClock
 from ...sim import RequestContext
 from ..cache import ExecutorCache
 from ..serialization import LatticeEncapsulator

@@ -8,8 +8,8 @@ scope of consistency — a "session" — for the distributed-session protocols.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
 
 from ..errors import DagNotFoundError, InvalidDagError
 

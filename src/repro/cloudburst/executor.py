@@ -16,12 +16,11 @@ c5.2xlarge VM).
 from __future__ import annotations
 
 import inspect
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..anna import AnnaCluster
 from ..errors import ExecutorFailedError, FunctionNotFoundError
-from ..lattices import Lattice, SetLattice
 from ..sim import ComputeModel, LatencyModel, RequestContext, WorkQueue
 from ..sim.engine import Engine
 from .cache import ExecutorCache

@@ -14,7 +14,7 @@ stateless FaaS platforms.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Set, Tuple
 
 from ..anna import AnnaCluster

@@ -22,7 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from ..sim import AutoscalerDecision, LatencyModel
+from ..sim import AutoscalerDecision
 from .executor import EXECUTOR_METRICS_PREFIX
 
 

@@ -10,7 +10,6 @@ the hot keys themselves.
 
 from __future__ import annotations
 
-import uuid
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -20,21 +19,15 @@ from ..errors import (
     ExecutorFailedError,
     FunctionNotFoundError,
     SchedulingError,
+    StorageOverloadError,
 )
 from ..lattices import SetLattice
 from ..sim import ForkJoin, LatencyModel, RandomSource, RequestContext, SimClock
 from .consistency.levels import ConsistencyLevel
 from .consistency.protocols import ObservingProtocol, SessionState, make_protocol
 from .dag import Dag, DagRegistry
-from .executor import (
-    EXECUTOR_METRICS_PREFIX,
-    ExecutorThread,
-    ExecutorVM,
-    FUNCTION_LIST_KEY,
-    function_key,
-)
+from .executor import ExecutorThread, ExecutorVM, FUNCTION_LIST_KEY, function_key
 from .references import CloudburstReference, extract_references
-from .serialization import LatticeEncapsulator
 
 #: Executors above this utilization are avoided by the scheduling policy (§4.3).
 OVERLOAD_THRESHOLD = 0.70
@@ -512,7 +505,11 @@ class _EngineDagSession:
             value, branch = self.scheduler._dispatch_function(
                 self.dag, name, self.results, self.function_args,
                 self.fork_join, self.ctx, self.state, self.protocol)
-        except ExecutorFailedError:
+        except (ExecutorFailedError, StorageOverloadError):
+            # A dead executor and a saturated storage replica set get the
+            # same §4.5 treatment: the attempt fails, the session pays the
+            # fault timeout and retries; exhausted retries go to ``on_error``
+            # so one overloaded key cannot unwind a whole driver run.
             self._retry()
             return
         self.results[name] = value

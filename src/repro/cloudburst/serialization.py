@@ -21,7 +21,6 @@ from ..lattices import (
     CausalLattice,
     Lattice,
     LWWLattice,
-    Timestamp,
     TimestampGenerator,
     VectorClock,
 )

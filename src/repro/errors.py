@@ -68,5 +68,21 @@ class CapacityError(ReproError):
     """The cluster has no free resources for the requested operation."""
 
 
+class StorageOverloadError(ReproError):
+    """Every replica's storage-node work queue rejected the request.
+
+    Raised only on the engine-driven path: bounded per-node FIFO queues push
+    back on writers instead of growing without limit, and a multi-master put
+    that finds *all* of a key's replicas saturated fails fast rather than
+    queueing unboundedly.
+    """
+
+    def __init__(self, key: str, owners=()):
+        detail = f" (replicas: {', '.join(owners)})" if owners else ""
+        super().__init__(f"all storage replicas overloaded for {key!r}{detail}")
+        self.key = key
+        self.owners = list(owners)
+
+
 class MessagingError(ReproError):
     """Direct executor-to-executor messaging failed."""

@@ -14,6 +14,7 @@ from .engine import (
     FifoQueue,
     ForkJoin,
     ProcessorSharingQueue,
+    ReservationQueue,
     WorkQueue,
 )
 from .latency import ComputeModel, DEFAULT_COSTS, LatencyModel, OperationCost
@@ -45,6 +46,7 @@ __all__ = [
     "FifoQueue",
     "ForkJoin",
     "ProcessorSharingQueue",
+    "ReservationQueue",
     "WorkQueue",
     "ComputeModel",
     "DEFAULT_COSTS",

@@ -12,6 +12,10 @@ request path itself.
 Pieces:
 
 * :class:`Engine` — a deterministic event loop over virtual milliseconds.
+* :class:`RecurringEvent` — a self-rescheduling periodic event (update
+  propagation flushes, anti-entropy gossip, autoscaler policy ticks) that
+  pauses itself when the engine has no other work queued, so a periodic
+  background task never keeps a finished run alive.
 * :class:`WorkQueue` — a single-server FIFO queue with *open-ended* service:
   admission fixes the start time, the caller reports the end time after
   actually executing the work.  Executor threads use one of these, which is
@@ -33,15 +37,22 @@ from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 
 class Event:
-    """A scheduled callback; cancellation is a tombstone flag."""
+    """A scheduled callback; cancellation is a tombstone flag.
 
-    __slots__ = ("at_ms", "seq", "fn", "cancelled")
+    ``background`` marks housekeeping events (recurring maintenance ticks)
+    that must not count as pending *work*: a run is considered drained when
+    only background events remain.
+    """
 
-    def __init__(self, at_ms: float, seq: int, fn: Callable[[], None]):
+    __slots__ = ("at_ms", "seq", "fn", "cancelled", "background")
+
+    def __init__(self, at_ms: float, seq: int, fn: Callable[[], None],
+                 background: bool = False):
         self.at_ms = at_ms
         self.seq = seq
         self.fn = fn
         self.cancelled = False
+        self.background = background
 
     def __lt__(self, other: "Event") -> bool:
         return (self.at_ms, self.seq) < (other.at_ms, other.seq)
@@ -70,19 +81,46 @@ class Engine:
     def pending(self) -> int:
         return sum(1 for event in self._heap if not event.cancelled)
 
+    @property
+    def foreground_pending(self) -> int:
+        """Pending events that represent real work (not maintenance ticks).
+
+        Recurring background ticks use this to decide whether to keep
+        rescheduling themselves: counting *all* pending events would let two
+        periodic ticks keep each other — and an unbounded run — alive forever.
+        """
+        return sum(1 for event in self._heap
+                   if not event.cancelled and not event.background)
+
     # -- scheduling --------------------------------------------------------
-    def at(self, at_ms: float, fn: Callable[[], None]) -> Event:
+    def at(self, at_ms: float, fn: Callable[[], None],
+           background: bool = False) -> Event:
         """Schedule ``fn`` at an absolute virtual time (clamped to now)."""
-        event = Event(max(float(at_ms), self._now_ms), next(self._seq), fn)
+        event = Event(max(float(at_ms), self._now_ms), next(self._seq), fn,
+                      background=background)
         heapq.heappush(self._heap, event)
         return event
 
-    def schedule(self, delay_ms: float, fn: Callable[[], None]) -> Event:
+    def schedule(self, delay_ms: float, fn: Callable[[], None],
+                 background: bool = False) -> Event:
         """Schedule ``fn`` after a relative delay (negative delays clamp)."""
-        return self.at(self._now_ms + max(0.0, float(delay_ms)), fn)
+        return self.at(self._now_ms + max(0.0, float(delay_ms)), fn,
+                       background=background)
 
     def cancel(self, event: Event) -> None:
         event.cancelled = True
+
+    def every(self, interval_ms: float, fn: Callable[[], None]) -> "RecurringEvent":
+        """Run ``fn`` every ``interval_ms`` of virtual time while work is queued.
+
+        The recurring event reschedules itself only while the engine has
+        *other* pending events, so periodic background ticks (propagation
+        flushes, gossip rounds, autoscaler policies) stop firing once the
+        foreground workload drains instead of spinning the loop forever.
+        """
+        if interval_ms <= 0:
+            raise ValueError("recurring events need a positive interval")
+        return RecurringEvent(self, float(interval_ms), fn)
 
     def stop(self) -> None:
         """Stop the current :meth:`run` after the in-flight event returns."""
@@ -127,6 +165,44 @@ class Engine:
         if until_ms is not None and until_ms != float("inf") and not self._stopped:
             self._now_ms = max(self._now_ms, float(until_ms))
         return fired
+
+
+class RecurringEvent:
+    """A periodic engine event that pauses itself on an idle engine.
+
+    Created through :meth:`Engine.every`.  ``cancel`` stops it permanently;
+    otherwise the callback fires every interval for as long as the engine has
+    other pending events when a firing completes (the same liveness rule the
+    Anna propagation tick hand-rolled before this class existed).
+    """
+
+    __slots__ = ("engine", "interval_ms", "fn", "cancelled", "fired", "_event")
+
+    def __init__(self, engine: Engine, interval_ms: float, fn: Callable[[], None]):
+        self.engine = engine
+        self.interval_ms = interval_ms
+        self.fn = fn
+        self.cancelled = False
+        self.fired = 0
+        self._event: Optional[Event] = engine.schedule(
+            interval_ms, self._fire, background=True)
+
+    def _fire(self) -> None:
+        if self.cancelled:
+            return
+        self.fired += 1
+        self.fn()
+        if not self.cancelled and self.engine.foreground_pending > 0:
+            self._event = self.engine.schedule(
+                self.interval_ms, self._fire, background=True)
+        else:
+            self._event = None
+
+    def cancel(self) -> None:
+        self.cancelled = True
+        if self._event is not None:
+            self.engine.cancel(self._event)
+            self._event = None
 
 
 class WorkQueue:
@@ -213,6 +289,94 @@ class WorkQueue:
                 break
             busy += min(self._ends[index], end_ms) - max(s, start_ms)
         return busy
+
+
+class ReservationQueue:
+    """Single-server queue for known service times and out-of-order arrivals.
+
+    Storage nodes need a different queue than executor threads.  An executor's
+    :class:`WorkQueue` assumes callers arrive in non-decreasing virtual time —
+    true for engine events, which fire in timestamp order.  But a storage
+    operation happens *mid-callback*, at whatever the caller's private request
+    clock reads, and two concurrently-executing callbacks reach the same node
+    at times that interleave arbitrarily.  A tail-based queue would block a
+    logically-earlier operation behind a later one's tail and charge a
+    spurious wait equal to the callbacks' skew.
+
+    Since storage service times are known up front (the deterministic
+    :class:`~repro.anna.storage_node.StorageServiceModel`), the server can
+    instead keep its reserved busy intervals and place each new operation in
+    the first idle gap at-or-after its arrival.  Arrivals that really contend
+    (overlapping reservations) queue behind each other; arrivals that merely
+    *observe* out of order slot into the gaps they would have used had they
+    been processed in timestamp order.
+    """
+
+    __slots__ = ("bound", "label", "busy_ms", "completed", "_starts", "_ends")
+
+    #: Compact the interval history once it exceeds this many entries...
+    _COMPACT_LIMIT = 8192
+    #: ...keeping the most recent this-many (old intervals ended long before
+    #: any arrival that can still occur, so dropping them cannot change
+    #: placements except for pathologically stale request clocks, which then
+    #: see an idle server — an undercount of ancient contention, never a
+    #: spurious wait).
+    _COMPACT_KEEP = 4096
+
+    def __init__(self, bound: Optional[int] = None, label: str = ""):
+        if bound is not None and bound <= 0:
+            raise ValueError("reservation queue bound must be positive (or None)")
+        self.bound = bound
+        self.label = label
+        self.busy_ms = 0.0
+        self.completed = 0
+        # Non-overlapping busy intervals, sorted (both lists share the order).
+        self._starts: List[float] = []
+        self._ends: List[float] = []
+
+    def reset(self) -> None:
+        """Forget all reservations (a fresh driver run on a reused cluster)."""
+        self.busy_ms = 0.0
+        self.completed = 0
+        self._starts.clear()
+        self._ends.clear()
+
+    def reserve(self, arrival_ms: float, service_ms: float) -> float:
+        """Book ``service_ms`` of server time; returns the start (>= arrival)."""
+        arrival = float(arrival_ms)
+        service = float(service_ms)
+        if service <= 0.0:
+            return arrival
+        # First busy interval that ends after the arrival; everything before
+        # it is history this reservation cannot overlap.
+        index = bisect_right(self._ends, arrival)
+        start = arrival
+        while index < len(self._starts):
+            if start + service <= self._starts[index]:
+                break  # the gap before this interval fits the whole service
+            start = max(start, self._ends[index])
+            index += 1
+        self._starts.insert(index, start)
+        self._ends.insert(index, start + service)
+        self.busy_ms += service
+        self.completed += 1
+        if len(self._starts) > self._COMPACT_LIMIT:
+            cut = len(self._starts) - self._COMPACT_KEEP
+            del self._starts[:cut]
+            del self._ends[:cut]
+        return start
+
+    # -- metrics -----------------------------------------------------------
+    def depth(self, at_ms: float) -> int:
+        """Reservations still unfinished at ``at_ms`` (in service or queued)."""
+        return len(self._ends) - bisect_right(self._ends, at_ms)
+
+    def is_full(self, at_ms: float) -> bool:
+        return self.bound is not None and self.depth(at_ms) >= self.bound
+
+    def busy_at(self, at_ms: float) -> bool:
+        """Whether the server has reserved work at (or beyond) ``at_ms``."""
+        return bool(self._ends) and self._ends[-1] > at_ms
 
 
 class FifoQueue:

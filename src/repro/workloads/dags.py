@@ -11,7 +11,7 @@ from the keys the DAG read.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..cloudburst import CloudburstClient, CloudburstReference, Dag
 from ..sim import RandomSource, ZipfGenerator

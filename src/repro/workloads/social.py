@@ -9,7 +9,7 @@ PostTweet requests.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from ..sim import RandomSource, ZipfGenerator

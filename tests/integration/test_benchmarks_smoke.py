@@ -5,7 +5,6 @@ scale; here they run with reduced parameters so the whole suite stays fast,
 and the assertions check orderings ("who wins") rather than absolute numbers.
 """
 
-import pytest
 
 from repro.bench import (
     run_caching_ablation,
@@ -23,7 +22,6 @@ from repro.bench import (
     run_scheduling_ablation,
     run_table2,
 )
-from repro.cloudburst import ConsistencyLevel
 from repro.cloudburst.monitoring import MonitoringConfig
 
 

@@ -1,8 +1,7 @@
 """Integration tests for distributed session consistency across executors."""
 
-import pytest
 
-from repro import CloudburstCluster, CloudburstReference, ConsistencyLevel
+from repro import CloudburstCluster, ConsistencyLevel
 from repro.anna import AnnaCluster
 from repro.cloudburst import AnomalyTracker
 

@@ -21,7 +21,6 @@ from repro.bench.harness import (
 )
 from repro.cloudburst import CloudburstCluster
 from repro.cloudburst.monitoring import AutoscalingPolicy, MonitoringConfig
-from repro.sim import RequestContext
 
 
 def _make_cluster(seed=11, executor_vms=2, threads_per_vm=3):

@@ -3,7 +3,6 @@
 import pytest
 
 from repro import CloudburstCluster
-from repro.errors import DagExecutionError
 
 
 @pytest.fixture

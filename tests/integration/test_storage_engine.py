@@ -1,0 +1,83 @@
+"""Integration tests for the engine-driven storage tier (Figures 5, 6, 7).
+
+The acceptance bar for putting Anna on the discrete-event engine: the
+Figure 5/6 harnesses run through engine-attached storage nodes by default,
+and a 1-client engine run reproduces the ``driver="sequential"`` synchronous
+path sample-for-sample (same pin the consistency experiments carry in
+``test_concurrent_sessions.py``).
+"""
+
+import pytest
+
+from repro.bench import run_figure5, run_figure6, run_figure7
+from repro.cloudburst.monitoring import MonitoringConfig
+
+
+class TestFigure5EngineDriver:
+    def test_one_client_engine_matches_sequential_sample_for_sample(self):
+        kwargs = dict(requests_per_size=6, sizes=("800KB",), seed=2)
+        sequential = run_figure5(driver="sequential", **kwargs)
+        engine = run_figure5(driver="engine", clients=1, **kwargs)
+        for label in ("Cloudburst (Hot)", "Cloudburst (Cold)"):
+            assert engine.points["800KB"].recorders[label].samples_ms == \
+                pytest.approx(sequential.points["800KB"].recorders[label].samples_ms)
+
+    def test_engine_driver_is_deterministic(self):
+        kwargs = dict(requests_per_size=6, sizes=("800KB",), seed=3, clients=3)
+        first = run_figure5(**kwargs)
+        second = run_figure5(**kwargs)
+        for label in ("Cloudburst (Hot)", "Cloudburst (Cold)"):
+            assert first.points["800KB"].recorders[label].samples_ms == \
+                second.points["800KB"].recorders[label].samples_ms
+
+    def test_concurrent_clients_still_satisfy_paper_ordering(self):
+        sweep = run_figure5(requests_per_size=8, sizes=("8MB",), seed=1, clients=4)
+        at_8mb = sweep.points["8MB"]
+        assert at_8mb.median("Cloudburst (Hot)") < at_8mb.median("Cloudburst (Cold)")
+        assert at_8mb.median("Cloudburst (Cold)") < at_8mb.median("Lambda (Redis)")
+
+    def test_rejects_clients_knob_on_sequential_driver(self):
+        with pytest.raises(ValueError):
+            run_figure5(requests_per_size=2, sizes=("80KB",), driver="sequential",
+                        clients=4)
+        with pytest.raises(ValueError):
+            run_figure5(requests_per_size=2, sizes=("80KB",), driver="bogus")
+
+
+class TestFigure6EngineDriver:
+    def test_one_client_engine_matches_sequential_sample_for_sample(self):
+        sequential = run_figure6(repetitions=6, seed=2, driver="sequential")
+        engine = run_figure6(repetitions=6, seed=2, driver="engine", clients=1)
+        for label in ("Cloudburst (gossip)", "Cloudburst (gather)"):
+            assert engine.recorders[label].samples_ms == \
+                pytest.approx(sequential.recorders[label].samples_ms)
+
+    def test_lambda_baselines_identical_across_drivers(self):
+        # The simulated Lambda gathers never touch the engine; the driver
+        # knob must not change their numbers at all.
+        sequential = run_figure6(repetitions=5, seed=4, driver="sequential")
+        engine = run_figure6(repetitions=5, seed=4, driver="engine", clients=2)
+        for label in ("Lambda+Redis (gather)", "Lambda+Dynamo (gather)",
+                      "Lambda+S3 (gather)"):
+            assert engine.recorders[label].samples_ms == \
+                sequential.recorders[label].samples_ms
+
+
+class TestFigure7StorageTier:
+    def test_storage_autoscaler_ticks_on_the_shared_timeline(self):
+        experiment = run_figure7(
+            initial_threads=6, client_count=12,
+            load_duration_s=10.0, total_duration_s=15.0,
+            policy_interval_ms=2_500.0,
+            monitoring_config=MonitoringConfig(
+                vms_per_scale_up=1, node_startup_delay_ms=5_000.0, max_vms=6),
+            seed=1)
+        scaler = experiment.storage_autoscaler
+        assert scaler is not None
+        # The policy really evaluated on virtual time while load was running.
+        assert len(scaler.history) >= 2
+        ticks = [at_ms for at_ms, _count in scaler.node_count_timeline]
+        assert ticks == sorted(ticks)
+        assert ticks[0] >= 2_500.0
+        # The workload's Zipf head is hot enough to earn extra replicas.
+        assert any(report.keys_boosted for report in scaler.history)

@@ -4,7 +4,7 @@ import pytest
 
 from repro.anna import AnnaCluster
 from repro.errors import KeyNotFoundError
-from repro.lattices import LWWLattice, MaxIntLattice, SetLattice, Timestamp
+from repro.lattices import LWWLattice, MaxIntLattice, Timestamp
 from repro.sim import LatencyModel, RequestContext
 
 

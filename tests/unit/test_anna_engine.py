@@ -1,0 +1,371 @@
+"""Unit tests for the Anna storage tier as a discrete-event participant.
+
+Covers the engine-attached behaviours layered onto :class:`AnnaCluster`:
+quorum-of-1 multi-master writes with anti-entropy gossip, bounded node work
+queues (backpressure + read redirect), service-time charging, membership
+rebalancing under divergent replicas, and the storage autoscaler running as a
+recurring engine event.
+"""
+
+import pytest
+
+from repro.anna import (
+    AnnaCluster,
+    StorageAutoscaler,
+    StorageAutoscalerConfig,
+    StorageServiceModel,
+)
+from repro.errors import StorageOverloadError
+from repro.lattices import LWWLattice, SetLattice, Timestamp
+from repro.sim import Engine, LatencyModel, RequestContext, SimClock
+
+
+def lww(value, clock=1.0):
+    return LWWLattice(Timestamp(clock, "test"), value)
+
+
+def ctx_at(now_ms: float = 0.0) -> RequestContext:
+    return RequestContext(clock=SimClock(now_ms))
+
+
+def make_cluster(**kwargs) -> AnnaCluster:
+    kwargs.setdefault("node_count", 4)
+    kwargs.setdefault("replication_factor", 2)
+    kwargs.setdefault("latency_model", LatencyModel(jitter_enabled=False))
+    return AnnaCluster(**kwargs)
+
+
+class TestQuorumOfOneAndGossip:
+    def test_engine_put_lands_on_one_replica_until_gossip(self):
+        anna = make_cluster(gossip_interval_ms=25.0)
+        engine = Engine()
+        anna.attach_engine(engine)
+        anna.put("k", lww("v"), ctx_at())
+        holders = [owner for owner in anna.replicas_of("k")
+                   if anna.node(owner).contains("k")]
+        assert len(holders) == 1
+        assert anna.dirty_key_count() == 1
+
+        exchanged = anna.run_gossip_round()
+        assert exchanged == 1
+        holders = [owner for owner in anna.replicas_of("k")
+                   if anna.node(owner).contains("k")]
+        assert len(holders) == 2
+        assert anna.dirty_key_count() == 0
+        anna.detach_engine()
+
+    def test_gossip_merges_do_not_count_as_client_load(self):
+        anna = make_cluster(gossip_interval_ms=25.0)
+        engine = Engine()
+        anna.attach_engine(engine)
+        anna.put("k", lww("v"), ctx_at())
+        accesses_before = anna.total_access_count()
+        anna.run_gossip_round()
+        assert anna.total_access_count() == accesses_before
+        replicas = [anna.node(owner) for owner in anna.replicas_of("k")]
+        assert sum(node.replica_merges for node in replicas) == 1
+        anna.detach_engine()
+
+    def test_detach_engine_flushes_pending_gossip(self):
+        anna = make_cluster(gossip_interval_ms=25.0)
+        anna.attach_engine(Engine())
+        anna.put("k", lww("v"), ctx_at())
+        assert anna.dirty_key_count() == 1
+        anna.detach_engine()
+        assert anna.dirty_key_count() == 0
+        for owner in anna.replicas_of("k"):
+            assert anna.node(owner).contains("k")
+
+    def test_periodic_gossip_runs_on_virtual_time(self):
+        anna = make_cluster(gossip_interval_ms=10.0)
+        engine = Engine()
+        anna.attach_engine(engine)
+        # Foreground work keeps the recurring gossip tick alive past 10 ms.
+        engine.at(5.0, lambda: anna.put("k", lww("v"), ctx_at(5.0)))
+        engine.at(30.0, lambda: None)
+        engine.run()
+        assert anna.gossip_rounds >= 1
+        assert anna.dirty_key_count() == 0
+        anna.detach_engine()
+
+    def test_zero_gossip_interval_falls_back_to_fanout(self):
+        anna = make_cluster(gossip_interval_ms=0.0)
+        anna.attach_engine(Engine())
+        anna.put("k", lww("v"), ctx_at())
+        for owner in anna.replicas_of("k"):
+            assert anna.node(owner).contains("k")
+        assert anna.dirty_key_count() == 0
+        anna.detach_engine()
+
+    def test_divergent_replicas_converge_after_one_round(self):
+        # Two concurrent writers land on *different* replicas (the first
+        # replica's bounded queue is busy when the second write arrives) and
+        # the set lattice merges both elements after one gossip exchange.
+        anna = make_cluster(node_count=3, replication_factor=2,
+                            node_queue_bound=1,
+                            storage_service=StorageServiceModel(memory_base_ms=5.0),
+                            gossip_interval_ms=25.0)
+        anna.attach_engine(Engine())
+        anna.put("s", SetLattice({"a"}), ctx_at())
+        anna.put("s", SetLattice({"b"}), ctx_at())
+        owners = anna.replicas_of("s")
+        values = [anna.node(owner).peek("s") for owner in owners]
+        assert {frozenset(v.reveal()) for v in values if v is not None} == \
+            {frozenset({"a"}), frozenset({"b"})}
+
+        anna.run_gossip_round()
+        for owner in owners:
+            assert anna.node(owner).peek("s").reveal() == {"a", "b"}
+        anna.detach_engine()
+
+
+class TestBoundedNodeQueues:
+    def saturated_cluster(self):
+        anna = make_cluster(node_count=2, replication_factor=1,
+                            node_queue_bound=2,
+                            storage_service=StorageServiceModel(memory_base_ms=5.0),
+                            gossip_interval_ms=25.0)
+        anna.attach_engine(Engine())
+        return anna
+
+    def test_put_rejects_when_every_replica_full(self):
+        anna = self.saturated_cluster()
+        anna.put("k", lww(0), ctx_at())
+        anna.put("k", lww(1), ctx_at())
+        with pytest.raises(StorageOverloadError):
+            anna.put("k", lww(2), ctx_at())
+        assert anna.total_rejections() == 1
+        anna.detach_engine()
+
+    def test_skipped_replica_on_successful_put_is_not_a_rejection(self):
+        # Regression: landing on a later replica because an earlier one was
+        # busy used to count a rejection at the skipped node, inflating the
+        # bench's storage.rejections for puts that succeeded.
+        anna = make_cluster(node_count=3, replication_factor=2,
+                            node_queue_bound=1,
+                            storage_service=StorageServiceModel(memory_base_ms=5.0),
+                            gossip_interval_ms=25.0)
+        anna.attach_engine(Engine())
+        anna.put("k", lww(0), ctx_at())
+        anna.put("k", lww(1), ctx_at())  # first owner busy -> lands on second
+        assert anna.total_rejections() == 0
+        anna.detach_engine()
+
+    def test_queue_depth_is_bounded_not_unbounded(self):
+        anna = self.saturated_cluster()
+        accepted = 0
+        for index in range(50):
+            try:
+                anna.put("k", lww(index), ctx_at())
+                accepted += 1
+            except StorageOverloadError:
+                pass
+        owner = anna.replicas_of("k")[0]
+        assert accepted == 2
+        assert anna.node(owner).work_queue.depth(0.0) <= 2
+        assert anna.total_rejections() == 48
+        anna.detach_engine()
+
+    def test_waiting_writer_is_charged_queueing_delay(self):
+        anna = self.saturated_cluster()
+        first = ctx_at()
+        anna.put("k", lww(0), first)
+        second = ctx_at()
+        anna.put("k", lww(1), second)
+        # The second writer waited out the first's 5 ms service slot (give or
+        # take the sub-microsecond skew of the preceding network charges).
+        assert second.total("anna", "queue") == pytest.approx(5.0, abs=0.01)
+        assert second.total("anna", "service") == pytest.approx(5.0, abs=0.01)
+        assert first.total("anna", "queue") == 0.0
+        anna.detach_engine()
+
+    def test_reads_redirect_to_less_loaded_replica(self):
+        anna = make_cluster(node_count=3, replication_factor=2,
+                            node_queue_bound=1,
+                            storage_service=StorageServiceModel(memory_base_ms=5.0),
+                            gossip_interval_ms=25.0)
+        anna.put("k", lww("v"))  # synchronous fan-out: every replica holds it
+        anna.attach_engine(Engine())
+        first, second = anna.replicas_of("k")
+        anna.node(first).work_queue.reserve(0.0, 5.0)  # saturate the primary
+        reader = ctx_at()
+        value = anna.get("k", reader)
+        assert value.reveal() == "v"
+        # Redirected: no queueing delay, and the skip is recorded as a
+        # redirect — not a rejection, because the read still succeeded.
+        assert reader.total("anna", "queue") == 0.0
+        assert anna.node(first).read_redirects == 1
+        assert anna.node(first).rejections == 0
+        assert anna.node(second).stats("k").reads == 1
+        anna.detach_engine()
+
+    def test_fanout_mode_still_backpressures_on_engine(self):
+        # gossip_interval_ms=0 keeps instant fan-out while attached; the
+        # bounded queue must still reject charged puts at a saturated primary.
+        anna = make_cluster(node_count=2, replication_factor=1,
+                            node_queue_bound=2,
+                            storage_service=StorageServiceModel(memory_base_ms=5.0),
+                            gossip_interval_ms=0.0)
+        anna.attach_engine(Engine())
+        anna.put("k", lww(0), ctx_at())
+        anna.put("k", lww(1), ctx_at())
+        with pytest.raises(StorageOverloadError):
+            anna.put("k", lww(2), ctx_at())
+        assert anna.total_rejections() == 1
+        anna.detach_engine()
+
+    def test_background_writes_never_queue(self):
+        anna = self.saturated_cluster()
+        anna.put("k", lww(0), ctx_at())
+        anna.put("k", lww(1), ctx_at())
+        # An uncharged write-back (ctx=None) is background traffic: it cannot
+        # be rejected and does not occupy the work queue.
+        merged = anna.put("k", lww(2, clock=9.0))
+        assert merged.reveal() == 2
+        anna.detach_engine()
+
+
+class TestServiceCharging:
+    def test_sequential_path_charges_service_but_never_queues(self):
+        anna = make_cluster(storage_service=StorageServiceModel(
+            memory_base_ms=0.5, memory_bandwidth_bytes_per_ms=1e9))
+        ctx = ctx_at()
+        anna.put("k", lww("v"), ctx)
+        assert ctx.total("anna", "service") == pytest.approx(0.5, rel=1e-3)
+        assert ctx.total("anna", "queue") == 0.0
+
+    def test_disk_tier_service_slower_than_memory(self):
+        model = StorageServiceModel()
+        assert model.service_ms("disk", 1024) > model.service_ms("memory", 1024)
+
+    def test_one_client_engine_run_matches_sequential_charges(self):
+        def run(with_engine: bool):
+            anna = make_cluster(gossip_interval_ms=25.0)
+            engine = Engine()
+            if with_engine:
+                anna.attach_engine(engine)
+            charges = []
+            clock = 0.0
+            for index in range(20):
+                ctx = ctx_at(clock)
+                anna.put(f"k{index % 5}", lww(index, clock=index), ctx)
+                anna.get(f"k{index % 5}", ctx)
+                charges.append(ctx.clock.now_ms - clock)
+                clock += 10.0
+            if with_engine:
+                anna.detach_engine()
+            return charges
+
+        assert run(False) == pytest.approx(run(True))
+
+
+class TestRebalanceUnderEngine:
+    def test_add_node_migrates_dirty_state_without_loss(self):
+        anna = make_cluster(node_count=3, replication_factor=2,
+                            node_queue_bound=1,
+                            storage_service=StorageServiceModel(memory_base_ms=5.0),
+                            gossip_interval_ms=25.0)
+        anna.attach_engine(Engine())
+        # Staggered writes (bound=1, 5 ms service): no two collide at a node.
+        for index in range(40):
+            anna.put(f"k{index}", SetLattice({f"v{index}"}), ctx_at(index * 10.0))
+        # Two concurrent writers at t=1000 diverge onto different replicas.
+        anna.put("shared", SetLattice({"a"}), ctx_at(1_000.0))
+        anna.put("shared", SetLattice({"b"}), ctx_at(1_000.0))
+
+        new_node = anna.add_node()
+        anna.run_gossip_round()
+        migrated = anna.node(new_node).key_count()
+        assert migrated > 0
+        for index in range(40):
+            assert anna.get(f"k{index}").reveal() == {f"v{index}"}
+        assert anna.get("shared").reveal() == {"a", "b"}
+        anna.detach_engine()
+
+    def test_remove_node_preserves_ungossiped_writes(self):
+        anna = make_cluster(node_count=3, replication_factor=2,
+                            gossip_interval_ms=25.0)
+        anna.attach_engine(Engine())
+        anna.put("k", lww("fresh", clock=5.0), ctx_at())
+        holder = next(owner for owner in anna.replicas_of("k")
+                      if anna.node(owner).contains("k"))
+        # The accepting replica leaves before gossip ever ran: its write must
+        # reach the remaining owners through the departure drain.
+        anna.remove_node(holder)
+        assert anna.get("k").reveal() == "fresh"
+        anna.detach_engine()
+
+    def test_add_node_merges_replica_copies_not_first_copy_wins(self):
+        # Regression: an ex-owner can keep a stale copy of a key whose
+        # ownership migrated away from it; seeding a new node from whichever
+        # node iterates first used to resurrect that stale version.
+        anna = make_cluster(node_count=2, replication_factor=1)
+        anna.put("k", lww("v0", clock=1.0))
+        # Grow the ring until ownership of "k" moves off every original holder.
+        original_holders = set(anna.replicas_of("k"))
+        for _ in range(6):
+            anna.add_node()
+        anna.put("k", lww("v1", clock=2.0))
+        # Keep adding nodes: every new owner must observe the newest write,
+        # no matter which stale ex-owner copies happen to linger.
+        for _ in range(4):
+            anna.add_node()
+            assert anna.get("k").reveal() == "v1"
+        assert original_holders  # the scenario really exercised migration
+
+    def test_migration_does_not_inflate_access_stats(self):
+        anna = make_cluster(node_count=3, replication_factor=2)
+        for index in range(30):
+            anna.put(f"k{index}", lww(index), ctx_at())
+        before = anna.total_access_count()
+        anna.add_node()
+        # Migration copies are system traffic: no new client accesses.
+        assert anna.total_access_count() == before
+        # Removing a node drops its per-key counters but the drain's merges
+        # must not register as client load on the receiving nodes either.
+        anna.remove_node(anna.node_ids[0])
+        assert anna.total_access_count() <= before
+
+
+class TestStorageAutoscalerOnEngine:
+    def test_tick_runs_as_recurring_engine_event(self):
+        anna = make_cluster(gossip_interval_ms=25.0)
+        scaler = StorageAutoscaler(anna, StorageAutoscalerConfig(
+            scale_up_accesses_per_node=5.0, scale_down_accesses_per_node=0.0,
+            hot_key_threshold=8, hot_key_extra_replicas=1, max_nodes=8))
+        anna.set_autoscaler(scaler, interval_ms=20.0)
+        engine = Engine()
+        anna.attach_engine(engine)
+
+        def burst(at_ms):
+            ctx = ctx_at(at_ms)
+            for _ in range(5):
+                anna.put("hot", lww("v", clock=at_ms), ctx)
+                anna.get("hot", ctx)
+        for at_ms in range(0, 100, 10):
+            engine.at(float(at_ms), lambda at=at_ms: burst(float(at)))
+        engine.run()
+        anna.detach_engine()
+
+        assert len(scaler.history) >= 2
+        assert any(report.nodes_added for report in scaler.history)
+        assert any("hot" in report.keys_boosted for report in scaler.history)
+        assert scaler.node_count_timeline[-1][1] == anna.node_count()
+        # Boosted replication really widened the replica set.
+        assert len(anna.replicas_of("hot")) > 2
+
+    def test_detach_engine_stops_the_tick(self):
+        anna = make_cluster()
+        scaler = StorageAutoscaler(anna)
+        anna.set_autoscaler(scaler, interval_ms=10.0)
+        engine = Engine()
+        anna.attach_engine(engine)
+        anna.detach_engine()
+        engine.at(5.0, lambda: None)
+        engine.run(until_ms=100.0)
+        assert scaler.history == []
+
+    def test_set_autoscaler_rejects_bad_interval(self):
+        anna = make_cluster()
+        with pytest.raises(ValueError):
+            anna.set_autoscaler(StorageAutoscaler(anna), interval_ms=0.0)

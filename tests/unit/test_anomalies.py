@@ -1,6 +1,5 @@
 """Unit tests for the Table 2 anomaly tracker."""
 
-import pytest
 
 from repro.cloudburst import AnomalyTracker
 from repro.lattices import LWWLattice, Timestamp

@@ -1,0 +1,153 @@
+"""Unit tests for the ``benchmarks/run_all.py`` regression gate.
+
+CI runs ``run_all.py --quick`` on every push and fails the build when the
+snapshot's invariants break.  These tests pin the gate itself: the ordering
+checks flag broken payloads, and ``main`` exits nonzero when they do —
+without re-running the (seconds-long) benchmark harnesses.
+"""
+
+import importlib.util
+import json
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+_SPEC = importlib.util.spec_from_file_location(
+    "bench_run_all", REPO_ROOT / "benchmarks" / "run_all.py")
+run_all = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(run_all)
+
+
+def _stats(median_ms: float) -> dict:
+    return {"count": 8, "median_ms": median_ms, "p99_ms": median_ms * 2}
+
+
+def good_figure5() -> dict:
+    return {
+        "driver": "engine",
+        "sizes": {
+            "8MB": {
+                "Cloudburst (Hot)": _stats(2.0),
+                "Cloudburst (Cold)": _stats(60.0),
+                "Lambda (Redis)": _stats(120.0),
+                "Lambda (S3)": _stats(400.0),
+            },
+            "80MB": {
+                "Cloudburst (Hot)": _stats(50.0),
+                "Cloudburst (Cold)": _stats(500.0),
+                "Lambda (Redis)": _stats(1_500.0),
+                "Lambda (S3)": _stats(1_200.0),
+            },
+        },
+        "wall_seconds": 1.0,
+    }
+
+
+def good_figure6() -> dict:
+    return {
+        "driver": "engine",
+        "systems": {
+            "Cloudburst (gossip)": _stats(220.0),
+            "Cloudburst (gather)": _stats(10.0),
+            "Lambda+Redis (gather)": _stats(240.0),
+            "Lambda+Dynamo (gather)": _stats(320.0),
+            "Lambda+S3 (gather)": _stats(640.0),
+        },
+        "wall_seconds": 1.0,
+    }
+
+
+def good_payload() -> dict:
+    return {
+        "figure5_locality": good_figure5(),
+        "figure6_aggregation": good_figure6(),
+        "table2_anomalies": {"invariant_violations": []},
+    }
+
+
+class TestOrderingChecks:
+    def test_good_payload_has_no_errors(self):
+        assert run_all.collect_gate_errors(good_payload()) == []
+
+    def test_fig5_hot_slower_than_cold_is_flagged(self):
+        fig5 = good_figure5()
+        fig5["sizes"]["8MB"]["Cloudburst (Hot)"] = _stats(80.0)
+        errors = run_all.figure5_ordering_errors(fig5)
+        assert any("Cloudburst (Hot) < Cloudburst (Cold)" in e for e in errors)
+
+    def test_fig5_speedup_floor_is_flagged(self):
+        fig5 = good_figure5()
+        # Ordering intact, but the hot cache advantage collapsed below 10x.
+        fig5["sizes"]["8MB"]["Cloudburst (Hot)"] = _stats(20.0)
+        errors = run_all.figure5_ordering_errors(fig5)
+        assert any(">10x" in e for e in errors)
+
+    def test_fig5_s3_crossover_is_flagged(self):
+        fig5 = good_figure5()
+        fig5["sizes"]["80MB"]["Lambda (S3)"] = _stats(2_000.0)
+        errors = run_all.figure5_ordering_errors(fig5)
+        assert any("crossover" in e for e in errors)
+
+    def test_fig6_gather_slower_than_gossip_is_flagged(self):
+        fig6 = good_figure6()
+        fig6["systems"]["Cloudburst (gather)"] = _stats(300.0)
+        errors = run_all.figure6_ordering_errors(fig6)
+        assert errors
+
+    def test_consistency_violations_pass_through(self):
+        payload = good_payload()
+        payload["table2_anomalies"]["invariant_violations"] = ["LWW != 0"]
+        assert "LWW != 0" in run_all.collect_gate_errors(payload)
+
+
+class TestMainExitCode:
+    def _canned_sections(self, monkeypatch, fig5: dict, violations=()):
+        table2 = {"invariant_violations": list(violations),
+                  "anomalies": {"LWW": 0}, "executions": 800,
+                  "clients": 8, "propagation_interval_ms": 50.0,
+                  "multi_key_additional": 0,
+                  "distributed_session_additional": 0, "wall_seconds": 1.0}
+        fig7 = {"requests_per_s": 80.0, "peak_requests_per_s": 150.0,
+                "completed_requests": 100, "capacity_timeline": [],
+                "initial_threads": 6, "clients": 8,
+                "latency": _stats(60.0), "wall_seconds": 1.0}
+        scaling = {"requests_per_point": 10, "wall_seconds": 1.0,
+                   "points": [{"threads": 10, "clients": 10,
+                               "requests_per_s": 100.0,
+                               "median_ms": 5.0, "p99_ms": 10.0}]}
+        fig8 = {"levels": {"LWW": _stats(2.0)}, "metadata_overhead_bytes": {},
+                "clients": 4, "propagation_interval_ms": 50.0,
+                "wall_seconds": 1.0}
+        monkeypatch.setattr(run_all, "snapshot_figure5", lambda *a, **k: fig5)
+        monkeypatch.setattr(run_all, "snapshot_figure6",
+                            lambda *a, **k: good_figure6())
+        monkeypatch.setattr(run_all, "snapshot_figure7", lambda *a, **k: fig7)
+        monkeypatch.setattr(run_all, "snapshot_scaling", lambda *a, **k: scaling)
+        monkeypatch.setattr(run_all, "snapshot_figure8", lambda *a, **k: fig8)
+        monkeypatch.setattr(run_all, "snapshot_table2", lambda *a, **k: table2)
+
+    def test_quick_run_exits_zero_when_gates_hold(self, monkeypatch, tmp_path):
+        self._canned_sections(monkeypatch, good_figure5())
+        output = tmp_path / "bench.json"
+        assert run_all.main(["--quick", "--output", str(output)]) == 0
+        payload = json.loads(output.read_text())
+        assert payload["bench_gate_ok"] is True
+        assert payload["scale"] == "quick"
+
+    def test_quick_run_exits_nonzero_on_ordering_breakage(self, monkeypatch,
+                                                          tmp_path):
+        broken = good_figure5()
+        broken["sizes"]["8MB"]["Cloudburst (Hot)"] = _stats(500.0)
+        self._canned_sections(monkeypatch, broken)
+        output = tmp_path / "bench.json"
+        assert run_all.main(["--quick", "--output", str(output)]) == 1
+        # The snapshot is still written (CI uploads it as an artifact even
+        # when the gate fails), with the failure recorded in the payload.
+        payload = json.loads(output.read_text())
+        assert payload["bench_gate_ok"] is False
+
+    def test_quick_run_exits_nonzero_on_consistency_breakage(self, monkeypatch,
+                                                             tmp_path):
+        self._canned_sections(monkeypatch, good_figure5(),
+                              violations=["SK > MK cumulative"])
+        output = tmp_path / "bench.json"
+        assert run_all.main(["--quick", "--output", str(output)]) == 1

@@ -1,6 +1,5 @@
 """Unit tests for the causal lattice (multi-value register + dependencies)."""
 
-import pytest
 
 from repro.lattices import CausalLattice, VectorClock
 

@@ -87,3 +87,27 @@ class TestHashRingPlacement:
                 assert self.ring.primary(key) == before[key]
             else:
                 assert self.ring.primary(key) != "node-0"
+
+
+class TestOwnedBy:
+    def setup_method(self):
+        self.ring = HashRing(virtual_nodes=64)
+        for index in range(4):
+            self.ring.add_node(f"node-{index}")
+        self.keys = [f"key-{i}" for i in range(500)]
+
+    def test_matches_owner_computation(self):
+        for node in (f"node-{i}" for i in range(4)):
+            owned = set(self.ring.owned_by(self.keys, node, count=2))
+            expected = {key for key in self.keys
+                        if node in self.ring.owners(key, 2)}
+            assert owned == expected
+
+    def test_every_key_owned_by_exactly_replication_factor_nodes(self):
+        total = sum(len(self.ring.owned_by(self.keys, f"node-{i}", count=2))
+                    for i in range(4))
+        assert total == 2 * len(self.keys)
+
+    def test_unknown_node_raises(self):
+        with pytest.raises(KeyError):
+            self.ring.owned_by(self.keys, "ghost")

@@ -3,7 +3,7 @@
 import pytest
 
 from repro import CloudburstCluster
-from repro.cloudburst import AutoscalingPolicy, MonitoringConfig, MonitoringSystem
+from repro.cloudburst import AutoscalingPolicy, MonitoringConfig
 
 
 class TestMonitoringSystem:

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.anna import AnnaCluster
-from repro.cloudburst import ConsistencyLevel, ExecutorCache, LatticeEncapsulator
+from repro.cloudburst import ConsistencyLevel, ExecutorCache
 from repro.cloudburst.consistency.protocols import (
     DistributedSessionCausalProtocol,
     LWWProtocol,

@@ -4,7 +4,7 @@ import pytest
 
 from repro import CloudburstCluster, CloudburstReference
 from repro.cloudburst import Dag
-from repro.errors import DagExecutionError, FunctionNotFoundError
+from repro.errors import FunctionNotFoundError
 
 
 @pytest.fixture

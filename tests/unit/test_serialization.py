@@ -1,6 +1,5 @@
 """Unit tests for lattice encapsulation of opaque user values."""
 
-import pytest
 
 from repro.cloudburst import ConsistencyLevel, LatticeEncapsulator
 from repro.lattices import CausalLattice, LWWLattice, MaxIntLattice, Timestamp, VectorClock

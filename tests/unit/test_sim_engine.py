@@ -2,7 +2,14 @@
 
 import pytest
 
-from repro.sim import Engine, FifoQueue, ForkJoin, ProcessorSharingQueue, WorkQueue
+from repro.sim import (
+    Engine,
+    FifoQueue,
+    ForkJoin,
+    ProcessorSharingQueue,
+    ReservationQueue,
+    WorkQueue,
+)
 
 
 class TestEngine:
@@ -144,6 +151,83 @@ class TestWorkQueue:
         assert queue.next_free_ms == 0.0
         assert queue.depth(0.0) == 0
         assert queue.admit(0.0) == 0.0
+
+
+class TestReservationQueue:
+    def test_idle_server_starts_immediately(self):
+        queue = ReservationQueue()
+        assert queue.reserve(10.0, 5.0) == 10.0
+        assert queue.busy_ms == 5.0
+        assert queue.completed == 1
+
+    def test_contending_arrivals_queue_fifo(self):
+        queue = ReservationQueue()
+        assert queue.reserve(0.0, 10.0) == 0.0
+        assert queue.reserve(5.0, 10.0) == 10.0
+        assert queue.reserve(5.0, 10.0) == 20.0
+
+    def test_out_of_order_arrival_backfills_idle_gap(self):
+        # The property WorkQueue lacks: an operation arriving at an *earlier*
+        # virtual time than an existing reservation slots into the idle gap
+        # instead of waiting behind the later reservation's tail.
+        queue = ReservationQueue()
+        assert queue.reserve(100.0, 5.0) == 100.0
+        assert queue.reserve(0.0, 5.0) == 0.0
+        assert queue.busy_ms == 10.0
+        # A gap too small for the service is skipped, not squeezed into.
+        assert queue.reserve(97.0, 5.0) == 105.0
+
+    def test_gap_between_reservations_is_used_when_large_enough(self):
+        queue = ReservationQueue()
+        queue.reserve(0.0, 10.0)      # [0, 10)
+        queue.reserve(50.0, 10.0)     # [50, 60)
+        assert queue.reserve(20.0, 10.0) == 20.0   # fits in [10, 50)
+        assert queue.reserve(15.0, 30.0) == 60.0   # does not fit anywhere earlier
+
+    def test_zero_service_never_occupies(self):
+        queue = ReservationQueue(bound=1)
+        assert queue.reserve(5.0, 0.0) == 5.0
+        assert queue.depth(5.0) == 0
+        assert not queue.is_full(5.0)
+
+    def test_depth_and_bound(self):
+        queue = ReservationQueue(bound=2)
+        queue.reserve(0.0, 10.0)
+        queue.reserve(0.0, 10.0)
+        assert queue.depth(5.0) == 2
+        assert queue.is_full(5.0)
+        assert not queue.is_full(25.0)
+
+    def test_bound_must_be_positive(self):
+        with pytest.raises(ValueError):
+            ReservationQueue(bound=0)
+
+    def test_reset_clears_reservations(self):
+        queue = ReservationQueue()
+        queue.reserve(0.0, 10.0)
+        queue.reset()
+        assert queue.depth(0.0) == 0
+        assert queue.busy_ms == 0.0
+        assert queue.reserve(0.0, 5.0) == 0.0
+
+    def test_busy_at_tracks_last_reservation(self):
+        queue = ReservationQueue()
+        assert not queue.busy_at(0.0)
+        queue.reserve(0.0, 10.0)
+        assert queue.busy_at(5.0)
+        assert not queue.busy_at(10.0)
+
+    def test_history_is_compacted_but_totals_survive(self):
+        queue = ReservationQueue()
+        total = ReservationQueue._COMPACT_LIMIT + 10
+        for index in range(total):
+            queue.reserve(index * 10.0, 1.0)
+        assert len(queue._starts) <= ReservationQueue._COMPACT_LIMIT
+        assert queue.completed == total
+        assert queue.busy_ms == float(total)
+        # Recent contention still queues correctly after compaction.
+        last_start = (total - 1) * 10.0
+        assert queue.reserve(last_start, 1.0) == last_start + 1.0
 
 
 class TestFifoQueue:

@@ -76,11 +76,39 @@ class TestTiering:
         assert node.tier_of("k") == StorageNode.DISK_TIER
         assert node.get("k").reveal() == 5
 
-    def test_over_memory_capacity(self):
+    def test_memory_capacity_enforced_on_insert(self):
+        # Regression: a burst of fresh keys used to overfill the memory tier
+        # until the next autoscaler tick.  Now the coldest resident key is
+        # demoted to disk on insert, and the demotion is counted.
         node = StorageNode("s1", memory_capacity_keys=2)
+        node.put("k0", lww(0), now_ms=1.0)
+        node.put("k1", lww(1), now_ms=2.0)
+        node.put("k2", lww(2), now_ms=3.0)
+        assert not node.over_memory_capacity()
+        assert node.memory_key_count() == 2
+        assert node.demotions == 1
+        # The coldest key moved to disk; nothing was lost.
+        assert node.tier_of("k0") == StorageNode.DISK_TIER
         for index in range(3):
-            node.put(f"k{index}", lww(index))
-        assert node.over_memory_capacity()
+            assert node.get(f"k{index}").reveal() == index
+
+    def test_capacity_pressure_never_drops_data(self):
+        node = StorageNode("s1", memory_capacity_keys=3)
+        for index in range(20):
+            node.put(f"k{index}", lww(index), now_ms=float(index))
+        assert node.memory_key_count() == 3
+        assert node.key_count() == 20
+        assert node.demotions == 17
+
+    def test_merge_to_existing_key_does_not_demote(self):
+        from repro.lattices import MaxIntLattice
+
+        node = StorageNode("s1", memory_capacity_keys=2)
+        node.put("a", MaxIntLattice(1), now_ms=1.0)
+        node.put("b", MaxIntLattice(1), now_ms=2.0)
+        node.put("a", MaxIntLattice(5), now_ms=3.0)  # merge, not a fresh insert
+        assert node.demotions == 0
+        assert node.memory_key_count() == 2
 
     def test_coldest_memory_keys_ordered_by_access_time(self):
         node = StorageNode("s1")
