@@ -5,7 +5,7 @@ threads (clients = threads/3) while median and tail latency stay roughly flat
 after an initial bump at 20 threads.
 
 Every point deploys the real three-stage pipeline and drives it with
-concurrent closed-loop clients through ``Scheduler.call_dag`` on the shared
+concurrent closed-loop clients through ``cloud.call_dag`` futures on the shared
 discrete-event engine; scaling emerges from executor work-queue contention
 and the §4.3 spill policy, not from a sampled service-time model.
 """

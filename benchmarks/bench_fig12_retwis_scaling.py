@@ -5,7 +5,7 @@ threads), landing ~30% below ideal at 160 threads, while median/p99 latency
 rise by roughly 60% across the sweep.
 
 Every point here drives concurrent closed-loop clients through the real
-``Scheduler.call`` path (causal consistency protocol, executor work queues,
+``cloud.call`` path (causal consistency protocol, executor work queues,
 locality scheduling on the reader's following-list reference).  Scaling comes
 out somewhat further below ideal than the paper's (about 6x from 10 to 160
 threads at the default request budget): with ~50 small caches and a few

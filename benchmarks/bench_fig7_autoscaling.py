@@ -8,7 +8,7 @@ allocation drains to 2 threads within seconds.
 
 This reproduction runs the same timeline at one-tenth scale (18 threads, 40
 clients, 15 s startup delay) but — unlike earlier revisions — every request
-really executes on the Cloudburst stack through ``Scheduler.call`` on the
+really executes on the Cloudburst stack through ``cloud.call`` on the
 shared discrete-event engine: the plateaus emerge from executor work-queue
 saturation and the monitoring policy adding real VMs, not from a sampled
 service-time model.  Throughput per thread (1 request / ~54 ms) matches the

@@ -7,7 +7,8 @@ session causal consistency pays the most (extra version-snapshot round trips
 and shipped dependency metadata).
 
 Engine-driven: concurrent closed-loop clients issue DAG sessions on one
-shared discrete-event timeline (``SessionLoadDriver``), with Anna's update
+shared discrete-event timeline (``EngineLoadDriver`` over ``cloud.call_dag``
+futures), with Anna's update
 propagation running as a periodic ``propagation_interval_ms`` engine tick, so
 the staleness that separates the tails comes from real session interleaving.
 """

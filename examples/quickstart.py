@@ -1,5 +1,11 @@
 #!/usr/bin/env python
-"""Quickstart: the paper's Figure 2 script, end to end, on a local cluster.
+"""Quickstart: the paper's Table 1 client API, futures-first, end to end.
+
+Every invocation returns a ``CloudburstFuture``.  On the default sequential
+backend the future arrives already resolved; attach a discrete-event engine
+and ``call_dag`` returns *before* the DAG executes — resolution is driven by
+engine events, and ``future.get()`` advances virtual time until the result
+appears.
 
 Run with::
 
@@ -7,11 +13,12 @@ Run with::
 """
 
 from repro import CloudburstCluster, CloudburstReference, ConsistencyLevel
+from repro.sim import Engine
 
 
 def main() -> None:
-    # Spin up an in-process Cloudburst deployment: executor VMs (3 worker
-    # threads + a local cache each), a scheduler, and an Anna KVS cluster.
+    # connect() — spin up an in-process Cloudburst deployment: executor VMs
+    # (3 worker threads + a local cache each), a scheduler, an Anna KVS.
     cluster = CloudburstCluster(executor_vms=2, threads_per_vm=3, anna_nodes=4)
     cloud = cluster.connect()
 
@@ -26,16 +33,41 @@ def main() -> None:
 
     print("result:", sq(reference))                    # -> 4 (reads 'key' from the KVS)
 
-    future = sq(3, store_in_kvs=True)
-    print("result:", future.get())                     # -> 9 (via a CloudburstFuture)
+    future = sq(3, store_in_kvs=True)                  # a CloudburstFuture
+    print("result:", future.get())                     # -> 9 (backed by a KVS key)
 
-    # --- function composition as a DAG --------------------------------------
+    # --- function composition as a DAG ---------------------------------------
     cloud.register(lambda x: x + 1, name="increment")
     cloud.register_dag("composition", ["increment", "square"],
                        [("increment", "square")])
-    result = cloud.call_dag("composition", {"increment": [4]})
+    # call_dag always returns a future; without an engine it is already
+    # resolved, so .value / .result() never block here.
+    result = cloud.call_dag("composition", {"increment": [4]}).result()
     print(f"square(increment(4)) = {result.value}  "
           f"[simulated latency: {result.latency_ms:.2f} ms]")
+
+    # --- the same DAG on the engine backend ----------------------------------
+    # With an engine attached the DAG runs as discrete events: call_dag
+    # returns a *pending* future immediately, and many in-flight DAGs
+    # interleave on one virtual timeline.
+    engine = Engine()
+    cluster.attach_engine(engine)
+    futures = [cloud.call_dag("composition", {"increment": [n]}) for n in range(3)]
+    print("pending before the engine runs:",
+          [f.is_ready() for f in futures])             # -> [False, False, False]
+    futures[0].add_done_callback(
+        lambda f: print("  callback: first DAG resolved ->", f.get()))
+    # get() advances virtual time until the result key appears (bounded by
+    # timeout_ms); resolving the last future drains the earlier ones too.
+    print("results:", [f.get(timeout_ms=10_000.0) for f in futures])
+    cluster.detach_engine()
+
+    # --- delete_dag (Table 1) -------------------------------------------------
+    cloud.delete_dag("composition")
+    try:
+        cloud.call_dag("composition", {"increment": [4]})
+    except Exception as error:
+        print("calling a deleted DAG:", error)
 
     # --- stateful functions: the Cloudburst object API (Table 1) -------------
     def record_visit(cloudburst, user):

@@ -124,9 +124,18 @@ class PredictionDeployment:
     cluster: CloudburstCluster
     client: CloudburstClient
 
+    def serve_future(self, image: np.ndarray, ctx=None):
+        """Invoke the pipeline; returns the invocation's CloudburstFuture.
+
+        On an engine-attached cluster the future is pending (the DAG stages
+        run as engine events); resolve it with ``future.get()`` or subscribe
+        with ``future.add_done_callback`` — the load drivers do the latter.
+        """
+        return self.client.call_dag(PIPELINE_DAG, {"cb_resize": [image]}, ctx=ctx)
+
     def serve(self, image: np.ndarray) -> Tuple[Dict[str, object], float]:
-        """Serve one prediction; returns (prediction, latency in ms)."""
-        result = self.client.call_dag(PIPELINE_DAG, {"cb_resize": [image]})
+        """Serve one prediction to completion; returns (prediction, latency ms)."""
+        result = self.serve_future(image).result()
         return result.value, result.latency_ms
 
 

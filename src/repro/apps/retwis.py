@@ -276,9 +276,11 @@ class RetwisOnCloudburst:
                    reply_to: Optional[str] = None,
                    ctx: Optional[RequestContext] = None) -> Tuple[Dict, float]:
         tweet_id = f"t{next(self._tweet_ids)}"
+        # Single-function invocations resolve within the caller's context on
+        # both backends, so the returned future never blocks here.
         result = self.client.call("retwis_post_tweet",
                                   [author, tweet_id, text, reply_to],
-                                  consistency=self.consistency, ctx=ctx)
+                                  consistency=self.consistency, ctx=ctx).result()
         self._recent_live_tweets.append(tweet_id)
         if len(self._recent_live_tweets) > 50:
             self._recent_live_tweets.pop(0)
@@ -294,7 +296,7 @@ class RetwisOnCloudburst:
         # social neighbourhood.
         reference = CloudburstReference(following_key(user))
         result = self.client.call("retwis_get_timeline", [user, reference],
-                                  consistency=self.consistency, ctx=ctx)
+                                  consistency=self.consistency, ctx=ctx).result()
         self.stats.requests += 1
         self.stats.timelines += 1
         if result.value.get("anomalies", 0) > 0:

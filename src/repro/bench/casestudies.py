@@ -107,8 +107,8 @@ def _scaling_sweep(title: str, thread_counts: Sequence[int], clients_for,
 
     ``point_runner(threads, clients, requests)`` must return a
     :class:`~repro.sim.SimulationResult` produced by driving concurrent
-    clients through ``Scheduler.call``/``call_dag`` — there is no synthetic
-    service-time model anywhere on this path.
+    clients through the public ``cloud.call``/``cloud.call_dag`` API — there
+    is no synthetic service-time model anywhere on this path.
     """
     result = ScalingResult(title=title)
     for threads in thread_counts:
@@ -145,7 +145,10 @@ def run_figure10(thread_counts: Sequence[int] = (10, 20, 40, 80, 160),
 
     Every point deploys the real three-stage pipeline on a cluster with that
     many executor threads and drives it with concurrent closed-loop clients
-    through ``Scheduler.call_dag`` on the shared event engine.
+    through ``cloud.call_dag`` on the shared event engine: each request is a
+    pending :class:`CloudburstFuture` whose DAG stages run as their own
+    engine events, so concurrent pipelines interleave at the executor work
+    queues stage by stage.
     """
     image = make_image(side=image_side, seed=seed)
 
@@ -154,10 +157,9 @@ def run_figure10(thread_counts: Sequence[int] = (10, 20, 40, 80, 160),
                                              seed=seed + threads)
         deployment = deploy_on_cloudburst(cluster)
         deployment.serve(image)  # warm the model into the executor caches
-        scheduler = cluster.schedulers[0]
 
-        def request(ctx: RequestContext, client: int, index: int) -> None:
-            scheduler.call_dag(PIPELINE_DAG, {"cb_resize": [image]}, ctx=ctx)
+        def request(cloud, ctx: RequestContext, index: int):
+            return cloud.call_dag(PIPELINE_DAG, {"cb_resize": [image]}, ctx=ctx)
 
         return run_engine_closed_loop(
             cluster, request, clients=clients, total_requests=requests,
@@ -251,7 +253,8 @@ def run_figure12(thread_counts: Sequence[int] = (10, 20, 40, 80, 160),
 
     Every point loads the social graph onto a causal-mode cluster with that
     many executor threads and replays the workload stream with concurrent
-    closed-loop clients through ``Scheduler.call`` on the shared engine.
+    closed-loop clients through the app's ``cloud.call`` requests on the
+    shared engine.
     """
 
     def run_point(threads: int, clients: int, requests: int) -> SimulationResult:
@@ -270,7 +273,9 @@ def run_figure12(thread_counts: Sequence[int] = (10, 20, 40, 80, 160),
             app.execute(warm_request)
         stream = generator.request_stream(requests)
 
-        def request(ctx: RequestContext, client: int, index: int) -> None:
+        def request(_cloud, ctx: RequestContext, index: int) -> None:
+            # The app issues through its own CloudburstClient; requests
+            # complete within the arrival's context (single-function calls).
             app.execute(stream[index], ctx=ctx)
 
         return run_engine_closed_loop(

@@ -7,10 +7,12 @@ its result to one of the keys the DAG read.  Figure 8 measures per-DAG latency
 system under last-writer-wins and counts the anomalies each stricter level
 would have prevented.
 
-Both experiments run **engine-driven** by default: many concurrent clients
-issue DAG sessions through ``Scheduler.call_dag_on_engine`` on one shared
-discrete-event timeline, and Anna's update propagation is a periodic engine
-event (``propagation_interval_ms``).  Staleness windows and anomaly counts
+Both experiments run **engine-driven** by default: many concurrent
+``CloudburstClient``s issue DAGs through the public futures-first API
+(``cloud.call_dag`` returns a :class:`CloudburstFuture` whose resolution is
+driven by engine events) on one shared discrete-event timeline, and Anna's
+update propagation is a periodic engine event
+(``propagation_interval_ms``).  Staleness windows and anomaly counts
 therefore emerge from genuine interleaving of in-flight sessions — not from
 the old hand-rolled "flush every N requests" counter, which is kept only as
 the sequential cross-check path (``driver="sequential"``).
@@ -26,7 +28,7 @@ from ..cloudburst import AnomalyReport, AnomalyTracker, CloudburstCluster, Consi
 from ..lattices import CausalLattice
 from ..sim import LatencyRecorder, RandomSource, median, percentile
 from ..workloads.dags import ConsistencyWorkload
-from .harness import ComparisonResult, SessionLoadDriver
+from .harness import ComparisonResult, EngineLoadDriver
 
 #: Default virtual-time period of Anna's engine-driven update propagation.
 #: Plays the role the paper's periodic cache-update gossip plays: between two
@@ -91,7 +93,8 @@ def _run_level_sequential(level: ConsistencyLevel, dag_count: int, requests: int
     for index in range(requests):
         dag = rng.choice(dags)
         function_args, _ = workload.sample_request(dag)
-        result = client.call_dag(dag.name, function_args, consistency=level)
+        # Sequential backend: the future arrives already resolved.
+        result = client.call_dag(dag.name, function_args, consistency=level).result()
         # Figure 8 normalises latency by the depth of the DAG.
         recorder.record(result.latency_ms / dag.longest_path_length())
         if propagation_flush_every and (index + 1) % propagation_flush_every == 0:
@@ -105,41 +108,42 @@ def _run_level_engine(level: ConsistencyLevel, dag_count: int, requests: int,
                       propagation_interval_ms: float = DEFAULT_PROPAGATION_INTERVAL_MS,
                       anomaly_tracker: Optional[AnomalyTracker] = None
                       ) -> Dict[str, object]:
-    """Drive the §6.2 workload with concurrent sessions on the engine.
+    """Drive the §6.2 workload with concurrent clients on the engine.
 
-    ``clients`` closed-loop clients issue DAG sessions through
-    ``Scheduler.call_dag_on_engine``; every DAG function is its own engine
-    event, so in-flight sessions interleave their cache and snapshot accesses,
-    and Anna propagates updates on a periodic ``propagation_interval_ms``
-    engine tick rather than a per-request flush counter.
+    ``clients`` closed-loop ``CloudburstClient``s issue DAGs through
+    ``cloud.call_dag``, which on the engine backend returns a pending
+    :class:`CloudburstFuture` and decomposes the DAG into engine events —
+    in-flight sessions interleave their cache and snapshot accesses, and Anna
+    propagates updates on a periodic ``propagation_interval_ms`` engine tick
+    rather than a per-request flush counter.
     """
     propagation = (AnnaCluster.PROPAGATE_PERIODIC if propagation_interval_ms > 0
                    else AnnaCluster.PROPAGATE_IMMEDIATE)
     cluster, _client, workload, dags = _build_workload(
         level, dag_count, populated_keys, executor_vms, seed, anomaly_tracker,
         propagation, propagation_interval_ms)
-    scheduler = cluster.schedulers[0]
     recorder = LatencyRecorder(label=level.short_name)
     rng = RandomSource(seed).spawn("dag-choice")
 
-    def session(ctx, _client_id, _index, done):
+    def request(cloud, ctx, _index):
         dag = rng.choice(dags)
         function_args, _sink_key = workload.sample_request(dag)
         depth = dag.longest_path_length()
+        future = cloud.call_dag(dag.name, function_args, consistency=level,
+                                ctx=ctx)
 
-        def complete(result):
-            recorder.record(result.latency_ms / depth)
-            done(result)
+        def record(resolved):
+            # A session that exhausts its retries resolves with an error and
+            # is dropped (the driver counts it failed); the others keep going.
+            if resolved.exception() is None:
+                # Figure 8 normalises latency by the depth of the DAG.
+                recorder.record(resolved.result().latency_ms / depth)
 
-        scheduler.call_dag_on_engine(dag.name, function_args, consistency=level,
-                                     engine=cluster.engine, ctx=ctx,
-                                     on_complete=complete,
-                                     # A session that exhausts its retries is
-                                     # dropped; the other clients keep going.
-                                     on_error=lambda _exc: done())
+        future.add_done_callback(record)
+        return future
 
-    driver = SessionLoadDriver(cluster, session, clients=clients,
-                               max_requests=requests, label=level.short_name)
+    driver = EngineLoadDriver(cluster, request, clients=clients,
+                              max_requests=requests, label=level.short_name)
     simulation = driver.run()
     return {"cluster": cluster, "recorder": recorder, "workload": workload,
             "simulation": simulation}

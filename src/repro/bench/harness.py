@@ -1,20 +1,23 @@
 """Shared benchmark plumbing: load drivers and result tables.
 
-Three request drivers live here:
+Two request drivers live here:
 
 * :func:`run_closed_loop` — the sequential driver used by the latency
   figures: one client, one request at a time, per-request virtual clocks.
 * :class:`EngineLoadDriver` — the multi-client driver used by the throughput
-  figures (7, 10 and 12): many closed-loop (or open-loop Poisson) clients
-  issue requests through the real ``Scheduler.call``/``call_dag`` path on the
-  shared discrete-event engine, so contention flows through the actual
-  scheduler placement policy, executor work queues, caches and Anna — not
-  through a synthetic service-time model.
-* :class:`SessionLoadDriver` — the session-aware variant used by the
-  consistency experiments (Figure 8, Table 2): each request is a stateful
-  DAG session whose functions run as their own engine events
-  (``Scheduler.call_dag_on_engine``), so concurrent sessions interleave
-  their cache and snapshot accesses on the shared timeline.
+  and consistency figures (7, 8, 10, 12, Table 2): the driver constructs one
+  :class:`~repro.cloudburst.client.CloudburstClient` per simulated client and
+  every request goes through the *public* futures-first API
+  (``cloud.call``/``cloud.call_dag``) on the shared discrete-event engine.
+  Contention flows through the actual scheduler placement policy, executor
+  work queues, caches and Anna — not through a synthetic service-time model —
+  and completion is delivered through ``future.add_done_callback``, so
+  stateful DAG sessions genuinely interleave their cache and snapshot
+  accesses on one timeline.
+
+:class:`SessionLoadDriver` survives as a deprecated alias of
+:class:`EngineLoadDriver`: since invocations became futures, "session"
+completion callbacks are just ``add_done_callback`` on the returned future.
 """
 
 from __future__ import annotations
@@ -23,6 +26,7 @@ import heapq
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
+from ..cloudburst.references import CloudburstFuture
 from ..errors import StorageOverloadError
 from ..sim import (
     Engine,
@@ -46,23 +50,37 @@ def run_closed_loop(label: str, request_fn: Callable[[int], float],
     return recorder
 
 
-#: Signature of a driver request: (ctx, client_id, request_index) -> None.
-#: The function must issue its work through the supplied context (e.g.
-#: ``scheduler.call_dag(..., ctx=ctx)``); the driver reads the latency off
-#: the context clock afterwards.
-DriverRequestFn = Callable[[RequestContext, int, int], None]
+#: Signature of a driver request: ``(cloud, ctx, request_index)`` where
+#: ``cloud`` is the issuing client's own ``CloudburstClient`` and ``ctx`` is a
+#: request context whose clock starts at the arrival's virtual time.  Return
+#: the :class:`CloudburstFuture` of the invocation (the driver subscribes to
+#: its completion — on an engine backend a DAG future resolves via later
+#: engine events) or None for work that completes synchronously on ``ctx``
+#: (the driver then reads the end time off the context clock).
+DriverRequestFn = Callable[["object", RequestContext, int], Optional[CloudburstFuture]]
 
 
 class EngineLoadDriver:
     """Concurrent open/closed-loop clients over a real Cloudburst cluster.
 
-    Every client lives on one shared :class:`~repro.sim.engine.Engine`
-    timeline.  A request issued at virtual time *t* gets a context whose
-    clock starts at *t*; the scheduler places it with the executor-queue
-    occupancy of that moment, and the executor thread's FIFO work queue makes
-    it wait behind requests dispatched earlier.  Because arrivals are
-    processed in global virtual-time order, two runs with the same seeds
-    replay identically.
+    A thin multi-client wrapper over the public client API: the driver
+    constructs one :class:`CloudburstClient` per simulated client and each
+    request issues through ``cloud.call``/``cloud.call_dag``, never through
+    scheduler internals.  Every client lives on one shared
+    :class:`~repro.sim.engine.Engine` timeline.  A request issued at virtual
+    time *t* gets a context whose clock starts at *t*; the scheduler places
+    it with the executor-queue occupancy of that moment, and the executor
+    thread's FIFO work queue makes it wait behind requests dispatched
+    earlier.  Because arrivals are processed in global virtual-time order,
+    two runs with the same seeds replay identically.
+
+    Completion is future-driven: the driver subscribes to each invocation's
+    :class:`CloudburstFuture`, so a closed-loop client's next arrival fires
+    when its DAG session's sink event resolves the future — many stateful
+    sessions are genuinely in flight at once on the same caches (the regime
+    the §6.2 consistency experiments measure).  Failed futures (retries
+    exhausted, storage backpressure) count in ``failed``, never in the
+    latency results.
 
     An optional autoscaling policy (same ``(now, metrics) -> decision``
     signature as the timeline simulation) consumes engine metrics and scales
@@ -115,15 +133,20 @@ class EngineLoadDriver:
         self.latencies = LatencyRecorder(label=label)
         self.issued = 0
         self.completed = 0
-        #: Requests aborted by storage backpressure (StorageOverloadError):
-        #: the client moves on, but a failure is not a completion.
+        #: Requests that resolved with an error (storage backpressure, a DAG
+        #: that exhausted its retries): the client moves on, but a failure is
+        #: not a completion.
         self.failed = 0
+        #: Requests currently in flight (issued, future not yet resolved).
+        self.inflight = 0
         self._future_completions: List[float] = []  # min-heap of end times
         self._last_completion_ms = 0.0
         self._completion_buckets: Dict[int, int] = {}
         self._active: Dict[int, bool] = {}
         self._capacity_timeline: List[tuple] = []
         self._window_arrivals = 0
+        #: One CloudburstClient per simulated client, created on first use.
+        self._clients: Dict[int, object] = {}
 
     # -- public API --------------------------------------------------------
     def run(self) -> SimulationResult:
@@ -150,15 +173,23 @@ class EngineLoadDriver:
         return self._build_result()
 
     # -- client behaviour --------------------------------------------------
+    def _client_for(self, client: int):
+        """This simulated client's own CloudburstClient (created on demand)."""
+        cloud = self._clients.get(client)
+        if cloud is None:
+            suffix = "open" if client < 0 else str(client)
+            cloud = self.cluster.connect(f"{self.label}-client-{suffix}")
+            self._clients[client] = cloud
+        return cloud
+
     def _client_arrival(self, client: int) -> None:
         if not self._active.get(client, False) or self._exhausted():
             return
         end_ms = self._issue_request(client)
         if end_ms is None:
-            return
+            return  # future-driven: continuation fires from the done callback
         # Closed loop: next request once this one returns (plus think time).
-        self.engine.at(end_ms + self.think_time_ms,
-                       lambda: self._client_arrival(client))
+        self._next_arrival(client, end_ms)
 
     def _open_arrival(self) -> None:
         if self._exhausted():
@@ -179,22 +210,54 @@ class EngineLoadDriver:
         return self.max_requests is not None and self.issued >= self.max_requests
 
     def _issue_request(self, client: int) -> Optional[float]:
+        """Issue one request; returns the end time for synchronously completed
+        work, or None when completion (and the closed loop's next arrival) is
+        driven by the returned future's done callback."""
         start = self.engine.now_ms
         index = self.issued
         self.issued += 1
         self._window_arrivals += 1
+        self.inflight += 1
         ctx = RequestContext(clock=SimClock(start))
         try:
-            self.request_fn(ctx, client, index)
+            future = self.request_fn(self._client_for(client), ctx, index)
         except StorageOverloadError:
             # Every replica of some key pushed back: this request fails fast
             # (its partial latency is discarded) and the closed loop retries
             # from the virtual time the rejection happened at, so one
             # saturated replica set degrades throughput instead of unwinding
             # the whole run.
+            self.inflight -= 1
             self.failed += 1
             return ctx.clock.now_ms
-        return self._record_completion(start, ctx.clock.now_ms)
+        if future is None:
+            # Synchronous work (e.g. app-level protocols driving ctx directly).
+            self.inflight -= 1
+            return self._record_completion(start, ctx.clock.now_ms)
+
+        def on_done(resolved: CloudburstFuture) -> None:
+            self.inflight -= 1
+            if resolved.exception() is not None:
+                # Session aborted (retries exhausted, storage overload): the
+                # client moves on, but a failure is not a completion — its
+                # fault-timeout latency must not pollute the results.
+                self.failed += 1
+                end = ctx.clock.now_ms
+            else:
+                end = self._record_completion(
+                    start, resolved.result().ctx.clock.now_ms)
+            self._next_arrival(client, end)
+
+        future.add_done_callback(on_done)
+        return None
+
+    def _next_arrival(self, client: int, end_ms: float) -> None:
+        if self.mode != "closed":
+            return
+        if not self._active.get(client, False) or self._exhausted():
+            return
+        self.engine.at(end_ms + self.think_time_ms,
+                       lambda: self._client_arrival(client))
 
     def _record_completion(self, start_ms: float, end_ms: float) -> float:
         self.latencies.record(end_ms - start_ms)
@@ -320,84 +383,56 @@ class EngineLoadDriver:
         )
 
 
-#: Signature of a session request: (ctx, client_id, request_index, done).
-#: The function must start a session on the engine (e.g.
-#: ``scheduler.call_dag_on_engine(..., ctx=ctx, on_complete=...)``) and
-#: arrange for ``done(result)`` to be called from the session's completion
-#: event — or ``done()`` with no result if the session failed, which counts
-#: it in ``SessionLoadDriver.failed`` instead of the latency results.  The
-#: driver reads the end time off the context clock at that moment.
-SessionRequestFn = Callable[[RequestContext, int, int, Callable[[], None]], None]
-
-
 class SessionLoadDriver(EngineLoadDriver):
-    """Concurrent clients issuing *stateful DAG sessions* on one timeline.
+    """Deprecated alias of :class:`EngineLoadDriver`.
 
-    :class:`EngineLoadDriver` executes each request synchronously inside its
-    arrival event, which is fine for single-function calls but means two DAG
-    sessions can never interleave their per-function cache accesses.  This
-    driver hands each request a completion callback instead: the session's
-    functions run as their own engine events (``Scheduler.call_dag_on_engine``)
-    and the client's next closed-loop arrival is scheduled only when the
-    session's sink completes.  Many sessions are therefore genuinely in
-    flight at once on the same caches — the regime the §6.2 consistency
-    experiments (Figure 8, Table 2) measure.
+    The session-aware driver existed because DAG sessions needed a completion
+    callback while plain calls completed synchronously.  With the
+    futures-first client API every invocation returns a
+    :class:`CloudburstFuture`, so the base driver already handles both: a
+    request fn returns the future of ``cloud.call_dag(...)`` and the driver
+    subscribes with ``add_done_callback``.
+
+    Old-style 4-argument session fns ``(ctx, client_id, index, done)`` are
+    rejected up front with a migration pointer — silently invoking them with
+    the new ``(cloud, ctx, index)`` arguments would fail with an opaque
+    TypeError deep inside the run (and their ``done`` callback would never
+    be supplied).
     """
 
-    def __init__(self, cluster, session_fn: SessionRequestFn, **kwargs):
-        super().__init__(cluster, request_fn=_reject_sync_request, **kwargs)
-        self.session_fn = session_fn
-        self.inflight = 0
-        # self.failed comes from the base driver: session aborts and storage
-        # overloads both count there (a failure is never a completion).
+    def __init__(self, cluster, request_fn, **kwargs):
+        import inspect
 
-    def _issue_request(self, client: int) -> Optional[float]:
-        start = self.engine.now_ms
-        index = self.issued
-        self.issued += 1
-        self._window_arrivals += 1
-        self.inflight += 1
-        ctx = RequestContext(clock=SimClock(start))
-
-        def done(result=None) -> None:
-            self.inflight -= 1
-            end = ctx.clock.now_ms
-            if result is None:
-                # Session aborted (e.g. retries exhausted): the client moves
-                # on, but a failure is not a completion — its fault-timeout
-                # latency must not pollute the latency/throughput results.
-                self.failed += 1
-            else:
-                end = self._record_completion(start, end)
-            self._next_arrival(client, end)
-
-        self.session_fn(ctx, client, index, done)
-        # Completion (and the client's next arrival) is driven by ``done``.
-        return None
-
-    def _next_arrival(self, client: int, end_ms: float) -> None:
-        if self.mode != "closed":
-            return
-        if not self._active.get(client, False) or self._exhausted():
-            return
-        self.engine.at(end_ms + self.think_time_ms,
-                       lambda: self._client_arrival(client))
+        try:
+            parameters = inspect.signature(request_fn).parameters.values()
+            # Count only required positionals: defaulted trailing params are
+            # the closure-binding idiom (lambda cloud, ctx, index, rng=rng: ...),
+            # not the legacy 4-arg (ctx, client_id, index, done) shape.
+            positional = [p for p in parameters
+                          if p.kind in (p.POSITIONAL_ONLY,
+                                        p.POSITIONAL_OR_KEYWORD)
+                          and p.default is p.empty]
+            takes_var_args = any(p.kind == p.VAR_POSITIONAL for p in parameters)
+        except (TypeError, ValueError):  # builtins, odd callables: let it ride
+            positional, takes_var_args = [], True
+        if len(positional) >= 4 and not takes_var_args:
+            raise TypeError(
+                "SessionLoadDriver no longer takes session fns "
+                "(ctx, client_id, index, done): with the futures-first client "
+                "API, pass a request fn (cloud, ctx, index) returning the "
+                "CloudburstFuture of cloud.call_dag(...) — completion is "
+                "delivered through the future, not a done callback")
+        super().__init__(cluster, request_fn, **kwargs)
 
 
-def _reject_sync_request(ctx, client, index):  # pragma: no cover - guard only
-    raise RuntimeError("SessionLoadDriver issues sessions, not sync requests")
-
-
-def run_session_closed_loop(cluster, session_fn: SessionRequestFn, *,
+def run_session_closed_loop(cluster, request_fn: DriverRequestFn, *,
                             clients: int, total_requests: int,
                             label: str = "session-closed-loop",
                             throughput_bucket_ms: float = 1_000.0) -> SimulationResult:
-    """Closed-loop DAG-session clients through the real stack."""
-    driver = SessionLoadDriver(
-        cluster, session_fn, clients=clients, mode="closed",
-        max_requests=total_requests, throughput_bucket_ms=throughput_bucket_ms,
-        label=label)
-    return driver.run()
+    """Deprecated alias of :func:`run_engine_closed_loop` (futures unified them)."""
+    return run_engine_closed_loop(
+        cluster, request_fn, clients=clients, total_requests=total_requests,
+        label=label, throughput_bucket_ms=throughput_bucket_ms)
 
 
 def run_engine_closed_loop(cluster, request_fn: DriverRequestFn, *,

@@ -177,7 +177,11 @@ def _resolve_micro_driver(driver: str, clients: Optional[int],
 
 def _run_cloudburst_loop(cluster, label: str, request_fn, requests: int,
                          driver: str, clients: int):
-    """Drive ``request_fn(ctx)`` through the chosen driver, returning a recorder.
+    """Drive ``request_fn(cloud, ctx)`` through the chosen driver.
+
+    ``request_fn`` issues its work through the public client API (or any
+    synchronous workload driving ``ctx`` directly) and returns the
+    invocation's future, or None for synchronous work.
 
     ``driver="engine"``: ``clients`` concurrent closed-loop clients on the
     shared engine timeline (storage nodes attached, so KVS operations queue).
@@ -186,13 +190,15 @@ def _run_cloudburst_loop(cluster, label: str, request_fn, requests: int,
     queueing.  A 1-client engine run reproduces it sample-for-sample.
     """
     if driver == "engine":
-        load = EngineLoadDriver(cluster, lambda ctx, _client, _index: request_fn(ctx),
+        load = EngineLoadDriver(cluster, lambda cloud, ctx, _index: request_fn(cloud, ctx),
                                 clients=clients, max_requests=requests, label=label)
         return load.run().latencies
 
+    sequential_client = cluster.connect(f"{label}-sequential")
+
     def sequential_request(_index: int) -> float:
         ctx = RequestContext()
-        request_fn(ctx)
+        request_fn(sequential_client, ctx)
         return ctx.clock.now_ms
 
     return run_closed_loop(label, sequential_request, requests)
@@ -231,14 +237,14 @@ def _figure5_one_size(label: str, requests: int, rng: RandomSource,
     cloud.register(sum_arrays_with_library, name="sum_arrays")
     references = [CloudburstReference(key) for key in keys.keys]
 
-    def hot_request(ctx: RequestContext) -> None:
-        cloud.call("sum_arrays", references, ctx=ctx)
+    def hot_request(cloud_client, ctx: RequestContext):
+        return cloud_client.call("sum_arrays", references, ctx=ctx)
 
-    def cold_request(ctx: RequestContext) -> None:
+    def cold_request(cloud_client, ctx: RequestContext):
         # Cold: every retrieval misses the executor cache and goes to Anna.
         for vm in cluster.vms:
             vm.cache.clear()
-        cloud.call("sum_arrays", references, ctx=ctx)
+        return cloud_client.call("sum_arrays", references, ctx=ctx)
 
     # One warm-up request so "hot" measures steady-state cache hits.
     cloud.call("sum_arrays", references)
@@ -312,12 +318,18 @@ def run_figure6(repetitions: int = 100, actor_count: int = 10,
             latency_model=LatencyModel(rng.spawn("s3")), seed=seed + 4),
     }
 
-    result.add(_run_cloudburst_loop(
-        cluster, "Cloudburst (gossip)", lambda ctx: gossip.run(ctx=ctx),
-        repetitions, driver, clients))
-    result.add(_run_cloudburst_loop(
-        cluster, "Cloudburst (gather)", lambda ctx: cloudburst_gather.run(ctx=ctx),
-        repetitions, driver, clients))
+    # The aggregation protocols drive the request context directly (they are
+    # not function invocations), so the request fns complete synchronously.
+    def gossip_request(_cloud, ctx: RequestContext) -> None:
+        gossip.run(ctx=ctx)
+
+    def gather_request(_cloud, ctx: RequestContext) -> None:
+        cloudburst_gather.run(ctx=ctx)
+
+    result.add(_run_cloudburst_loop(cluster, "Cloudburst (gossip)",
+                                    gossip_request, repetitions, driver, clients))
+    result.add(_run_cloudburst_loop(cluster, "Cloudburst (gather)",
+                                    gather_request, repetitions, driver, clients))
     for label, gather in lambda_gathers.items():
         result.add(run_closed_loop(label, lambda i, g=gather: g.run().latency_ms,
                                    repetitions))
@@ -423,7 +435,6 @@ def run_figure7(initial_threads: int = 18, client_count: int = 40,
     for index in range(populated):
         cloud.put(f"autoscale-{index}", index)
     cloud.register(_sleep_workload_function, name="sleep_workload")
-    scheduler = cluster.schedulers[0]
 
     # The storage tier scales on its own policy, as a recurring engine event
     # on the same timeline: hot Zipf keys gain replicas, access spikes add
@@ -438,11 +449,11 @@ def run_figure7(initial_threads: int = 18, client_count: int = 40,
         ))
     cluster.kvs.set_autoscaler(storage_scaler, interval_ms=policy_interval_ms)
 
-    def request(ctx: RequestContext, client: int, index: int) -> None:
+    def request(cloud_client, ctx: RequestContext, index: int):
         a = f"autoscale-{zipf.next() % populated}"
         b = f"autoscale-{zipf.next() % populated}"
         w = f"autoscale-{zipf.next() % populated}"
-        scheduler.call("sleep_workload", [a, b, w], ctx=ctx)
+        return cloud_client.call("sleep_workload", [a, b, w], ctx=ctx)
 
     driver = EngineLoadDriver(
         cluster, request,

@@ -1,10 +1,21 @@
-"""The Cloudburst client (§3, Figure 2).
+"""The Cloudburst client (§3, Figure 2): the single invocation surface.
 
-The client is how applications interact with the platform: ``put``/``get``
-data in the KVS, ``register`` functions, ``register_dag`` compositions, and
-invoke both.  Registered functions behave like regular Python callables that
-trigger remote computation; results come back synchronously by default or as
-a :class:`~repro.cloudburst.references.CloudburstFuture` stored in the KVS.
+The client is how applications interact with the platform — it implements
+the paper's Table 1 API over whichever backend the cluster runs on:
+
+* ``put``/``get``/``delete`` move data in and out of the KVS.
+* ``register``/``register_dag``/``delete_dag`` manage functions and
+  compositions on **every** scheduler the client knows about.
+* ``call``/``call_dag`` invoke them and always return a
+  :class:`~repro.cloudburst.references.CloudburstFuture`.  On the sequential
+  backend the invocation runs inline and the future arrives already
+  resolved; on an engine-attached cluster ``call_dag`` enqueues the DAG as
+  discrete engine events and returns *before* it executes — resolution is
+  delivered through ``future.add_done_callback`` or by ``future.get()``,
+  which advances virtual time until the result appears (with an optional
+  timeout).  Either way the future's payload is the same
+  :class:`~repro.cloudburst.scheduler.ExecutionResult`, so latency and
+  anomaly accounting do not depend on the backend.
 """
 
 from __future__ import annotations
@@ -12,7 +23,7 @@ from __future__ import annotations
 import itertools
 from typing import Any, Callable, Dict, Optional, Sequence, Tuple
 
-from ..sim import LatencyRecorder, RequestContext
+from ..sim import LatencyRecorder, RequestContext, SimClock
 from .consistency.levels import ConsistencyLevel
 from .dag import Dag
 from .references import CloudburstFuture, CloudburstReference
@@ -29,25 +40,27 @@ class RegisteredFunction:
 
     def __call__(self, *args: Any, store_in_kvs: bool = False,
                  consistency: Optional[ConsistencyLevel] = None) -> Any:
-        result = self.client.call(self.name, args, store_in_kvs=store_in_kvs,
+        future = self.client.call(self.name, args, store_in_kvs=store_in_kvs,
                                   consistency=consistency)
         if store_in_kvs:
-            return self.client._future_for(result)
-        return result.value
+            return future
+        return future.value
 
     def __repr__(self) -> str:
         return f"RegisteredFunction({self.name!r})"
 
 
 class CloudburstClient:
-    """User-facing entry point to a Cloudburst deployment."""
+    """User-facing entry point to a Cloudburst deployment (paper Table 1)."""
 
     def __init__(self, schedulers: Sequence[Scheduler], client_id: str = "client-0",
-                 consistency: ConsistencyLevel = ConsistencyLevel.LWW):
+                 consistency: ConsistencyLevel = ConsistencyLevel.LWW,
+                 cluster=None):
         if not schedulers:
             raise ValueError("a client needs at least one scheduler address")
         self._schedulers = list(schedulers)
         self._scheduler_cycle = itertools.cycle(self._schedulers)
+        self._cluster = cluster  # backend handle; None = sequential-only client
         self.client_id = client_id
         self.consistency = consistency
         self._encapsulator = LatticeEncapsulator(client_id, consistency)
@@ -77,12 +90,18 @@ class CloudburstClient:
 
     # -- registration ---------------------------------------------------------------------
     def register(self, func: Callable, name: Optional[str] = None) -> RegisteredFunction:
-        """Register a Python function; returns a remotely callable handle."""
+        """Register a Python function; returns a remotely callable handle.
+
+        Re-registering under an existing name overwrites the function on
+        *every* scheduler (and on every executor thread that pinned the old
+        body) — a ``setdefault`` here once left stale code being served by
+        whichever scheduler the round-robin happened not to hit.
+        """
         scheduler = self._next_scheduler()
         registered_name = scheduler.register_function(func, name)
-        # Make the function visible to every scheduler the client knows about.
         for other in self._schedulers:
-            other.functions.setdefault(registered_name, func)
+            if other is not scheduler:
+                other.functions[registered_name] = func
         return RegisteredFunction(self, registered_name)
 
     def register_dag(self, name: str, functions: Sequence[str],
@@ -94,44 +113,84 @@ class CloudburstClient:
             scheduler.register_dag(dag, replicas_per_function=replicas_per_function)
         return dag
 
+    def delete_dag(self, name: str) -> None:
+        """Remove a registered DAG from every scheduler (paper Table 1).
+
+        Subsequent ``call_dag(name)`` invocations raise
+        :class:`~repro.errors.DagDeletedError` until the name is registered
+        again; a name that was never registered raises
+        :class:`~repro.errors.DagNotFoundError`.
+        """
+        for scheduler in self._schedulers:
+            scheduler.delete_dag(name)
+
     # -- invocation ----------------------------------------------------------------------
     def call(self, function_name: str, args: Sequence[Any] = (),
              store_in_kvs: bool = False,
              consistency: Optional[ConsistencyLevel] = None,
-             ctx: Optional[RequestContext] = None) -> ExecutionResult:
-        """Invoke a single registered function and record its latency.
+             ctx: Optional[RequestContext] = None) -> CloudburstFuture:
+        """Invoke a single registered function; returns a resolved future.
 
-        ``ctx`` threads an externally owned request context through the
-        scheduler — the multi-client load drivers use this to place requests
-        on the shared engine timeline instead of a fresh zero-based clock.
+        Single-function invocations execute within the caller's (virtual)
+        request context on both backends, so the returned future is already
+        resolved — ``future.value`` never blocks.  ``ctx`` threads an
+        externally owned request context through the scheduler; when the
+        cluster has an engine attached and no ``ctx`` is given, the request
+        clock starts at the engine's current virtual time.
         """
         scheduler = self._next_scheduler()
+        ctx = self._request_ctx(ctx)
         result = scheduler.call(function_name, args,
                                 consistency=consistency or self.consistency,
                                 store_in_kvs=store_in_kvs, ctx=ctx)
-        self._record(result)
-        return result
+        return self._resolved_future(result)
 
     def call_dag(self, dag_name: str,
                  function_args: Optional[Dict[str, Sequence[Any]]] = None,
                  store_in_kvs: bool = False,
                  consistency: Optional[ConsistencyLevel] = None,
-                 ctx: Optional[RequestContext] = None) -> ExecutionResult:
-        """Invoke a registered DAG and record its latency."""
+                 ctx: Optional[RequestContext] = None) -> CloudburstFuture:
+        """Invoke a registered DAG; returns a :class:`CloudburstFuture`.
+
+        Without an engine the DAG executes inline and the future arrives
+        already resolved.  With an engine attached the DAG is enqueued as
+        discrete engine events and this returns *before* anything executes:
+        resolve with ``future.get(timeout_ms=...)`` (advances virtual time)
+        or subscribe with ``future.add_done_callback`` — the only option from
+        inside an engine event.  A DAG that exhausts its §4.5 retries resolves
+        the future with the :class:`~repro.errors.DagExecutionError` instead
+        of unwinding the engine loop.
+        """
         scheduler = self._next_scheduler()
-        result = scheduler.call_dag(dag_name, function_args,
-                                    consistency=consistency or self.consistency,
-                                    store_in_kvs=store_in_kvs, ctx=ctx)
-        self._record(result)
-        return result
+        level = consistency or self.consistency
+        engine = self._engine()
+        if engine is None:
+            result = scheduler.call_dag(dag_name, function_args, consistency=level,
+                                        store_in_kvs=store_in_kvs, ctx=ctx)
+            return self._resolved_future(result)
+        ctx = self._request_ctx(ctx)
+        future = CloudburstFuture(advance=self._advance_engine)
+
+        def complete(result: ExecutionResult) -> None:
+            future.result_key = result.result_key
+            self._record(result)
+            future._set_result(result)
+
+        scheduler.call_dag(dag_name, function_args, consistency=level,
+                           store_in_kvs=store_in_kvs, ctx=ctx, engine=engine,
+                           on_complete=complete, on_error=future._set_exception)
+        return future
 
     def call_dag_async(self, dag_name: str,
                        function_args: Optional[Dict[str, Sequence[Any]]] = None,
                        consistency: Optional[ConsistencyLevel] = None) -> CloudburstFuture:
-        """Invoke a DAG, storing the result in the KVS, and return a future."""
-        result = self.call_dag(dag_name, function_args, store_in_kvs=True,
-                               consistency=consistency)
-        return self._future_for(result)
+        """Deprecated alias: ``call_dag`` is future-returning on every backend.
+
+        Kept for older callers; equivalent to
+        ``call_dag(..., store_in_kvs=True)``.
+        """
+        return self.call_dag(dag_name, function_args, store_in_kvs=True,
+                             consistency=consistency)
 
     # -- helpers -------------------------------------------------------------------------
     def reference(self, key: str) -> CloudburstReference:
@@ -148,17 +207,58 @@ class CloudburstClient:
         self.last_result = result
         self.latencies.record(result.latency_ms)
 
-    def _future_for(self, result: ExecutionResult) -> CloudburstFuture:
-        if result.result_key is None:
-            raise ValueError("result was not stored in the KVS; no future available")
+    def _engine(self):
+        """The cluster's shared discrete-event engine, if one is attached."""
+        return self._cluster.engine if self._cluster is not None else None
 
-        def fetch(key: str):
-            stored = self.kvs.get_or_none(key)
-            if stored is None:
-                return (False, None)
-            return (True, stored.reveal())
+    def _request_ctx(self, ctx: Optional[RequestContext]) -> Optional[RequestContext]:
+        if ctx is not None:
+            return ctx
+        engine = self._engine()
+        if engine is not None:
+            # Engine-backed requests start their clock at the shared virtual
+            # time instead of a fresh zero-based one.
+            return RequestContext(clock=SimClock(engine.now_ms))
+        return None
 
-        return CloudburstFuture(result.result_key, fetch)
+    def _resolved_future(self, result: ExecutionResult) -> CloudburstFuture:
+        future = CloudburstFuture(result.result_key, self._kvs_fetch,
+                                  advance=self._advance_engine)
+        self._record(result)
+        future._set_result(result)
+        return future
+
+    def _kvs_fetch(self, key: str) -> Tuple[bool, Any]:
+        stored = self.kvs.get_or_none(key)
+        if stored is None:
+            return (False, None)
+        return (True, stored.reveal())
+
+    def _advance_engine(self, future: CloudburstFuture,
+                        timeout_ms: Optional[float]) -> None:
+        """Fire engine events until ``future`` resolves or the deadline passes.
+
+        This is what makes ``future.get()`` "block" in virtual time on the
+        engine backend.  It must not be called from inside an engine event —
+        the loop cannot be re-entered — so blocking there raises immediately
+        with a pointer to ``add_done_callback``.
+        """
+        engine = self._engine()
+        if engine is None:
+            return
+        if engine.running:
+            # A programming error, not a timeout: raising FutureTimeoutError
+            # here would let timeout-tolerant callers retry forever.
+            raise RuntimeError(
+                "cannot block on a future from inside an engine event (the "
+                "loop is not reentrant); use future.add_done_callback(...) "
+                "instead")
+        deadline = None if timeout_ms is None else engine.now_ms + timeout_ms
+        while not future.done():
+            next_ms = engine.peek_ms()
+            if next_ms is None or (deadline is not None and next_ms > deadline):
+                break
+            engine.step()
 
     def _next_scheduler(self) -> Scheduler:
         return next(self._scheduler_cycle)

@@ -229,7 +229,8 @@ class CloudburstCluster:
             client_id = f"client-{self._client_sequence}"
             self._client_sequence += 1
         return CloudburstClient(self.schedulers, client_id=client_id,
-                                consistency=consistency or self.consistency)
+                                consistency=consistency or self.consistency,
+                                cluster=self)
 
     def publish_all_metrics(self) -> None:
         """Have every VM publish its metrics and cached-key snapshot (§4.1)."""

@@ -11,7 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
-from ..errors import DagNotFoundError, InvalidDagError
+from ..errors import DagDeletedError, DagNotFoundError, InvalidDagError
 
 
 @dataclass(frozen=True)
@@ -131,15 +131,35 @@ class DagRegistry:
     def __init__(self):
         self._dags: Dict[str, Dag] = {}
         self._call_counts: Dict[str, int] = {}
+        self._deleted: set = set()
 
     def register(self, dag: Dag) -> None:
         self._dags[dag.name] = dag
+        self._deleted.discard(dag.name)  # re-registering a deleted name revives it
         self._call_counts.setdefault(dag.name, 0)
+
+    def unregister(self, name: str) -> bool:
+        """Remove a DAG (paper Table 1 ``delete_dag``); True if it was present.
+
+        Deleted names are remembered so later calls raise the more specific
+        :class:`DagDeletedError` instead of "not registered".  Unregistering a
+        name that was *never* registered raises :class:`DagNotFoundError`;
+        unregistering an already-deleted name is a no-op returning False.
+        """
+        if name in self._dags:
+            del self._dags[name]
+            self._deleted.add(name)
+            return True
+        if name in self._deleted:
+            return False
+        raise DagNotFoundError(name)
 
     def get(self, name: str) -> Dag:
         try:
             return self._dags[name]
         except KeyError:
+            if name in self._deleted:
+                raise DagDeletedError(name) from None
             raise DagNotFoundError(name) from None
 
     def __contains__(self, name: str) -> bool:

@@ -4,16 +4,18 @@
   list.  The runtime resolves it (through the executor-local cache) before
   invoking the function, and the scheduler uses references to make
   locality-aware placement decisions.
-* A :class:`CloudburstFuture` is returned when the caller asks for the result
-  to be stored in the KVS instead of returned synchronously; ``get()`` blocks
-  (in virtual time) until the result key is populated.
+* A :class:`CloudburstFuture` is what every invocation returns
+  (``client.call`` / ``client.call_dag``): a handle to a result that the
+  backend resolves — immediately on the sequential backend, via engine events
+  on an engine-attached cluster.  ``get()`` blocks (in virtual time) until
+  the result appears, with an optional timeout.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Iterable, List, Tuple
+from typing import Any, Callable, Iterable, List, Optional, Tuple
 
-from ..errors import KeyNotFoundError
+from ..errors import FutureTimeoutError
 
 
 class CloudburstReference:
@@ -54,31 +56,176 @@ def extract_references(args: Iterable[Any]) -> List[CloudburstReference]:
     return found
 
 
-class CloudburstFuture:
-    """Handle to a result that will appear at a KVS key."""
+_UNSET = object()
 
-    def __init__(self, result_key: str, fetch: Callable[[str], Tuple[bool, Any]]):
-        """``fetch`` returns ``(ready, value)`` for the result key."""
+
+class CloudburstFuture:
+    """Handle to the result of a Cloudburst invocation (paper Table 1).
+
+    Every ``client.call``/``client.call_dag`` returns one of these.  The
+    resolution is driven by the backend:
+
+    * **Sequential backend** (no engine attached): the invocation ran inline,
+      so the future arrives already resolved and ``get()`` returns without
+      blocking.
+    * **Engine backend**: the invocation was enqueued as discrete events on
+      the cluster's shared engine.  ``get(timeout_ms=...)`` *advances virtual
+      time* — firing engine events — until the result appears or the timeout
+      elapses; ``add_done_callback`` delivers the resolution without blocking
+      (the only option from inside an engine event, where the loop cannot be
+      re-entered).
+
+    ``is_ready()`` is the non-raising probe: it polls once (including the
+    backing KVS key, when the result was stored there) and never advances
+    time.  ``get()`` returns the invocation's *value*; ``result()`` returns
+    the full :class:`~repro.cloudburst.scheduler.ExecutionResult` payload
+    (latency, retries, session state).  Failed invocations re-raise their
+    error from ``get()``/``result()``; ``exception()`` inspects it without
+    raising.
+    """
+
+    def __init__(self, result_key: Optional[str] = None,
+                 fetch: Optional[Callable[[str], Tuple[bool, Any]]] = None,
+                 advance: Optional[Callable[["CloudburstFuture", Optional[float]], None]] = None):
+        """``fetch`` returns ``(ready, value)`` for ``result_key``; ``advance``
+        is the backend hook that makes progress (runs engine events) until the
+        future resolves or a deadline passes."""
         self.result_key = result_key
         self._fetch = fetch
-        self._resolved = False
+        self._advance = advance
+        self._done = False
         self._value: Any = None
+        self._result = None  # the ExecutionResult payload, when there is one
+        self._exception: Optional[BaseException] = None
+        self._callbacks: List[Callable[["CloudburstFuture"], None]] = []
+
+    # -- probes (never advance time, never raise) ---------------------------------------
+    def done(self) -> bool:
+        """True once the future has an outcome — a value *or* an error."""
+        if self._done:
+            return True
+        if self._fetch is not None and self.result_key is not None:
+            ready, value = self._fetch(self.result_key)
+            if ready:
+                self._settle(value=value)
+        return self._done
 
     def is_ready(self) -> bool:
-        if self._resolved:
-            return True
-        ready, value = self._fetch(self.result_key)
-        if ready:
-            self._value = value
-            self._resolved = True
-        return self._resolved
+        """True when ``get()`` would return a value without blocking."""
+        return self.done() and self._exception is None
 
-    def get(self) -> Any:
-        """Return the result, polling the KVS until the key is populated."""
-        if not self.is_ready():
-            raise KeyNotFoundError(self.result_key)
+    def exception(self) -> Optional[BaseException]:
+        """The invocation's error, or None — a non-raising, non-blocking probe.
+
+        Like :meth:`is_ready` this never advances time: None means the
+        invocation succeeded *or* is still pending (check :meth:`done` to
+        distinguish).  Use ``get()``/``result()`` to block until an outcome
+        exists.
+        """
+        self.done()  # single poll, settles fetch-backed futures
+        return self._exception
+
+    # -- blocking access -----------------------------------------------------------------
+    def get(self, timeout_ms: Optional[float] = None) -> Any:
+        """Return the resolved value.
+
+        On an engine-backed cluster this advances virtual time (fires engine
+        events) until the result appears; ``timeout_ms`` bounds how far
+        virtual time may advance (None = until the engine drains).  On the
+        sequential backend results exist by the time the future is handed
+        out, so this returns immediately; a future that is *not* resolved
+        there raises :class:`~repro.errors.FutureTimeoutError` at once
+        (there is no time to advance).  Use :meth:`is_ready` to probe without
+        raising, and :meth:`add_done_callback` to wait without blocking.
+        """
+        self._wait(timeout_ms)
+        if self._exception is not None:
+            raise self._exception
         return self._value
 
+    def result(self, timeout_ms: Optional[float] = None):
+        """The full :class:`ExecutionResult` payload (blocking like ``get``)."""
+        self._wait(timeout_ms)
+        if self._exception is not None:
+            raise self._exception
+        if self._result is None:
+            raise ValueError(
+                "this future carries no ExecutionResult payload (KVS-only future)")
+        return self._result
+
+    # -- ExecutionResult conveniences ------------------------------------------------------
+    @property
+    def value(self) -> Any:
+        """The resolved value (blocks like ``get()`` with no deadline)."""
+        return self.get()
+
+    @property
+    def latency_ms(self) -> float:
+        return self.result().latency_ms
+
+    @property
+    def execution_id(self) -> str:
+        return self.result().execution_id
+
+    @property
+    def retries(self) -> int:
+        return self.result().retries
+
+    @property
+    def ctx(self):
+        return self.result().ctx
+
+    @property
+    def session(self):
+        return self.result().session
+
+    # -- completion delivery ---------------------------------------------------------------
+    def add_done_callback(self, fn: Callable[["CloudburstFuture"], None]) -> None:
+        """Call ``fn(future)`` when the future resolves (now, if it already has).
+
+        This is how engine-driven code consumes results: callbacks fire from
+        the engine event that completes the invocation, so no virtual time is
+        spent waiting.  Callbacks added after resolution run immediately.
+        """
+        if self.done():
+            fn(self)
+        else:
+            self._callbacks.append(fn)
+
+    # -- backend hooks -----------------------------------------------------------------------
+    def _set_result(self, result, value: Any = _UNSET) -> None:
+        """Resolve with an ExecutionResult payload (backend completion hook)."""
+        self._result = result
+        self._settle(value=result.value if value is _UNSET else value)
+
+    def _set_exception(self, exc: BaseException) -> None:
+        """Resolve with an error (backend failure hook); ``get()`` re-raises."""
+        self._exception = exc
+        self._settle(value=None)
+
+    def _settle(self, value: Any) -> None:
+        if self._done:
+            return
+        if self._exception is None:
+            self._value = value
+        self._done = True
+        callbacks, self._callbacks = self._callbacks, []
+        for fn in callbacks:
+            fn(self)
+
+    def _wait(self, timeout_ms: Optional[float]) -> None:
+        if self.done():
+            return
+        if self._advance is not None:
+            self._advance(self, timeout_ms)
+        if not self.done():
+            raise FutureTimeoutError(self.result_key, timeout_ms)
+
     def __repr__(self) -> str:
-        state = "ready" if self._resolved else "pending"
+        if not self._done:
+            state = "pending"
+        elif self._exception is not None:
+            state = f"failed: {self._exception!r}"
+        else:
+            state = "ready"
         return f"CloudburstFuture({self.result_key!r}, {state})"

@@ -99,11 +99,22 @@ class Scheduler:
     # -- registration (§4.3 "Scheduling Mechanisms") -----------------------------------
     def register_function(self, func: Callable, name: Optional[str] = None,
                           ctx: Optional[RequestContext] = None) -> str:
-        """Store a function in Anna and add it to the registered-function list."""
+        """Store a function in Anna and add it to the registered-function list.
+
+        Re-registering an existing name *overwrites* it everywhere the old
+        body could still be served from: Anna (the source of truth new
+        executors fetch from) and every executor thread that already pinned
+        the previous body — otherwise a stale pinned copy would keep running
+        on exactly the threads the name is routed to.
+        """
         name = name or func.__name__
         self.functions[name] = func
         self.kvs.put_plain(function_key(name), func, ctx)
         self.kvs.put(FUNCTION_LIST_KEY, SetLattice({name}), ctx)
+        for vm in self.vms:
+            for thread in vm.threads:
+                if thread.has_function(name):
+                    thread.pin_function(name, func, ctx)
         return name
 
     def register_dag(self, dag: Dag, ctx: Optional[RequestContext] = None,
@@ -122,6 +133,20 @@ class Scheduler:
             "edges": [(edge.source, edge.target) for edge in dag.edges],
         }
         self.kvs.put_plain(f"__cloudburst_dags__/{dag.name}", topology, ctx)
+
+    def delete_dag(self, name: str, ctx: Optional[RequestContext] = None) -> bool:
+        """Remove a registered DAG (paper Table 1 ``delete_dag``).
+
+        Later ``call_dag`` invocations of the name raise
+        :class:`~repro.errors.DagDeletedError`.  The functions stay registered
+        and pinned — other DAGs may share them.  Returns True if this call
+        removed the DAG (False when it was already deleted); a name that was
+        never registered raises :class:`~repro.errors.DagNotFoundError`.
+        """
+        removed = self.dag_registry.unregister(name)
+        if removed:
+            self.kvs.delete(f"__cloudburst_dags__/{name}", ctx or RequestContext())
+        return removed
 
     def pin_function(self, name: str, replicas: int = 1,
                      ctx: Optional[RequestContext] = None) -> List[str]:
@@ -192,15 +217,35 @@ class Scheduler:
     def call_dag(self, dag_name: str, function_args: Optional[Dict[str, Sequence[Any]]] = None,
                  consistency: Optional[ConsistencyLevel] = None,
                  store_in_kvs: bool = False,
-                 ctx: Optional[RequestContext] = None) -> ExecutionResult:
+                 ctx: Optional[RequestContext] = None,
+                 engine=None,
+                 on_complete: Optional[Callable[["ExecutionResult"], None]] = None,
+                 on_error: Optional[Callable[[Exception], None]] = None):
         """Schedule and execute a registered DAG.
 
         ``function_args`` supplies extra arguments per function; results of
         upstream functions are automatically prepended to downstream argument
         lists (§3).
+
+        Without ``engine`` the DAG runs to completion inside this call and an
+        :class:`ExecutionResult` is returned.  With ``engine`` the execution
+        is decomposed into discrete events on that engine (each function fires
+        at its fork/join ready time, so concurrent sessions genuinely
+        interleave) and an :class:`_EngineDagSession` is returned immediately;
+        completion is delivered to ``on_complete``/``on_error``.  The
+        event-per-function path is charge-for-charge identical to the inline
+        path — the single-client parity tests pin that.
         """
         level = consistency or self.default_consistency
         function_args = function_args or {}
+        if engine is not None:
+            return self._call_dag_on_engine(
+                dag_name, function_args, level, engine, ctx, store_in_kvs,
+                on_complete, on_error)
+        if on_complete is not None or on_error is not None:
+            raise ValueError(
+                "on_complete/on_error need an engine backend: without one the "
+                "DAG executes inline and call_dag returns the result directly")
         ctx = ctx or RequestContext()
         start_ms = ctx.clock.now_ms
         dag = self.dag_registry.get(dag_name)
@@ -239,6 +284,45 @@ class Scheduler:
                                execution_id=state.execution_id, ctx=ctx,
                                retries=retries, result_key=result_key, session=state)
 
+    def _call_dag_on_engine(self, dag_name: str,
+                            function_args: Dict[str, Sequence[Any]],
+                            level: ConsistencyLevel,
+                            engine,
+                            ctx: Optional[RequestContext],
+                            store_in_kvs: bool,
+                            on_complete: Optional[Callable[["ExecutionResult"], None]],
+                            on_error: Optional[Callable[[Exception], None]],
+                            ) -> "_EngineDagSession":
+        """Schedule a DAG execution as discrete events on a shared engine.
+
+        The inline path runs a whole DAG to completion inside one Python
+        call, so even when two sessions' *virtual* times overlap their cache
+        and snapshot accesses can never actually interleave.  This path turns
+        every DAG function into its own engine event fired at the function's
+        fork/join ready time: many in-flight sessions genuinely interleave
+        their reads, writes, snapshot pins and update propagation on one
+        timeline — which is what the §6.2 consistency experiments need.  The
+        sink event finalizes the session (snapshot eviction, anomaly
+        accounting) and hands an :class:`ExecutionResult` to ``on_complete``.
+        If the DAG exhausts its §4.5 retries, the failure goes to
+        ``on_error`` when provided (so one poisoned session cannot abort a
+        whole multi-client driver run); without ``on_error`` the
+        :class:`DagExecutionError` propagates out of the engine loop,
+        matching the inline contract.
+        """
+        ctx = ctx or RequestContext(clock=SimClock(engine.now_ms))
+        start_ms = ctx.clock.now_ms
+        dag = self.dag_registry.get(dag_name)
+        self.dag_registry.record_call(dag_name)
+        self.stats.record_dag_call(dag_name)
+        self.latency_model.charge(ctx, "cloudburst", "client_to_scheduler")
+        self.latency_model.charge(ctx, "cloudburst", "schedule")
+        session = _EngineDagSession(self, dag, function_args, ctx, start_ms,
+                                    level, engine, on_complete, on_error,
+                                    store_in_kvs=store_in_kvs)
+        session.start()
+        return session
+
     def call_dag_on_engine(self, dag_name: str,
                            function_args: Optional[Dict[str, Sequence[Any]]] = None,
                            consistency: Optional[ConsistencyLevel] = None,
@@ -247,37 +331,16 @@ class Scheduler:
                            on_complete: Optional[Callable[["ExecutionResult"], None]] = None,
                            on_error: Optional[Callable[[Exception], None]] = None,
                            ) -> "_EngineDagSession":
-        """Schedule a DAG execution as discrete events on a shared engine.
+        """Deprecated alias: use :meth:`call_dag` with ``engine=...`` instead.
 
-        The sequential :meth:`call_dag` runs a whole DAG to completion inside
-        one Python call, so even when two sessions' *virtual* times overlap
-        their cache and snapshot accesses can never actually interleave.
-        This variant turns every DAG function into its own engine event fired
-        at the function's fork/join ready time: many in-flight sessions
-        genuinely interleave their reads, writes, snapshot pins and update
-        propagation on one timeline — which is what the §6.2 consistency
-        experiments need.  The sink event finalizes the session (snapshot
-        eviction, anomaly accounting) and hands an :class:`ExecutionResult`
-        to ``on_complete``.  If the DAG exhausts its §4.5 retries, the
-        failure goes to ``on_error`` when provided (so one poisoned session
-        cannot abort a whole multi-client driver run); without ``on_error``
-        the :class:`DagExecutionError` propagates out of the engine loop,
-        matching the sequential :meth:`call_dag` contract.
+        The engine path was folded into :meth:`call_dag` when the client API
+        went futures-first; this name survives for older callers only.
         """
         if engine is None:
             raise ValueError("call_dag_on_engine needs a discrete-event engine")
-        level = consistency or self.default_consistency
-        ctx = ctx or RequestContext(clock=SimClock(engine.now_ms))
-        start_ms = ctx.clock.now_ms
-        dag = self.dag_registry.get(dag_name)
-        self.dag_registry.record_call(dag_name)
-        self.stats.record_dag_call(dag_name)
-        self.latency_model.charge(ctx, "cloudburst", "client_to_scheduler")
-        self.latency_model.charge(ctx, "cloudburst", "schedule")
-        session = _EngineDagSession(self, dag, function_args or {}, ctx, start_ms,
-                                    level, engine, on_complete, on_error)
-        session.start()
-        return session
+        return self.call_dag(dag_name, function_args, consistency=consistency,
+                             ctx=ctx, engine=engine,
+                             on_complete=on_complete, on_error=on_error)
 
     def _execute_dag(self, dag: Dag, function_args: Dict[str, Sequence[Any]],
                      ctx: RequestContext, state: SessionState, protocol) -> Any:
@@ -461,7 +524,8 @@ class _EngineDagSession:
                  function_args: Dict[str, Sequence[Any]], ctx: RequestContext,
                  start_ms: float, level: ConsistencyLevel, engine,
                  on_complete: Optional[Callable[[ExecutionResult], None]],
-                 on_error: Optional[Callable[[Exception], None]] = None):
+                 on_error: Optional[Callable[[Exception], None]] = None,
+                 store_in_kvs: bool = False):
         self.scheduler = scheduler
         self.dag = dag
         self.function_args = function_args
@@ -471,6 +535,7 @@ class _EngineDagSession:
         self.engine = engine
         self.on_complete = on_complete
         self.on_error = on_error
+        self.store_in_kvs = store_in_kvs
         self.retries = 0
         self.done = False
         self.result: Optional[ExecutionResult] = None
@@ -547,16 +612,23 @@ class _EngineDagSession:
         scheduler = self.scheduler
         ctx = self.ctx
         ctx.join(self.branches)
-        scheduler.latency_model.charge(ctx, "cloudburst", "result_to_client")
-        self.protocol.finalize(self.state, scheduler._cache_registry())
-        scheduler._complete_anomaly_tracking(self.state)
         sinks = self.dag.sinks
         value = (self.results[sinks[0]] if len(sinks) == 1
                  else {sink: self.results[sink] for sink in sinks})
+        # Mirror the inline call_dag tail exactly (parity): store-to-KVS
+        # replaces the result_to_client charge, never adds to it.
+        result_key = None
+        if self.store_in_kvs:
+            result_key = f"__cloudburst_results__/{self.state.execution_id}"
+            scheduler.kvs.put_plain(result_key, value, ctx)
+        else:
+            scheduler.latency_model.charge(ctx, "cloudburst", "result_to_client")
+        self.protocol.finalize(self.state, scheduler._cache_registry())
+        scheduler._complete_anomaly_tracking(self.state)
         self.done = True
         self.result = ExecutionResult(
             value=value, latency_ms=ctx.clock.now_ms - self.start_ms,
             execution_id=self.state.execution_id, ctx=ctx,
-            retries=self.retries, session=self.state)
+            retries=self.retries, result_key=result_key, session=self.state)
         if self.on_complete is not None:
             self.on_complete(self.result)

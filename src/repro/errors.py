@@ -39,6 +39,43 @@ class DagNotFoundError(ReproError):
         self.name = name
 
 
+class DagDeletedError(DagNotFoundError):
+    """A DAG was invoked after ``delete_dag`` removed it (paper Table 1).
+
+    Distinct from :class:`DagNotFoundError` so callers can tell a typo from a
+    deliberate deletion: a deleted DAG must be re-registered before it can be
+    called again.
+    """
+
+    def __init__(self, name: str):
+        ReproError.__init__(
+            self, f"DAG {name!r} has been deleted; re-register it before calling")
+        self.name = name
+
+
+class FutureTimeoutError(ReproError, TimeoutError):
+    """A :class:`CloudburstFuture` did not resolve within its timeout.
+
+    On an engine-backed cluster ``future.get(timeout_ms=...)`` advances
+    virtual time and raises this when the deadline passes (or the engine
+    drains) with the result key still unpopulated.  On the sequential backend
+    there is no time to advance, so a pending future raises immediately.
+    """
+
+    def __init__(self, result_key=None, timeout_ms=None, detail: str = ""):
+        parts = ["future did not resolve"]
+        if result_key:
+            parts.append(f"for result key {result_key!r}")
+        if timeout_ms is not None:
+            parts.append(f"within {timeout_ms:g} ms of virtual time")
+        message = " ".join(parts)
+        if detail:
+            message = f"{message}: {detail}"
+        super().__init__(message)
+        self.result_key = result_key
+        self.timeout_ms = timeout_ms
+
+
 class InvalidDagError(ReproError):
     """A DAG definition is malformed (cycles, unknown functions, ...)."""
 

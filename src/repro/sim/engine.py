@@ -71,11 +71,27 @@ class Engine:
         self._seq = itertools.count()
         self._now_ms = float(start_ms)
         self._stopped = False
+        self._running = False
         self.events_processed = 0
 
     @property
     def now_ms(self) -> float:
         return self._now_ms
+
+    @property
+    def running(self) -> bool:
+        """True while an event is being fired (``run``/``step`` in progress).
+
+        Blocking helpers (``CloudburstFuture.get``) check this: advancing
+        virtual time from *inside* an engine event would re-enter the loop.
+        """
+        return self._running
+
+    def peek_ms(self) -> Optional[float]:
+        """Virtual time of the next pending event, or None when drained."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].at_ms if self._heap else None
 
     @property
     def pending(self) -> int:
@@ -135,7 +151,11 @@ class Engine:
                 continue
             self._now_ms = event.at_ms
             self.events_processed += 1
-            event.fn()
+            was_running, self._running = self._running, True
+            try:
+                event.fn()
+            finally:
+                self._running = was_running
             return True
         return False
 
@@ -148,6 +168,11 @@ class Engine:
         ``until_ms`` — in which case virtual time advances *to* ``until_ms``
         and the remaining events stay queued.
         """
+        if self._running:
+            raise RuntimeError(
+                "Engine.run() is not reentrant: an engine event tried to drain "
+                "the loop it is running on (block with future.add_done_callback "
+                "instead of future.get() inside engine events)")
         self._stopped = False
         fired = 0
         while self._heap and not self._stopped:

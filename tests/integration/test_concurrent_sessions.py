@@ -1,6 +1,8 @@
 """Integration tests for engine-driven concurrent DAG sessions (§6.2).
 
-These pin the acceptance properties of the session-aware load driver:
+These pin the acceptance properties of the futures-first engine path
+(``cloud.call_dag`` returning a pending :class:`CloudburstFuture` whose DAG
+runs as engine events):
 
 * a single session client reproduces the sequential ``call_dag`` accounting
   exactly (the cross-check path);
@@ -17,7 +19,7 @@ import pytest
 
 from repro.anna import AnnaCluster
 from repro.bench.consistency_bench import _run_level_engine, _run_level_sequential
-from repro.bench.harness import EngineLoadDriver, SessionLoadDriver
+from repro.bench.harness import EngineLoadDriver
 from repro.bench import run_table2
 from repro.cloudburst import CloudburstCluster, ConsistencyLevel
 from repro.cloudburst.monitoring import AutoscalingPolicy, MonitoringConfig
@@ -48,25 +50,22 @@ def _session_cluster(level, seed=29, **kwargs):
 
 
 def _drive_sessions(cluster, level, sessions=60, clients=6):
-    scheduler = cluster.schedulers[0]
     outcomes = []
     concurrency = []
 
-    def session(ctx, client, index, done):
+    def request(cloud, ctx, index):
         concurrency.append(driver.inflight)
-
-        def complete(result):
-            outcomes.append(result.value)
-            done(result)
-
-        scheduler.call_dag_on_engine(
+        future = cloud.call_dag(
             "session-dag",
             {"read_key": ["shared"], "read_write": ["shared", f"token-{index}"]},
-            consistency=level, engine=cluster.engine, ctx=ctx,
-            on_complete=complete)
+            consistency=level, ctx=ctx)
+        future.add_done_callback(
+            lambda f: outcomes.append(f.result().value)
+            if f.exception() is None else None)
+        return future
 
-    driver = SessionLoadDriver(cluster, session, clients=clients,
-                               max_requests=sessions)
+    driver = EngineLoadDriver(cluster, request, clients=clients,
+                              max_requests=sessions)
     driver.run()
     return outcomes, concurrency
 
@@ -150,12 +149,12 @@ class TestInterleavedSessions:
 
         args_a = {"read_key": ["shared"], "read_write": ["shared", "token-a"]}
         args_b = {"read_key": ["shared"], "read_write": ["shared", "token-b"]}
-        states["a"] = scheduler.call_dag_on_engine(
+        states["a"] = scheduler.call_dag(
             "session-dag", args_a, consistency=ConsistencyLevel.DISTRIBUTED_SESSION_RR,
             engine=engine, on_complete=complete_a)
         # B starts mid-way through A and finishes later (long think between
         # stages comes from queueing both sessions on two-thread VMs).
-        engine.at(0.5, lambda: states.__setitem__("b", scheduler.call_dag_on_engine(
+        engine.at(0.5, lambda: states.__setitem__("b", scheduler.call_dag(
             "session-dag", args_b,
             consistency=ConsistencyLevel.DISTRIBUTED_SESSION_RR, engine=engine)))
         engine.run()
@@ -185,7 +184,7 @@ class TestSessionFailureIsolation:
         engine = Engine()
         cluster.attach_engine(engine)
         errors = []
-        session = scheduler.call_dag_on_engine(
+        session = scheduler.call_dag(
             "flaky-dag", engine=engine, on_error=errors.append)
         engine.run()
         cluster.detach_engine()
@@ -197,6 +196,22 @@ class TestSessionFailureIsolation:
         for vm in cluster.vms:
             assert vm.cache.snapshot_count() == 0
 
+    def test_retry_exhaustion_resolves_the_client_future_with_the_error(self):
+        from repro.errors import DagExecutionError
+
+        cluster = self._flaky_cluster()
+        cloud = cluster.connect()
+        engine = Engine()
+        cluster.attach_engine(engine)
+        future = cloud.call_dag("flaky-dag")
+        assert not future.done()
+        engine.run()
+        cluster.detach_engine()
+        assert future.done() and not future.is_ready()
+        assert isinstance(future.exception(), DagExecutionError)
+        with pytest.raises(DagExecutionError):
+            future.get()
+
     def test_without_on_error_the_failure_raises(self):
         from repro.errors import DagExecutionError
 
@@ -204,10 +219,24 @@ class TestSessionFailureIsolation:
         scheduler = cluster.schedulers[0]
         engine = Engine()
         cluster.attach_engine(engine)
-        scheduler.call_dag_on_engine("flaky-dag", engine=engine)
+        scheduler.call_dag("flaky-dag", engine=engine)
         with pytest.raises(DagExecutionError):
             engine.run()
         cluster.detach_engine()
+
+    def test_call_dag_on_engine_survives_as_deprecated_alias(self):
+        cluster = self._flaky_cluster()
+        scheduler = cluster.schedulers[0]
+        engine = Engine()
+        cluster.attach_engine(engine)
+        errors = []
+        session = scheduler.call_dag_on_engine(
+            "flaky-dag", engine=engine, on_error=errors.append)
+        engine.run()
+        cluster.detach_engine()
+        assert session.done and len(errors) == 1
+        with pytest.raises(ValueError):
+            scheduler.call_dag_on_engine("flaky-dag")  # engine is mandatory
 
 
 class TestTable2Determinism:
@@ -252,17 +281,17 @@ class TestScaleDownClosesCaches:
 
     def test_driver_drain_closes_fully_drained_vm_caches(self):
         cluster = CloudburstCluster(executor_vms=3, threads_per_vm=2, seed=23)
-        scheduler = cluster.schedulers[0]
+        setup = cluster.connect("setup")
 
         def work(cloudburst, x):
             cloudburst.simulate_compute(20.0)
             return x
 
-        scheduler.register_function(work, name="work")
+        setup.register(work, name="work")
         config = MonitoringConfig(vms_per_scale_up=1,
                                   node_startup_delay_ms=2_000.0, max_vms=6)
         driver = EngineLoadDriver(
-            cluster, lambda ctx, client, index: scheduler.call("work", [index], ctx=ctx),
+            cluster, lambda cloud, ctx, index: cloud.call("work", [index], ctx=ctx),
             clients=12, stop_ms=6_000.0, max_duration_ms=10_000.0,
             policy=AutoscalingPolicy(config), policy_interval_ms=1_000.0,
             min_threads=2)

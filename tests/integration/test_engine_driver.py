@@ -1,6 +1,8 @@
 """Integration tests for the engine-driven multi-client load driver.
 
-These pin down the acceptance properties of the event-engine refactor:
+These pin down the acceptance properties of the event-engine refactor, now
+expressed through the futures-first client API (the driver constructs one
+CloudburstClient per simulated client; request fns never touch a Scheduler):
 
 * a single engine-driven client reproduces the sequential path's
   ``RequestContext`` accounting exactly;
@@ -26,14 +28,18 @@ from repro.cloudburst.monitoring import AutoscalingPolicy, MonitoringConfig
 def _make_cluster(seed=11, executor_vms=2, threads_per_vm=3):
     cluster = CloudburstCluster(executor_vms=executor_vms,
                                 threads_per_vm=threads_per_vm, seed=seed)
-    scheduler = cluster.schedulers[0]
+    cloud = cluster.connect("setup")
 
     def work(cloudburst, x):
         cloudburst.simulate_compute(20.0)
         return x * 2
 
-    scheduler.register_function(work, name="work")
-    return cluster, scheduler
+    cloud.register(work, name="work")
+    return cluster, cloud
+
+
+def _work_request(cloud, ctx, index):
+    return cloud.call("work", [index], ctx=ctx)
 
 
 class TestSingleClientEquivalence:
@@ -41,28 +47,26 @@ class TestSingleClientEquivalence:
         # Two identically seeded clusters: one driven sequentially, one by a
         # single engine client.  With one client there is never queueing, so
         # the latency sequences must agree sample for sample.
-        cluster_a, scheduler_a = _make_cluster(seed=21)
+        _cluster_a, cloud_a = _make_cluster(seed=21)
         sequential = run_closed_loop(
-            "sequential", lambda i: scheduler_a.call("work", [i]).latency_ms, 40)
+            "sequential", lambda i: cloud_a.call("work", [i]).latency_ms, 40)
 
-        cluster_b, scheduler_b = _make_cluster(seed=21)
+        cluster_b, _cloud_b = _make_cluster(seed=21)
         engine_run = run_engine_closed_loop(
-            cluster_b, lambda ctx, client, index: scheduler_b.call(
-                "work", [index], ctx=ctx),
-            clients=1, total_requests=40)
+            cluster_b, _work_request, clients=1, total_requests=40)
 
         assert engine_run.latencies.samples_ms == \
             pytest.approx(sequential.samples_ms)
 
     def test_detaches_engine_after_run(self):
-        cluster, scheduler = _make_cluster(seed=5)
+        cluster, cloud = _make_cluster(seed=5)
         run_engine_closed_loop(
-            cluster, lambda ctx, client, index: scheduler.call("work", [1], ctx=ctx),
+            cluster, lambda c, ctx, index: c.call("work", [1], ctx=ctx),
             clients=2, total_requests=10)
         assert cluster.engine is None
         assert all(vm.engine is None for vm in cluster.vms)
         # Sequential use afterwards sees no stale queue state.
-        result = scheduler.call("work", [3])
+        result = cloud.call("work", [3]).result()
         assert result.value == 6
         assert result.ctx.total("cloudburst", "executor_queue") == 0.0
 
@@ -70,45 +74,32 @@ class TestSingleClientEquivalence:
         # Regression: driver reservations left in the work queues would make
         # every thread read as busy/full at the zero-based clocks sequential
         # requests use, silently disabling locality scheduling afterwards.
-        cluster, scheduler = _make_cluster(seed=31)
+        cluster, cloud = _make_cluster(seed=31)
         run_engine_closed_loop(
-            cluster, lambda ctx, client, index: scheduler.call(
-                "work", [index], ctx=ctx),
-            clients=6, total_requests=60)
+            cluster, _work_request, clients=6, total_requests=60)
         for vm in cluster.vms:
             for thread in vm.threads:
                 assert not thread.work_queue.busy_at(0.0)
                 assert thread.work_queue.depth(0.0) == 0
         # Locality scheduling still functions on the same cluster.
-        client = cluster.connect()
-        client.put("hot", [1, 2, 3])
-        scheduler.register_function(lambda data: sum(data), name="summer")
+        cloud.put("hot", [1, 2, 3])
+        cloud.register(lambda data: sum(data), name="summer")
         from repro.cloudburst import CloudburstReference
 
         reference = CloudburstReference("hot")
-        scheduler.call("summer", [reference])
+        cloud.call("summer", [reference])
         for _ in range(4):
-            scheduler.call("summer", [reference])
-        assert scheduler.stats.locality_hits >= 1
+            cloud.call("summer", [reference])
+        assert sum(s.stats.locality_hits for s in cluster.schedulers) >= 1
 
 
 class TestContention:
     def test_oversubscription_queues_and_caps_throughput(self):
-        cluster, scheduler = _make_cluster(seed=7, executor_vms=1,
-                                           threads_per_vm=2)
-
-        def request(ctx, client, index):
-            scheduler.call("work", [index], ctx=ctx)
-
-        light = run_engine_closed_loop(cluster, request, clients=1,
+        cluster, _ = _make_cluster(seed=7, executor_vms=1, threads_per_vm=2)
+        light = run_engine_closed_loop(cluster, _work_request, clients=1,
                                        total_requests=60)
-        cluster2, scheduler2 = _make_cluster(seed=7, executor_vms=1,
-                                             threads_per_vm=2)
-
-        def request2(ctx, client, index):
-            scheduler2.call("work", [index], ctx=ctx)
-
-        heavy = run_engine_closed_loop(cluster2, request2, clients=8,
+        cluster2, _ = _make_cluster(seed=7, executor_vms=1, threads_per_vm=2)
+        heavy = run_engine_closed_loop(cluster2, _work_request, clients=8,
                                        total_requests=60)
         # 8 clients over 2 threads: latency inflates with queueing delay...
         assert heavy.latencies.summary().median_ms > \
@@ -119,13 +110,13 @@ class TestContention:
         assert heavy.overall_throughput_per_s > 1.4 * per_thread
 
     def test_queue_wait_is_charged_to_the_request(self):
-        cluster, scheduler = _make_cluster(seed=9, executor_vms=1,
-                                           threads_per_vm=1)
+        cluster, _ = _make_cluster(seed=9, executor_vms=1, threads_per_vm=1)
         waits = []
 
-        def request(ctx, client, index):
-            scheduler.call("work", [index], ctx=ctx)
-            waits.append(ctx.total("cloudburst", "executor_queue"))
+        def request(cloud, ctx, index):
+            future = cloud.call("work", [index], ctx=ctx)
+            waits.append(future.ctx.total("cloudburst", "executor_queue"))
+            return future
 
         run_engine_closed_loop(cluster, request, clients=4, total_requests=20)
         assert any(wait > 0 for wait in waits)
@@ -133,12 +124,8 @@ class TestContention:
 
 class TestDeterminism:
     def _drive(self, seed):
-        cluster, scheduler = _make_cluster(seed=seed, executor_vms=2)
-
-        def request(ctx, client, index):
-            scheduler.call("work", [index], ctx=ctx)
-
-        return run_engine_closed_loop(cluster, request, clients=6,
+        cluster, _ = _make_cluster(seed=seed, executor_vms=2)
+        return run_engine_closed_loop(cluster, _work_request, clients=6,
                                       total_requests=80)
 
     def test_same_seed_identical_latency_sequence(self):
@@ -154,12 +141,9 @@ class TestDeterminism:
 
 class TestOpenLoop:
     def test_poisson_arrivals_complete(self):
-        cluster, scheduler = _make_cluster(seed=17)
-
-        def request(ctx, client, index):
-            scheduler.call("work", [index], ctx=ctx)
-
-        sim = run_engine_open_loop(cluster, request, arrival_rate_per_s=100.0,
+        cluster, _ = _make_cluster(seed=17)
+        sim = run_engine_open_loop(cluster, _work_request,
+                                   arrival_rate_per_s=100.0,
                                    duration_ms=2_000.0)
         # ~200 arrivals expected over 2 s at 100/s.
         assert 120 < sim.completed_requests < 300
@@ -168,16 +152,12 @@ class TestOpenLoop:
 
 class TestDriverAutoscaling:
     def test_policy_adds_real_vms_and_drains(self):
-        cluster, scheduler = _make_cluster(seed=23, executor_vms=2)
+        cluster, _ = _make_cluster(seed=23, executor_vms=2)
         config = MonitoringConfig(vms_per_scale_up=1,
                                   node_startup_delay_ms=2_000.0,
                                   max_vms=8)
-
-        def request(ctx, client, index):
-            scheduler.call("work", [index], ctx=ctx)
-
         driver = EngineLoadDriver(
-            cluster, request, clients=20,
+            cluster, _work_request, clients=20,
             stop_ms=10_000.0, max_duration_ms=15_000.0,
             policy=AutoscalingPolicy(config), policy_interval_ms=1_000.0,
             min_threads=config.min_pinned_threads)
@@ -189,18 +169,50 @@ class TestDriverAutoscaling:
         assert capacities[-1] == config.min_pinned_threads  # drained
 
     def test_invalid_configuration_rejected(self):
-        cluster, scheduler = _make_cluster(seed=3)
+        cluster, _ = _make_cluster(seed=3)
         with pytest.raises(ValueError):
-            EngineLoadDriver(cluster, lambda ctx, c, i: None, clients=0)
+            EngineLoadDriver(cluster, lambda c, ctx, i: None, clients=0)
         with pytest.raises(ValueError):
-            EngineLoadDriver(cluster, lambda ctx, c, i: None, mode="open",
+            EngineLoadDriver(cluster, lambda c, ctx, i: None, mode="open",
                              arrival_rate_per_s=0.0)
         with pytest.raises(ValueError):
-            EngineLoadDriver(cluster, lambda ctx, c, i: None, clients=1)
+            EngineLoadDriver(cluster, lambda c, ctx, i: None, clients=1)
         with pytest.raises(ValueError):
-            EngineLoadDriver(cluster, lambda ctx, c, i: None, clients=1,
+            EngineLoadDriver(cluster, lambda c, ctx, i: None, clients=1,
                              max_requests=10,
                              policy=lambda now, metrics: None)
+
+
+class TestSessionLoadDriverAlias:
+    def test_old_style_session_fn_rejected_with_migration_pointer(self):
+        from repro.bench.harness import SessionLoadDriver
+
+        cluster, _ = _make_cluster(seed=3)
+        with pytest.raises(TypeError, match="futures-first"):
+            SessionLoadDriver(cluster,
+                              lambda ctx, client_id, index, done: None,
+                              clients=2, max_requests=4)
+
+    def test_new_style_request_fn_accepted(self):
+        from repro.bench.harness import SessionLoadDriver
+
+        cluster, _ = _make_cluster(seed=3)
+        driver = SessionLoadDriver(cluster, _work_request, clients=2,
+                                   max_requests=4)
+        sim = driver.run()
+        assert sim.completed_requests == 4
+
+    def test_defaulted_closure_binding_params_not_mistaken_for_legacy_fn(self):
+        from repro.bench.harness import SessionLoadDriver
+
+        cluster, _ = _make_cluster(seed=3)
+        driver = SessionLoadDriver(
+            cluster,
+            lambda cloud, ctx, index, name="work": cloud.call(
+                name, [index], ctx=ctx),
+            clients=2, max_requests=4)
+        sim = driver.run()
+        assert sim.completed_requests == 4
 
 
 class TestBuildClusterWithThreads:

@@ -1,0 +1,101 @@
+"""Multi-scheduler round-robin coverage (satellite of the futures-first API).
+
+A Cloudburst deployment runs several independent schedulers; clients
+round-robin their requests across all of them (§4.3).  These tests pin the
+property the public API promises: N clients over M schedulers agree on the
+registered functions and DAGs, and an invocation produces the identical
+result no matter which scheduler happens to serve it — sequentially and on
+the engine backend.
+"""
+
+import pytest
+
+from repro.bench.harness import run_engine_closed_loop
+from repro.cloudburst import CloudburstCluster
+from repro.errors import DagDeletedError
+
+SCHEDULERS = 3
+CLIENTS = 6
+
+
+@pytest.fixture
+def cluster():
+    return CloudburstCluster(executor_vms=3, threads_per_vm=2,
+                             scheduler_count=SCHEDULERS, seed=7)
+
+
+@pytest.fixture
+def clients(cluster):
+    return [cluster.connect(f"client-{i}") for i in range(CLIENTS)]
+
+
+def _register_pipeline(owner):
+    owner.register(lambda x: x + 1, name="inc")
+    owner.register(lambda x: x * 3, name="triple")
+    owner.register_dag("pipe", ["inc", "triple"], [("inc", "triple")])
+
+
+class TestSchedulerAgreement:
+    def test_functions_and_dags_visible_on_every_scheduler(self, cluster, clients):
+        _register_pipeline(clients[0])
+        for scheduler in cluster.schedulers:
+            assert "inc" in scheduler.functions
+            assert "triple" in scheduler.functions
+            assert "pipe" in scheduler.dag_registry
+
+    def test_identical_results_regardless_of_serving_scheduler(self, cluster, clients):
+        _register_pipeline(clients[0])
+        # Each call round-robins to a different scheduler; 2 * M calls per
+        # client guarantees every (client, scheduler) pairing is exercised.
+        for cloud in clients:
+            values = [cloud.call_dag("pipe", {"inc": [4]}).value
+                      for _ in range(2 * SCHEDULERS)]
+            assert values == [15] * (2 * SCHEDULERS)
+        served = [s.stats.calls_per_dag.get("pipe", 0) for s in cluster.schedulers]
+        assert all(count > 0 for count in served), served
+
+    def test_single_function_calls_round_robin_and_agree(self, cluster, clients):
+        _register_pipeline(clients[0])
+        for cloud in clients:
+            assert [cloud.call("inc", [1]).value
+                    for _ in range(SCHEDULERS)] == [2] * SCHEDULERS
+        served = [s.stats.calls_per_function.get("inc", 0)
+                  for s in cluster.schedulers]
+        assert all(count > 0 for count in served), served
+
+    def test_reregistration_wins_on_every_scheduler(self, cluster, clients):
+        clients[0].register(lambda x: "old", name="versioned")
+        # A different client re-registers; every scheduler must serve the new
+        # body afterwards, whatever the round-robin position.
+        clients[1].register(lambda x: "new", name="versioned")
+        for cloud in clients:
+            assert [cloud.call("versioned", [0]).value
+                    for _ in range(SCHEDULERS)] == ["new"] * SCHEDULERS
+
+    def test_delete_dag_refused_by_every_scheduler(self, cluster, clients):
+        _register_pipeline(clients[0])
+        clients[1].delete_dag("pipe")
+        for cloud in clients:
+            for _ in range(SCHEDULERS):
+                with pytest.raises(DagDeletedError):
+                    cloud.call_dag("pipe", {"inc": [4]})
+
+
+class TestEngineBackendOverManySchedulers:
+    def test_engine_driver_spreads_clients_over_schedulers(self, cluster, clients):
+        _register_pipeline(clients[0])
+
+        values = []
+
+        def request(cloud, ctx, index):
+            future = cloud.call_dag("pipe", {"inc": [4]}, ctx=ctx)
+            future.add_done_callback(lambda f: values.append(f.get()))
+            return future
+
+        sim = run_engine_closed_loop(cluster, request, clients=CLIENTS,
+                                     total_requests=36)
+        assert sim.completed_requests == 36
+        assert values == [15] * 36
+        served = [s.stats.calls_per_dag.get("pipe", 0)
+                  for s in cluster.schedulers]
+        assert all(count > 0 for count in served), served

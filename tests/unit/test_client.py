@@ -1,10 +1,15 @@
-"""Unit tests for the Cloudburst client API (Figure 2 semantics)."""
+"""Unit tests for the Cloudburst client API (Figure 2 / Table 1 semantics)."""
 
 import pytest
 
 from repro import CloudburstCluster, CloudburstReference
-from repro.cloudburst import CloudburstClient
-from repro.errors import KeyNotFoundError
+from repro.cloudburst import CloudburstClient, CloudburstFuture
+from repro.errors import (
+    DagDeletedError,
+    DagNotFoundError,
+    KeyNotFoundError,
+)
+from repro.sim import Engine
 
 
 @pytest.fixture
@@ -87,14 +92,172 @@ class TestDagCalls:
         result = cloud.call_dag("pipeline", {"inc": [4]})
         assert result.value == 50
 
-    def test_async_dag_returns_future(self, cloud):
+    def test_call_dag_returns_resolved_future_on_sequential_backend(self, cloud):
+        cloud.register(lambda x: x - 1, name="dec")
+        cloud.register_dag("decrement", ["dec"])
+        future = cloud.call_dag("decrement", {"dec": [10]})
+        assert isinstance(future, CloudburstFuture)
+        assert future.is_ready()           # inline execution: already resolved
+        assert future.get() == 9
+        assert future.result().latency_ms > 0
+
+    def test_async_alias_stores_result_in_kvs(self, cloud):
         cloud.register(lambda x: x - 1, name="dec")
         cloud.register_dag("decrement", ["dec"])
         future = cloud.call_dag_async("decrement", {"dec": [10]})
         assert future.get() == 9
+        assert future.result_key is not None
+        assert cloud.kvs.get_plain(future.result_key) == 9
 
-    def test_future_for_unstored_result_raises(self, cloud):
-        cloud.register(lambda: 1, name="f")
-        result = cloud.call("f")
-        with pytest.raises(ValueError):
-            cloud._future_for(result)
+
+class TestRegisterOverwrite:
+    def test_reregistering_overwrites_on_every_scheduler(self, cluster):
+        # Regression: register used setdefault on the other schedulers, so a
+        # re-registered name kept serving the old body from every scheduler
+        # the round-robin happened to route to.
+        cloud = cluster.connect()
+        cloud.register(lambda x: x + 1, name="evolve")
+        assert [cloud.call("evolve", [1]).value for _ in range(4)] == [2, 2, 2, 2]
+        cloud.register(lambda x: x + 100, name="evolve")
+        for scheduler in cluster.schedulers:
+            assert scheduler.functions["evolve"](1) == 101
+        # Every scheduler (round-robin) serves the *new* body, including the
+        # executor threads that pinned the old one.
+        assert [cloud.call("evolve", [1]).value for _ in range(4)] == [101] * 4
+
+    def test_reregistration_visible_through_other_clients(self, cluster):
+        alice = cluster.connect("alice")
+        bob = cluster.connect("bob")
+        alice.register(lambda: "v1", name="shared_fn")
+        assert bob.call("shared_fn").value == "v1"
+        bob.register(lambda: "v2", name="shared_fn")
+        for _ in range(4):
+            assert alice.call("shared_fn").value == "v2"
+
+
+class TestDeleteDag:
+    def test_delete_dag_refuses_later_calls(self, cloud):
+        cloud.register(lambda x: x, name="echo")
+        cloud.register_dag("echo-dag", ["echo"])
+        assert cloud.call_dag("echo-dag", {"echo": [1]}).value == 1
+        cloud.delete_dag("echo-dag")
+        with pytest.raises(DagDeletedError):
+            cloud.call_dag("echo-dag", {"echo": [1]})
+
+    def test_delete_unknown_dag_raises_not_found(self, cloud):
+        with pytest.raises(DagNotFoundError):
+            cloud.delete_dag("never-registered")
+
+    def test_deleted_dag_can_be_reregistered(self, cloud):
+        cloud.register(lambda x: x * 2, name="double")
+        cloud.register_dag("d", ["double"])
+        cloud.delete_dag("d")
+        cloud.register_dag("d", ["double"])
+        assert cloud.call_dag("d", {"double": [3]}).value == 6
+
+    def test_delete_dag_removes_persisted_topology(self, cluster, cloud):
+        cloud.register(lambda x: x, name="echo")
+        cloud.register_dag("echo-dag", ["echo"])
+        assert cluster.kvs.contains("__cloudburst_dags__/echo-dag")
+        cloud.delete_dag("echo-dag")
+        assert not cluster.kvs.contains("__cloudburst_dags__/echo-dag")
+
+
+class TestEngineBackedFutures:
+    def _register(self, cluster):
+        cloud = cluster.connect()
+        cloud.register(lambda x: x + 1, name="inc")
+        cloud.register(lambda x: x * 10, name="tenfold")
+        cloud.register_dag("pipeline", ["inc", "tenfold"], [("inc", "tenfold")])
+        return cloud
+
+    def test_call_dag_returns_pending_future_before_execution(self, cluster):
+        cloud = self._register(cluster)
+        engine = Engine()
+        cluster.attach_engine(engine)
+        try:
+            future = cloud.call_dag("pipeline", {"inc": [4]})
+            assert not future.is_ready()   # returned before the DAG executed
+            assert future.get() == 50      # get() advances virtual time
+            assert engine.now_ms > 0
+        finally:
+            cluster.detach_engine()
+
+    def test_add_done_callback_fires_from_engine_events(self, cluster):
+        cloud = self._register(cluster)
+        engine = Engine()
+        cluster.attach_engine(engine)
+        seen = []
+        try:
+            future = cloud.call_dag("pipeline", {"inc": [4]})
+            future.add_done_callback(lambda f: seen.append(f.get()))
+            assert seen == []
+            engine.run()
+            assert seen == [50]
+        finally:
+            cluster.detach_engine()
+
+    def test_get_timeout_leaves_future_pending(self, cluster):
+        from repro.errors import FutureTimeoutError
+
+        cloud = self._register(cluster)
+        engine = Engine()
+        cluster.attach_engine(engine)
+        try:
+            future = cloud.call_dag("pipeline", {"inc": [4]})
+            # The first charge alone (client_to_scheduler) exceeds 1 ns of
+            # virtual time, so nothing can resolve within the deadline.
+            with pytest.raises(FutureTimeoutError):
+                future.get(timeout_ms=1e-6)
+            assert not future.done()
+            assert future.get() == 50      # a later unbounded get succeeds
+        finally:
+            cluster.detach_engine()
+
+    def test_exception_probe_never_blocks_or_raises(self, cluster):
+        cloud = self._register(cluster)
+        engine = Engine()
+        cluster.attach_engine(engine)
+        try:
+            future = cloud.call_dag("pipeline", {"inc": [4]})
+            assert future.exception() is None      # pending: no advance, no raise
+            assert not future.done()               # the probe spent no time
+            assert engine.now_ms == 0.0
+            assert future.get() == 50
+            assert future.exception() is None      # resolved successfully
+        finally:
+            cluster.detach_engine()
+
+    def test_blocking_inside_an_engine_event_is_a_programming_error(self, cluster):
+        cloud = self._register(cluster)
+        engine = Engine()
+        cluster.attach_engine(engine)
+        caught = []
+        try:
+            future = cloud.call_dag("pipeline", {"inc": [4]})
+
+            def block_from_event():
+                try:
+                    future.get(timeout_ms=10.0)
+                except Exception as error:  # noqa: BLE001 - recording the type
+                    caught.append(error)
+
+            engine.at(0.0, block_from_event)
+            engine.run()
+        finally:
+            cluster.detach_engine()
+        # RuntimeError, not FutureTimeoutError: a timeout-tolerant caller must
+        # not mistake the reentrancy violation for "not ready yet".
+        assert caught and isinstance(caught[0], RuntimeError)
+
+    def test_engine_store_in_kvs_populates_result_key(self, cluster):
+        cloud = self._register(cluster)
+        engine = Engine()
+        cluster.attach_engine(engine)
+        try:
+            future = cloud.call_dag("pipeline", {"inc": [4]}, store_in_kvs=True)
+            assert future.get() == 50
+            assert future.result_key is not None
+            assert cloud.kvs.get_plain(future.result_key) == 50
+        finally:
+            cluster.detach_engine()

@@ -87,3 +87,24 @@ class TestDagRegistry:
         registry.record_call("p")
         assert registry.call_count("p") == 2
         assert registry.call_count("other") == 0
+
+    def test_unregister_distinguishes_deleted_from_unknown(self):
+        from repro.errors import DagDeletedError
+
+        registry = DagRegistry()
+        registry.register(Dag.chain("p", ["f"]))
+        assert registry.unregister("p") is True
+        assert "p" not in registry
+        with pytest.raises(DagDeletedError):
+            registry.get("p")
+        assert registry.unregister("p") is False  # second delete: no-op
+        with pytest.raises(DagNotFoundError):
+            registry.unregister("ghost")
+
+    def test_reregistering_a_deleted_name_revives_it(self):
+        registry = DagRegistry()
+        registry.register(Dag.chain("p", ["f"]))
+        registry.unregister("p")
+        revived = Dag.chain("p", ["f", "g"])
+        registry.register(revived)
+        assert registry.get("p") is revived

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.cloudburst import CloudburstFuture, CloudburstReference, extract_references
-from repro.errors import KeyNotFoundError
+from repro.errors import FutureTimeoutError
 
 
 class TestCloudburstReference:
@@ -51,9 +51,9 @@ class TestCloudburstFuture:
             return (state["ready"], "done" if state["ready"] else None)
 
         future = CloudburstFuture("k", fetch)
-        assert not future.is_ready()
-        with pytest.raises(KeyNotFoundError):
-            future.get()
+        assert not future.is_ready()   # non-raising probe
+        with pytest.raises(FutureTimeoutError):
+            future.get()               # no backend to advance: raises at once
         state["ready"] = True
         assert future.get() == "done"
 
@@ -69,8 +69,47 @@ class TestCloudburstFuture:
         assert future.get() == 1
         assert len(calls) == 1
 
+    def test_get_timeout_advances_through_the_backend_hook(self):
+        # The advance hook is the engine pump; here a stub "engine" resolves
+        # the future only when asked to make progress.
+        def advance(future, timeout_ms):
+            future._settle(value="pumped")
+
+        future = CloudburstFuture("k", advance=advance)
+        assert not future.done()
+        assert future.get(timeout_ms=10.0) == "pumped"
+
+    def test_failed_future_reraises_on_get_and_exposes_exception(self):
+        future = CloudburstFuture("k")
+        boom = RuntimeError("session failed")
+        future._set_exception(boom)
+        assert future.done()
+        assert not future.is_ready()   # ready means a *value* is available
+        assert future.exception() is boom
+        with pytest.raises(RuntimeError):
+            future.get()
+
+    def test_done_callbacks_fire_at_resolution_and_immediately_after(self):
+        future = CloudburstFuture("k")
+        seen = []
+        future.add_done_callback(lambda f: seen.append("first"))
+        assert seen == []
+        future._settle(value=1)
+        assert seen == ["first"]
+        future.add_done_callback(lambda f: seen.append("late"))
+        assert seen == ["first", "late"]  # post-resolution subscriber runs now
+
+    def test_result_requires_an_execution_payload(self):
+        future = CloudburstFuture("k", lambda key: (True, 5))
+        assert future.get() == 5
+        with pytest.raises(ValueError):
+            future.result()            # KVS-only future has no ExecutionResult
+
     def test_repr_shows_state(self):
         future = CloudburstFuture("k", lambda key: (True, 1))
         assert "pending" in repr(future)
         future.get()
         assert "ready" in repr(future)
+        failed = CloudburstFuture("k2")
+        failed._set_exception(ValueError("nope"))
+        assert "failed" in repr(failed)

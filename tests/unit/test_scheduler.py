@@ -51,6 +51,29 @@ class TestRegistration:
         assert topology["functions"] == ["a", "b"]
         assert topology["edges"] == [("a", "b")]
 
+    def test_reregistration_refreshes_pinned_thread_copies(self, scheduler, cluster):
+        scheduler.register_function(lambda x: x + 1, name="f")
+        scheduler.register_dag(Dag.chain("f-dag", ["f"]))
+        assert scheduler.call_dag("f-dag", {"f": [1]}).value == 2
+        scheduler.register_function(lambda x: x + 50, name="f")
+        # The pinned executor threads serve the new body, not the stale pin.
+        assert scheduler.call_dag("f-dag", {"f": [1]}).value == 51
+        for thread in scheduler.pinned_threads("f"):
+            assert thread._function_cache["f"](1) == 51
+
+    def test_delete_dag_is_idempotent_and_unpersists(self, scheduler, cluster):
+        from repro.errors import DagDeletedError, DagNotFoundError
+
+        scheduler.register_function(lambda x: x, name="a")
+        scheduler.register_dag(Dag.chain("gone", ["a"]))
+        assert scheduler.delete_dag("gone") is True
+        assert scheduler.delete_dag("gone") is False  # already deleted: no-op
+        assert not cluster.kvs.contains("__cloudburst_dags__/gone")
+        with pytest.raises(DagDeletedError):
+            scheduler.call_dag("gone")
+        with pytest.raises(DagNotFoundError):
+            scheduler.delete_dag("never-was")
+
 
 class TestSingleFunctionCalls:
     def test_call_returns_value_and_latency(self, scheduler):
