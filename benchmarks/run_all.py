@@ -12,9 +12,12 @@ each harness, which is the number future performance PRs want to push down.
 
 The run is also a regression gate (the job CI runs on every push): it exits
 nonzero if the consistency invariants break (LWW == 0,
-SK >= MK-increment >= 0, SK <= MK <= DSC cumulative, DSRR < SK) or if the
+SK >= MK-increment >= 0, SK <= MK <= DSC cumulative, DSRR < SK), if the
 Figure 5/6 paper orderings flip (hot cache < cold < Redis < S3 at 8 MB, the
-S3/Redis crossover at 80 MB, Cloudburst gather beating the Lambda gathers).
+S3/Redis crossover at 80 MB, Cloudburst gather beating the Lambda gathers),
+or if the Figure 7 compute control plane misbehaves (no scale-up under load,
+allocation not returning to baseline after the burst, no §4.4 pin migration
+at scale-down, or calls routed to drained executor threads).
 
 Usage::
 
@@ -132,11 +135,43 @@ def figure6_ordering_errors(fig6: dict) -> list:
     return errors
 
 
+def figure7_controlplane_errors(fig7: dict) -> list:
+    """The compute control plane's autoscaling invariants (§4.4).
+
+    Checked on the snapshot payload: the autoscaler must scale up under the
+    load burst, return the allocation near (at or below) the baseline after
+    the burst, migrate pinned functions off the drained executors, and never
+    route a call to a drained thread.
+    """
+    errors = []
+    control = fig7.get("controlplane")
+    if control is None:
+        return ["fig7: control-plane section missing from the snapshot"]
+    if control["peak_threads"] <= control["baseline_threads"]:
+        errors.append(
+            f"fig7: autoscaler never scaled up under load (peak "
+            f"{control['peak_threads']} <= baseline {control['baseline_threads']})")
+    if control["final_threads"] > control["baseline_threads"]:
+        errors.append(
+            f"fig7: allocation did not return to baseline after the burst "
+            f"(final {control['final_threads']} > baseline "
+            f"{control['baseline_threads']})")
+    if control["migrations"] <= 0:
+        errors.append("fig7: scale-down migrated no pinned functions "
+                      "(§4.4 pin migration broken)")
+    if control["calls_routed_to_drained"] != 0:
+        errors.append(
+            f"fig7: {control['calls_routed_to_drained']} call(s) routed to "
+            f"drained executor threads")
+    return errors
+
+
 def collect_gate_errors(payload: dict) -> list:
     """Every invariant the bench snapshot gates CI on, as error strings."""
     errors = list(payload["table2_anomalies"]["invariant_violations"])
     errors += figure5_ordering_errors(payload["figure5_locality"])
     errors += figure6_ordering_errors(payload["figure6_aggregation"])
+    errors += figure7_controlplane_errors(payload["figure7_autoscaling"])
     return errors
 
 
@@ -172,6 +207,10 @@ def snapshot_figure7(seed: int, scale: str) -> dict:
         "storage": experiment.storage_stats,
         "storage_node_timeline": (experiment.storage_autoscaler.node_count_timeline
                                   if experiment.storage_autoscaler else []),
+        # The §4.4 loop's own accounting (publish ticks, scale events, pin
+        # migrations); gated by figure7_controlplane_errors in CI.
+        "controlplane": (experiment.control_plane.snapshot()
+                         if experiment.control_plane else None),
         "wall_seconds": round(time.time() - started, 2),
     }
 
@@ -294,10 +333,14 @@ def main(argv=None) -> int:
     for system, stats in fig6["systems"].items():
         print(f"  fig6 {system:24s} median={stats['median_ms']:.2f}ms")
 
-    print("figure 7 (autoscaling)...", flush=True)
+    print("figure 7 (autoscaling, engine-driven control plane)...", flush=True)
     fig7 = snapshot_figure7(args.seed, scale_label)
+    control = fig7["controlplane"] or {}
     print(f"  {fig7['requests_per_s']} req/s overall, "
-          f"peak {fig7['peak_requests_per_s']} req/s "
+          f"peak {fig7['peak_requests_per_s']} req/s; threads "
+          f"{control.get('baseline_threads')}→{control.get('peak_threads')}→"
+          f"{control.get('final_threads')}, "
+          f"{control.get('migrations')} pin migration(s) "
           f"[{fig7['wall_seconds']}s]")
     print("figure 10 (prediction scaling)...", flush=True)
     fig10 = snapshot_scaling(run_figure10, fig10_counts, fig10_requests, args.seed)
@@ -322,7 +365,7 @@ def main(argv=None) -> int:
           f"[{table2['wall_seconds']}s]")
 
     payload = {
-        "schema": 3,
+        "schema": 4,
         "seed": args.seed,
         "scale": scale_label,
         "figure5_locality": fig5,

@@ -200,7 +200,8 @@ class AnnaCluster:
 
     # -- data path -----------------------------------------------------------------
     def put(self, key: str, value: Lattice, ctx: Optional[RequestContext] = None,
-            propagate: bool = True, originating_cache: str = "") -> Lattice:
+            propagate: bool = True, originating_cache: str = "",
+            count_access: bool = True) -> Lattice:
         """Merge ``value`` into ``key``'s replica set.
 
         Synchronous path (no engine): the merge is applied to every replica
@@ -214,6 +215,10 @@ class AnnaCluster:
         the put fails with :class:`~repro.errors.StorageOverloadError`.
         Uncharged puts (``ctx=None`` — asynchronous cache write-backs) are
         background traffic: they land on the primary without queueing.
+
+        ``count_access=False`` marks the put as system traffic (periodic
+        metric publishes): it must not register as client load with the
+        hot-key or storage-autoscaling policies.
         """
         if not isinstance(value, Lattice):
             raise TypeError("Anna stores lattices; wrap plain values first "
@@ -222,15 +227,15 @@ class AnnaCluster:
             self.latency_model.charge(ctx, "anna", "put", size_bytes=value.size_bytes())
         owners = self._owners(key)
         if self._engine is not None and self.gossip_interval_ms > 0:
-            merged = self._put_engine(key, value, ctx, owners)
+            merged = self._put_engine(key, value, ctx, owners, count_access)
         else:
-            merged = self._put_fanout(key, value, ctx, owners)
+            merged = self._put_fanout(key, value, ctx, owners, count_access)
         if propagate:
             self._propagate_update(key, merged, exclude=originating_cache)
         return merged
 
     def _put_fanout(self, key: str, value: Lattice, ctx: Optional[RequestContext],
-                    owners: List[str]) -> Lattice:
+                    owners: List[str], count_access: bool = True) -> Lattice:
         """Instant write fan-out: every replica merges inline.
 
         This is the synchronous path, and also the engine path when gossip is
@@ -248,7 +253,8 @@ class AnnaCluster:
             if owner == charged:
                 self._serve(node, key, ctx, size_bytes=value.size_bytes(),
                             fresh=not node.contains(key))
-                merged = node.put(key, value, now_ms=self._op_time(ctx))
+                merged = node.put(key, value, now_ms=self._op_time(ctx),
+                                  count_access=count_access)
             else:
                 # Replication is system traffic: one client put is one write,
                 # whichever propagation mode carries it to the other replicas
@@ -274,7 +280,7 @@ class AnnaCluster:
         raise StorageOverloadError(key, owners)
 
     def _put_engine(self, key: str, value: Lattice, ctx: Optional[RequestContext],
-                    owners: List[str]) -> Lattice:
+                    owners: List[str], count_access: bool = True) -> Lattice:
         """Quorum-of-1 engine write: one replica now, the rest via gossip."""
         if ctx is None:
             target = owners[0]
@@ -283,7 +289,8 @@ class AnnaCluster:
         node = self._nodes[target]
         self._serve(node, key, ctx, size_bytes=value.size_bytes(),
                     fresh=not node.contains(key))
-        merged = node.put(key, value, now_ms=self._op_time(ctx))
+        merged = node.put(key, value, now_ms=self._op_time(ctx),
+                          count_access=count_access)
         self._dirty.setdefault(target, set()).add(key)
         return merged
 
@@ -391,15 +398,18 @@ class AnnaCluster:
 
     # -- convenience: plain-value metadata stored as LWW lattices --------------------
     def put_plain(self, key: str, value, ctx: Optional[RequestContext] = None,
-                  clock_ms: float = 0.0) -> Lattice:
+                  clock_ms: float = 0.0, count_access: bool = True) -> Lattice:
         """Wrap a bare Python value in an LWW lattice and store it.
 
         Cloudburst system metadata (function bodies, DAG topologies, executor
         statistics) uses this path; user data goes through the lattice
         encapsulation layer in :mod:`repro.cloudburst.serialization`.
+        ``count_access=False`` marks system traffic (recurring metric
+        publishes) that must not skew the storage-load statistics.
         """
         timestamp = self._timestamps.next(max(clock_ms, self.wall_clock_ms()))
-        return self.put(key, LWWLattice(timestamp, value), ctx)
+        return self.put(key, LWWLattice(timestamp, value), ctx,
+                        count_access=count_access)
 
     def get_plain(self, key: str, ctx: Optional[RequestContext] = None):
         return self.get(key, ctx).reveal()

@@ -22,10 +22,10 @@ completion callbacks are just ``add_done_callback`` on the returned future.
 
 from __future__ import annotations
 
-import heapq
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
+from ..cloudburst.controlplane import ComputeControlPlane
 from ..cloudburst.references import CloudburstFuture
 from ..errors import StorageOverloadError
 from ..sim import (
@@ -82,10 +82,12 @@ class EngineLoadDriver:
     exhausted, storage backpressure) count in ``failed``, never in the
     latency results.
 
-    An optional autoscaling policy (same ``(now, metrics) -> decision``
-    signature as the timeline simulation) consumes engine metrics and scales
-    the *real* cluster: scale-ups add executor VMs after the configured
-    startup delay, scale-downs deactivate executor threads.
+    Autoscaling is the control plane's job, not the driver's: pass a
+    :class:`~repro.cloudburst.controlplane.ComputeControlPlane` and the full
+    §4.4 loop (periodic metric publishes, KVS aggregation, scale decisions,
+    pin migration) runs as recurring engine events alongside the workload.
+    The legacy ``policy=`` keyword survives as a deprecated shim that
+    constructs a control plane around the supplied policy function.
     """
 
     def __init__(self, cluster, request_fn: DriverRequestFn, *,
@@ -97,6 +99,7 @@ class EngineLoadDriver:
                  stop_ms: Optional[float] = None,
                  max_requests: Optional[int] = None,
                  max_duration_ms: float = float("inf"),
+                 control_plane: Optional[ComputeControlPlane] = None,
                  policy: Optional[PolicyFn] = None,
                  policy_interval_ms: float = 5_000.0,
                  min_threads: int = 1,
@@ -110,8 +113,25 @@ class EngineLoadDriver:
             raise ValueError("an open-loop driver needs a positive arrival rate")
         if max_requests is None and max_duration_ms == float("inf") and stop_ms is None:
             raise ValueError("driver needs max_requests, max_duration_ms or stop_ms")
-        if policy is not None and max_duration_ms == float("inf"):
-            raise ValueError("an autoscaling policy needs a finite max_duration_ms")
+        if policy is not None and control_plane is not None:
+            raise ValueError("pass either control_plane or the deprecated "
+                             "policy=, not both")
+        if policy is not None:
+            # Deprecated shim: wrap the bare policy fn in the real control
+            # plane (periodic publishes + KVS aggregation + actuation with
+            # pin migration) instead of running a harness-private loop.  The
+            # policy's own MonitoringConfig (if it carries one, as
+            # AutoscalingPolicy does) must govern actuation too — otherwise
+            # its max_vms ceiling would be ignored in favour of the default.
+            control_plane = ComputeControlPlane(
+                cluster, policy=policy,
+                config=getattr(policy, "config", None),
+                policy_interval_ms=policy_interval_ms,
+                min_threads=min_threads)
+        if (control_plane is not None and control_plane.autoscaling
+                and max_duration_ms == float("inf")):
+            raise ValueError("an autoscaling control plane needs a finite "
+                             "max_duration_ms")
         self.cluster = cluster
         self.request_fn = request_fn
         self.clients = clients
@@ -122,9 +142,7 @@ class EngineLoadDriver:
         self.stop_ms = stop_ms
         self.max_requests = max_requests
         self.max_duration_ms = max_duration_ms
-        self.policy = policy
-        self.policy_interval_ms = policy_interval_ms
-        self.min_threads = min_threads
+        self.control_plane = control_plane
         self.bucket_ms = throughput_bucket_ms
         self.label = label
         self._rng = cluster.rng.spawn("load-driver")
@@ -139,12 +157,10 @@ class EngineLoadDriver:
         self.failed = 0
         #: Requests currently in flight (issued, future not yet resolved).
         self.inflight = 0
-        self._future_completions: List[float] = []  # min-heap of end times
         self._last_completion_ms = 0.0
         self._completion_buckets: Dict[int, int] = {}
         self._active: Dict[int, bool] = {}
-        self._capacity_timeline: List[tuple] = []
-        self._window_arrivals = 0
+        self._initial_capacity: Optional[int] = None
         #: One CloudburstClient per simulated client, created on first use.
         self._clients: Dict[int, object] = {}
 
@@ -152,8 +168,15 @@ class EngineLoadDriver:
     def run(self) -> SimulationResult:
         engine = self.engine
         self.cluster.attach_engine(engine)
+        if self.control_plane is not None:
+            horizon = (self.max_duration_ms
+                       if self.max_duration_ms != float("inf") else None)
+            self.control_plane.attach_engine(engine, horizon_ms=horizon)
         try:
-            self._capacity_timeline = [(0.0, self._live_thread_count())]
+            # Baseline capacity is the thread count *before* the workload:
+            # mid-run capacity changes without a control plane (fault
+            # injection, manual drains) must not rewrite the run's baseline.
+            self._initial_capacity = self._live_thread_count()
             if self.mode == "closed":
                 for client in range(self.clients):
                     self._active[client] = True
@@ -165,10 +188,10 @@ class EngineLoadDriver:
             else:
                 engine.at(self.start_ms + self._interarrival_ms(),
                           self._open_arrival)
-            if self.policy is not None:
-                engine.at(self.policy_interval_ms, self._policy_tick)
             engine.run(until_ms=self.max_duration_ms)
         finally:
+            if self.control_plane is not None:
+                self.control_plane.detach_engine()
             self.cluster.detach_engine()
         return self._build_result()
 
@@ -216,7 +239,6 @@ class EngineLoadDriver:
         start = self.engine.now_ms
         index = self.issued
         self.issued += 1
-        self._window_arrivals += 1
         self.inflight += 1
         ctx = RequestContext(clock=SimClock(start))
         try:
@@ -262,81 +284,33 @@ class EngineLoadDriver:
     def _record_completion(self, start_ms: float, end_ms: float) -> float:
         self.latencies.record(end_ms - start_ms)
         self.completed += 1
-        heapq.heappush(self._future_completions, end_ms)
         self._last_completion_ms = max(self._last_completion_ms, end_ms)
         bucket = int(end_ms // self.bucket_ms)
         self._completion_buckets[bucket] = self._completion_buckets.get(bucket, 0) + 1
         return end_ms
 
-    # -- autoscaling -------------------------------------------------------
+    # -- autoscaling (deprecated shims) ------------------------------------
+    # The control loop lives in repro.cloudburst.controlplane now: metric
+    # publication, KVS aggregation and actuation (including §4.4 pin
+    # migration) all run as recurring engine events there.  These methods
+    # survive for older callers and delegate with no logic of their own.
+    def _shim_autoscaler(self):
+        if self.control_plane is None:
+            raise RuntimeError(
+                "this driver has no control plane: construct it with "
+                "control_plane= (or the deprecated policy=) — autoscaling "
+                "moved out of the harness into "
+                "repro.cloudburst.controlplane.ComputeControlPlane")
+        return self.control_plane.autoscaler
+
     def _policy_tick(self) -> None:
-        now = self.engine.now_ms
-        interval_s = self.policy_interval_ms / 1000.0
-        live = self._live_thread_count()
-        busy = sum(1 for thread in self._live_threads()
-                   if thread.work_queue.busy_at(now))
-        depth = sum(thread.work_queue.depth(now) for thread in self._live_threads())
-        completions = 0
-        while self._future_completions and self._future_completions[0] <= now:
-            heapq.heappop(self._future_completions)
-            completions += 1
-        metrics = {
-            "arrival_rate_per_s": self._window_arrivals / interval_s,
-            "completion_rate_per_s": completions / interval_s,
-            "utilization": (depth / live) if live else 0.0,
-            "busy_fraction": (busy / live) if live else 0.0,
-            "queue_length": float(max(0, depth - busy)),
-            "capacity_threads": float(live),
-        }
-        metrics["utilization"] = min(1.0, metrics["utilization"])
-        self._window_arrivals = 0
-        decision = self.policy(now, metrics) if self.policy else None
-        if decision is not None:
-            if decision.add_threads > 0:
-                add = decision.add_threads
-                self.engine.at(now + decision.add_delay_ms,
-                               lambda: self._add_threads(add))
-            if decision.remove_threads > 0:
-                self._remove_threads(decision.remove_threads)
-        if now + self.policy_interval_ms <= self.max_duration_ms:
-            self.engine.at(now + self.policy_interval_ms, self._policy_tick)
+        self._shim_autoscaler().tick(self.engine.now_ms)
 
     def _add_threads(self, count: int) -> None:
-        """Scale up: bring new executor VMs online (cold caches, no pins)."""
-        per_vm = max(1, self.cluster.threads_per_vm)
-        while count > 0:
-            size = min(count, per_vm)
-            self.cluster.add_vm(threads=size)
-            count -= size
-        self._capacity_timeline.append((self.engine.now_ms,
-                                        self._live_thread_count()))
+        self._shim_autoscaler().add_capacity(count)
 
     def _remove_threads(self, count: int) -> None:
-        """Scale down: deactivate executor threads (never below min_threads)."""
-        removable = max(0, self._live_thread_count() - self.min_threads)
-        count = min(count, removable)
-        if count <= 0:
-            return
-        for vm in reversed(self.cluster.vms):
-            if not vm.alive:
-                continue
-            for thread in reversed(vm.threads):
-                if count <= 0:
-                    break
-                if thread.alive:
-                    thread.alive = False
-                    self.cluster.router.mark_unreachable(thread.thread_id)
-                    count -= 1
-            if not any(thread.alive for thread in vm.threads):
-                # Every thread drained: retire the whole VM so its cache
-                # stops receiving Anna's update pushes and leaves the peer
-                # registry (dangling listeners would leak for the rest of
-                # the cluster's lifetime).
-                self.cluster.drain_vm(vm)
-            if count <= 0:
-                break
-        self._capacity_timeline.append((self.engine.now_ms,
-                                        self._live_thread_count()))
+        self._shim_autoscaler().drain_capacity(count)
 
     def storage_report(self) -> Dict[str, float]:
         """What the run cost at the Anna tier (engine-attached storage nodes).
@@ -356,30 +330,29 @@ class EngineLoadDriver:
         }
 
     # -- metrics helpers ---------------------------------------------------
-    def _live_threads(self):
-        for vm in self.cluster.vms:
-            if not vm.alive:
-                continue
-            for thread in vm.threads:
-                if thread.alive:
-                    yield thread
-
     def _live_thread_count(self) -> int:
-        return sum(1 for _ in self._live_threads())
+        return self.cluster.live_thread_count()
 
     # -- results -----------------------------------------------------------
     def _build_result(self) -> SimulationResult:
         duration = min(self.max_duration_ms,
                        max(self.engine.now_ms, self._last_completion_ms))
+        if self.control_plane is not None:
+            capacity_timeline = list(self.control_plane.capacity_timeline)
+        else:
+            baseline = (self._initial_capacity
+                        if self._initial_capacity is not None
+                        else self._live_thread_count())
+            capacity_timeline = [(0.0, baseline)]
         return SimulationResult(
             latencies=self.latencies,
             throughput_curve=build_throughput_curve(
-                self._completion_buckets, self._capacity_timeline,
+                self._completion_buckets, capacity_timeline,
                 self.bucket_ms, duration,
                 threads_per_node=self.cluster.threads_per_vm),
             completed_requests=self.completed,
             duration_ms=duration,
-            capacity_timeline=list(self._capacity_timeline),
+            capacity_timeline=capacity_timeline,
         )
 
 

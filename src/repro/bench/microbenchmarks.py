@@ -41,7 +41,8 @@ from ..baselines import (
     StepFunctions,
 )
 from ..cloudburst import CloudburstCluster, CloudburstReference
-from ..cloudburst.monitoring import AutoscalingPolicy, MonitoringConfig
+from ..cloudburst.controlplane import ComputeControlPlane
+from ..cloudburst.monitoring import MonitoringConfig
 from ..sim import (
     LatencyModel,
     RandomSource,
@@ -353,6 +354,9 @@ class AutoscalingExperiment:
     #: What the run cost at the Anna tier (``EngineLoadDriver.storage_report``:
     #: node count, queue busy time, rejections, demotions, gossip traffic).
     storage_stats: Optional[Dict[str, float]] = None
+    #: The compute-tier control plane that produced the autoscaling timeline
+    #: (publish ticks, policy history, §4.4 pin-migration log).
+    control_plane: Optional[ComputeControlPlane] = None
 
     @property
     def peak_throughput_per_s(self) -> float:
@@ -435,6 +439,11 @@ def run_figure7(initial_threads: int = 18, client_count: int = 40,
     for index in range(populated):
         cloud.put(f"autoscale-{index}", index)
     cloud.register(_sleep_workload_function, name="sleep_workload")
+    # Pin the workload function as the paper's monitoring system would (§4.4):
+    # pins are what the control plane migrates off draining executors at
+    # scale-down.  Three replicas > the 2-thread drain floor, so the final
+    # drain always has at least one pin to migrate.
+    cluster.schedulers[0].pin_function("sleep_workload", replicas=3)
 
     # The storage tier scales on its own policy, as a recurring engine event
     # on the same timeline: hot Zipf keys gain replicas, access spikes add
@@ -455,14 +464,20 @@ def run_figure7(initial_threads: int = 18, client_count: int = 40,
         w = f"autoscale-{zipf.next() % populated}"
         return cloud_client.call("sleep_workload", [a, b, w], ctx=ctx)
 
+    # The real §4.4 loop: executors publish metrics to Anna on a recurring
+    # engine tick, the monitoring system aggregates those published keys
+    # (alive VMs only), and the autoscaler actuates add_vm after the EC2
+    # startup delay / drains threads with pin migration.
+    control_plane = ComputeControlPlane(
+        cluster, config=config,
+        policy_interval_ms=policy_interval_ms,
+        min_threads=config.min_pinned_threads)
     driver = EngineLoadDriver(
         cluster, request,
         clients=client_count,
         stop_ms=load_duration_s * 1000.0,
         max_duration_ms=total_duration_s * 1000.0,
-        policy=AutoscalingPolicy(config),
-        policy_interval_ms=policy_interval_ms,
-        min_threads=config.min_pinned_threads,
+        control_plane=control_plane,
         throughput_bucket_ms=max(1_000.0, total_duration_s * 1000.0 / 60.0),
         label="figure7",
     )
@@ -489,4 +504,5 @@ def run_figure7(initial_threads: int = 18, client_count: int = 40,
                                  initial_threads=initial_threads,
                                  client_count=client_count,
                                  storage_autoscaler=storage_scaler,
-                                 storage_stats=storage_stats)
+                                 storage_stats=storage_stats,
+                                 control_plane=control_plane)

@@ -16,10 +16,22 @@ from .consistency import (
     SessionState,
     make_protocol,
 )
+from .controlplane import (
+    ComputeAutoscaler,
+    ComputeControlPlane,
+    ControlPlaneReport,
+    MetricsPublisher,
+    PinMigration,
+)
 from .dag import Dag, DagEdge, DagRegistry
 from .executor import ExecutorThread, ExecutorVM, UserLibrary, simulated_compute
 from .messaging import MessageRouter
 from .monitoring import AutoscalingPolicy, MonitoringConfig, MonitoringSystem
+from .policy import (
+    LocalityPlacementPolicy,
+    PlacementPolicy,
+    RandomPlacementPolicy,
+)
 from .references import CloudburstFuture, CloudburstReference, extract_references
 from .scheduler import ExecutionResult, Scheduler
 from .serialization import LatticeEncapsulator
@@ -46,6 +58,14 @@ __all__ = [
     "AutoscalingPolicy",
     "MonitoringConfig",
     "MonitoringSystem",
+    "ComputeAutoscaler",
+    "ComputeControlPlane",
+    "ControlPlaneReport",
+    "MetricsPublisher",
+    "PinMigration",
+    "PlacementPolicy",
+    "LocalityPlacementPolicy",
+    "RandomPlacementPolicy",
     "CloudburstFuture",
     "CloudburstReference",
     "extract_references",

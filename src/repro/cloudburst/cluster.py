@@ -23,7 +23,11 @@ from .client import CloudburstClient
 from .consistency.anomalies import AnomalyTracker
 from .consistency.levels import ConsistencyLevel
 from .dag import DagRegistry
-from .executor import DEFAULT_WORK_QUEUE_BOUND, ExecutorVM
+from .executor import (
+    DEFAULT_WORK_QUEUE_BOUND,
+    EXECUTOR_METRICS_PREFIX,
+    ExecutorVM,
+)
 from .messaging import MessageRouter
 from .monitoring import MonitoringConfig, MonitoringSystem
 from .scheduler import DEFAULT_FAULT_TIMEOUT_MS, OVERLOAD_THRESHOLD, Scheduler
@@ -164,6 +168,30 @@ class CloudburstCluster:
             for thread in vm.threads:
                 thread.work_queue.reset()
 
+    def scrub_pins(self, departed_thread_ids) -> None:
+        """Drop function pins that refer to departed executor threads.
+
+        Shared by :meth:`remove_vm` and :meth:`drain_vm` (the latter used to
+        leave stale pins behind, so a drained VM's thread ids kept counting
+        toward a function's replica quota while serving nothing).  The §4.4
+        control plane migrates pins to survivors *before* scrubbing; callers
+        that deallocate without a control plane just scrub.
+        """
+        departed = set(departed_thread_ids)
+        for scheduler in self.schedulers:
+            for name, pins in scheduler.function_pins.items():
+                scheduler.function_pins[name] = [p for p in pins
+                                                 if p not in departed]
+
+    def _forget_metrics(self, vm: ExecutorVM) -> None:
+        """Remove a departed VM's published metrics key from Anna.
+
+        The monitoring system aggregates alive VMs only, but leaving the key
+        behind would still hand stale data to anything reading the metrics
+        prefix directly.
+        """
+        self.kvs.delete(EXECUTOR_METRICS_PREFIX + vm.vm_id)
+
     def remove_vm(self, vm_id: Optional[str] = None) -> ExecutorVM:
         """Deallocate an executor VM (the last one by default)."""
         if not self.vms:
@@ -182,20 +210,20 @@ class CloudburstCluster:
         # index entries and removes it from the shared peer registry
         # (self.cache_registry) — a removed VM must stop receiving pushes.
         vm.cache.close()
-        # Drop stale pins referring to the departed VM's threads.
-        departed = set(vm.thread_ids())
-        for scheduler in self.schedulers:
-            for name, pins in scheduler.function_pins.items():
-                scheduler.function_pins[name] = [p for p in pins if p not in departed]
+        self.scrub_pins(vm.thread_ids())
+        self._forget_metrics(vm)
         return vm
 
     def drain_vm(self, vm: ExecutorVM) -> None:
         """Deactivate a VM at scale-down without removing it from the roster.
 
-        The load-driver autoscaler drains executor threads in place; once a
-        VM has no live threads its cache must be closed — otherwise drained
-        VMs keep receiving Anna's update pushes and leak peer-registry
-        entries for as long as the cluster lives.
+        The compute autoscaler drains executor threads in place; once a VM
+        has no live threads its cache must be closed — otherwise drained VMs
+        keep receiving Anna's update pushes and leak peer-registry entries
+        for as long as the cluster lives.  Pins onto the drained threads are
+        scrubbed (same helper as :meth:`remove_vm`): stale pin entries used
+        to satisfy replica quotas while routing nowhere, so a pinned
+        function silently lost its replicas at every drain.
         """
         vm.alive = False
         for thread in vm.threads:
@@ -203,6 +231,8 @@ class CloudburstCluster:
                 thread.alive = False
                 self.router.mark_unreachable(thread.thread_id)
         vm.cache.close()
+        self.scrub_pins(vm.thread_ids())
+        self._forget_metrics(vm)
 
     def fail_vm(self, vm_id: str) -> ExecutorVM:
         """Fault injection: kill a VM mid-flight (its cache contents are lost)."""
@@ -233,12 +263,25 @@ class CloudburstCluster:
                                 cluster=self)
 
     def publish_all_metrics(self) -> None:
-        """Have every VM publish its metrics and cached-key snapshot (§4.1)."""
+        """Have every alive VM publish its metrics and cached-key snapshot (§4.1).
+
+        On-demand publication, used at construction and by sequential tests;
+        engine-driven runs publish on a periodic tick instead (the
+        :class:`~repro.cloudburst.controlplane.MetricsPublisher` inside
+        :class:`~repro.cloudburst.controlplane.ComputeControlPlane`).
+        """
         for vm in self.vms:
-            vm.publish_metrics()
+            if vm.alive:
+                vm.publish_metrics()
 
     def total_threads(self) -> int:
         return sum(len(vm.threads) for vm in self.vms if vm.alive)
+
+    def live_thread_count(self) -> int:
+        """Alive threads on alive VMs — the capacity signal every layer shares
+        (scheduler placement, the compute autoscaler, the load driver)."""
+        return sum(1 for vm in self.vms if vm.alive
+                   for thread in vm.threads if thread.alive)
 
     def total_invocations(self) -> int:
         return sum(vm.invocation_count() for vm in self.vms)

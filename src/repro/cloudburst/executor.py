@@ -400,12 +400,19 @@ class ExecutorVM:
         legacy instantaneous in-flight counter.  With both, it reflects the
         thread work queues: requests waiting in a bounded queue count toward
         saturation, which is what the §4.3 backpressure policy keys off.
+
+        The denominator is the *alive* thread count: after a partial drain
+        the dead threads serve nothing, and padding the denominator with
+        them would under-report saturation to both the placement policy and
+        the control plane (a VM with no live threads is saturated by
+        definition).
         """
-        if not self.threads:
-            return 0.0
+        alive = sum(1 for thread in self.threads if thread.alive)
+        if not alive:
+            return 1.0 if self.threads else 0.0
         if now_ms is None or self.engine is None:
-            return min(1.0, self.inflight / len(self.threads))
-        return min(1.0, self.queue_depth(now_ms) / len(self.threads))
+            return min(1.0, self.inflight / alive)
+        return min(1.0, self.queue_depth(now_ms) / alive)
 
     def cached_functions(self) -> List[str]:
         functions = set()
@@ -417,16 +424,33 @@ class ExecutorVM:
         return sum(thread.invocation_count for thread in self.threads)
 
     def publish_metrics(self, ctx: Optional[RequestContext] = None) -> None:
-        """Publish cached-function and load metrics to the KVS (§4.1)."""
+        """Publish cached-function and load metrics to the KVS (§4.1).
+
+        With an engine attached the utilization sample is queue-aware (taken
+        at the current virtual time), so the monitoring system aggregating
+        these keys sees the same saturation signal the scheduler's
+        backpressure does; sequentially it stays the instantaneous in-flight
+        counter.  The publish itself is background traffic (``ctx=None``
+        callers are not charged and storage nodes don't queue it).
+        """
+        now_ms = self.engine.now_ms if self.engine is not None else None
+        alive_threads = sum(1 for t in self.threads if t.alive)
         metrics = {
             "vm_id": self.vm_id,
             "alive": self.alive,
-            "utilization": self.utilization(),
+            "utilization": self.utilization(now_ms),
+            "queue_depth": (self.queue_depth(now_ms) if now_ms is not None
+                            else self.inflight),
+            "threads_alive": alive_threads,
             "invocations": self.invocation_count(),
             "cached_functions": self.cached_functions(),
             "cached_keys": len(self.cache.cached_keys()),
+            "published_at_ms": now_ms if now_ms is not None else 0.0,
         }
-        self.kvs.put_plain(EXECUTOR_METRICS_PREFIX + self.vm_id, metrics, ctx)
+        # System traffic: the periodic publish must not register as client
+        # load with the hot-key or storage-autoscaling policies.
+        self.kvs.put_plain(EXECUTOR_METRICS_PREFIX + self.vm_id, metrics, ctx,
+                           count_access=False)
         self.cache.publish_cached_keys(ctx)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -22,8 +22,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from ..errors import DagNotFoundError, SchedulingError
 from ..sim import AutoscalerDecision
 from .executor import EXECUTOR_METRICS_PREFIX
+
+#: Anna key prefix under which schedulers publish their call statistics
+#: (§4.1: schedulers, like executors, report metrics through the KVS).
+SCHEDULER_METRICS_PREFIX = "__cloudburst_scheduler_metrics__/"
 
 
 @dataclass
@@ -64,23 +69,122 @@ class MonitoringSystem:
         self.config = config or MonitoringConfig()
 
     # -- metric aggregation -------------------------------------------------------
-    def collect_utilization(self) -> float:
-        """Mean executor-VM utilization, read from the published KVS metrics."""
+    def _published(self, vm) -> Optional[Dict]:
+        # peek: monitoring reads are system traffic — no charges, and no
+        # access accounting that would skew the storage-load statistics.
+        metrics = self.cluster.kvs.peek(EXECUTOR_METRICS_PREFIX + vm.vm_id)
+        return metrics.reveal() if metrics is not None else None
+
+    def collect_compute_aggregates(self) -> Dict[str, float]:
+        """One pass over the published executor metrics (alive VMs only).
+
+        Only *alive* VMs are aggregated: a drained VM's stale metrics key (or
+        its zero-utilization ghost) would deflate the mean right after a
+        scale-down and delay the next scale-up.  Reading each VM's metrics
+        key once and deriving every aggregate from it keeps a policy tick at
+        one KVS read per VM rather than one per VM per aggregate.
+        """
         samples: List[float] = []
+        invocations = 0.0
+        capacity = 0
         for vm in self.cluster.vms:
-            metrics = self.cluster.kvs.get_or_none(EXECUTOR_METRICS_PREFIX + vm.vm_id)
-            if metrics is not None:
-                samples.append(float(metrics.reveal().get("utilization", 0.0)))
+            if not vm.alive:
+                continue
+            published = self._published(vm)
+            if published is not None:
+                samples.append(float(published.get("utilization", 0.0)))
+                invocations += float(published.get("invocations", 0))
+                capacity += int(published.get("threads_alive", len(vm.threads)))
             else:
                 samples.append(vm.utilization())
-        return sum(samples) / len(samples) if samples else 0.0
+                invocations += float(vm.invocation_count())
+                capacity += sum(1 for t in vm.threads if t.alive)
+        return {
+            "utilization": sum(samples) / len(samples) if samples else 0.0,
+            "invocation_total": invocations,
+            "capacity_threads": float(capacity),
+        }
+
+    def collect_utilization(self) -> float:
+        """Mean executor-VM utilization, read from the published KVS metrics."""
+        return self.collect_compute_aggregates()["utilization"]
 
     def collect_metrics(self) -> Dict[str, float]:
+        alive = [vm for vm in self.cluster.vms if vm.alive]
         return {
             "utilization": self.collect_utilization(),
-            "vm_count": float(len(self.cluster.vms)),
-            "thread_count": float(sum(len(vm.threads) for vm in self.cluster.vms)),
+            "vm_count": float(len(alive)),
+            "thread_count": float(sum(
+                1 for vm in alive for t in vm.threads if t.alive)),
         }
+
+    def collect_invocation_total(self) -> float:
+        """Total invocations across alive VMs, from the published metrics."""
+        return self.collect_compute_aggregates()["invocation_total"]
+
+    def collect_capacity_threads(self) -> int:
+        """Live executor threads across alive VMs, from the published metrics."""
+        return int(self.collect_compute_aggregates()["capacity_threads"])
+
+    def _call_units(self, scheduler, function_calls: float,
+                    dag_calls_by_name: Dict[str, int]) -> float:
+        """Arrivals in *function-execution units*, comparable with the
+        executors' published invocation totals.
+
+        A k-function DAG call is k units of arriving work: counting it as one
+        while completions count every function execution would make the
+        §4.4 backlog condition (arrivals > threshold x completions)
+        unsatisfiable for any DAG workload.  A deleted DAG's topology is
+        gone, so its historical calls weigh 1 unit each.
+        """
+        units = float(function_calls)
+        for name, count in dag_calls_by_name.items():
+            try:
+                units += count * len(scheduler.dag_registry.get(name).functions)
+            except DagNotFoundError:
+                units += count
+        return units
+
+    def collect_scheduler_call_total(self) -> float:
+        """Total arriving call units across schedulers (published stats)."""
+        total = 0.0
+        for scheduler in self.cluster.schedulers:
+            metrics = self.cluster.kvs.peek(
+                SCHEDULER_METRICS_PREFIX + scheduler.scheduler_id)
+            if metrics is not None:
+                payload = metrics.reveal()
+                total += self._call_units(
+                    scheduler, payload.get("function_calls", 0),
+                    payload.get("dag_calls_by_name", {}))
+            else:
+                stats = scheduler.stats
+                total += self._call_units(
+                    scheduler, sum(stats.calls_per_function.values()),
+                    stats.calls_per_dag)
+        return total
+
+    # -- §4.4 function-level pinning ---------------------------------------------
+    def repin_backlogged(self) -> Dict[str, int]:
+        """Add one pinned replica per function (arrivals outpacing completions).
+
+        Shared by :meth:`tick` and the engine-driven
+        :class:`~repro.cloudburst.controlplane.ComputeAutoscaler` so the
+        §4.4 rule has one implementation.  Capped at the live thread count,
+        and a scheduler with no live executors is skipped rather than raising.
+        """
+        repinned: Dict[str, int] = {}
+        for scheduler in self.cluster.schedulers:
+            live = len(scheduler._live_threads())
+            for name in list(scheduler.function_pins):
+                before = len(scheduler.function_pins[name])
+                if before >= live:
+                    continue
+                try:
+                    scheduler.pin_function(name, replicas=before + 1)
+                except SchedulingError:
+                    continue
+                repinned[name] = len(scheduler.function_pins[name])
+        return repinned
 
     # -- policy -----------------------------------------------------------------------
     def tick(self, arrival_rate_per_s: float = 0.0,
@@ -94,12 +198,7 @@ class MonitoringSystem:
         if completion_rate_per_s > 0 and arrival_rate_per_s > 0:
             ratio = arrival_rate_per_s / completion_rate_per_s
             if ratio > config.backlog_ratio_threshold:
-                for scheduler in self.cluster.schedulers:
-                    for name in list(scheduler.function_pins):
-                        before = len(scheduler.function_pins[name])
-                        scheduler.pin_function(name, replicas=before + 1)
-                        report.functions_repinned[name] = len(
-                            scheduler.function_pins[name])
+                report.functions_repinned = self.repin_backlogged()
 
         # Cluster-level elasticity.
         if (report.utilization > config.scale_up_utilization
@@ -158,9 +257,12 @@ class AutoscalingPolicy:
             self._pending_until_ms = now_ms + config.node_startup_delay_ms
         elif arrival == 0.0 and completion == 0.0 and capacity > config.min_pinned_threads:
             # Load disappeared: drain down to the minimum pinned threads.
+            # Urgent: the compute control plane's scale-down grace period is
+            # skipped — the paper drains to 2 threads "within seconds".
             decision = AutoscalerDecision(
                 remove_threads=capacity - config.min_pinned_threads,
                 note="request rate dropped to zero: draining executors",
+                urgent=True,
             )
         elif (utilization < config.scale_down_utilization and arrival > 0
                 and capacity > config.threads_per_vm * config.min_vms):

@@ -27,7 +27,11 @@ from .consistency.levels import ConsistencyLevel
 from .consistency.protocols import ObservingProtocol, SessionState, make_protocol
 from .dag import Dag, DagRegistry
 from .executor import ExecutorThread, ExecutorVM, FUNCTION_LIST_KEY, function_key
-from .references import CloudburstReference, extract_references
+from .policy import (
+    DEFAULT_PLACEMENT_POLICY,
+    RANDOM_PLACEMENT_POLICY,
+    PlacementPolicy,
+)
 
 #: Executors above this utilization are avoided by the scheduling policy (§4.3).
 OVERLOAD_THRESHOLD = 0.70
@@ -76,7 +80,8 @@ class Scheduler:
                  fault_timeout_ms: float = DEFAULT_FAULT_TIMEOUT_MS,
                  overload_threshold: float = OVERLOAD_THRESHOLD,
                  max_retries: int = 2,
-                 anomaly_tracker=None):
+                 anomaly_tracker=None,
+                 placement_policy: Optional[PlacementPolicy] = None):
         self.scheduler_id = scheduler_id
         self.kvs = kvs
         self.vms = vms  # shared, mutable list owned by the cluster
@@ -88,9 +93,11 @@ class Scheduler:
         self.overload_threshold = overload_threshold
         self.max_retries = max_retries
         self.stats = SchedulerStats()
-        #: Ablation switch: when False the scheduler ignores KVS references and
-        #: places every request randomly (used by the scheduling ablation bench).
-        self.locality_scheduling = True
+        #: Pluggable placement policy (§4.2-§4.3): how this scheduler turns
+        #: published cache/load metadata into an executor choice.  See
+        #: :mod:`repro.cloudburst.policy`.
+        self.placement_policy: PlacementPolicy = (
+            placement_policy or DEFAULT_PLACEMENT_POLICY)
         self.functions: Dict[str, Callable] = {}
         #: function name -> executor thread ids the function is pinned on.
         self.function_pins: Dict[str, List[str]] = {}
@@ -409,9 +416,29 @@ class Scheduler:
         return value
 
     # -- scheduling policy (§4.3 "Scheduling Policy") ---------------------------------------
+    @property
+    def locality_scheduling(self) -> bool:
+        """Ablation switch, kept for compatibility: swaps the placement policy.
+
+        ``False`` installs :class:`~repro.cloudburst.policy.
+        RandomPlacementPolicy` (references ignored, backpressure kept);
+        ``True`` restores the locality-first default.
+        """
+        return self.placement_policy.uses_locality
+
+    @locality_scheduling.setter
+    def locality_scheduling(self, enabled: bool) -> None:
+        if bool(enabled) == self.placement_policy.uses_locality:
+            # Already in the requested mode: keep whatever policy is
+            # installed (a custom policy must survive redundant assignments).
+            return
+        self.placement_policy = (DEFAULT_PLACEMENT_POLICY if enabled
+                                 else RANDOM_PLACEMENT_POLICY)
+
     def _pick_executor(self, function_name: str, args: Sequence[Any],
                        candidates: Optional[List[ExecutorThread]] = None,
                        now_ms: Optional[float] = None) -> ExecutorThread:
+        """Filter candidates to live threads, then defer to the placement policy."""
         restricted = bool(candidates)
         threads = candidates if candidates else self._live_threads()
         threads = [t for t in threads if t.alive and t.vm.alive]
@@ -421,64 +448,8 @@ class Scheduler:
             restricted = False
         if not threads:
             raise SchedulingError("no live executors available")
-        references = extract_references(args) if self.locality_scheduling else []
-        if references:
-            chosen = self._pick_by_locality(threads, references, now_ms)
-            if chosen is not None:
-                self.stats.locality_hits += 1
-                return chosen
-            self.stats.locality_misses += 1
-        # No references (or no cache holds them): pick an unsaturated executor
-        # at random; saturated executors are avoided, which is what replicates
-        # hot functions/data onto new nodes over time (backpressure).
-        pool = self._unsaturated(threads, now_ms)
-        if not pool and restricted:
-            # §4.3 backpressure: every pinned replica is saturated, so spill
-            # onto the wider compute tier — the chosen executor fetches and
-            # caches the function itself, replicating hot functions under load.
-            pool = self._unsaturated(self._live_threads(), now_ms)
-        pool = pool or threads
-        if now_ms is not None:
-            # Under the event engine, prefer threads whose work queue is idle
-            # at dispatch time so parallel clients fan out across the pool;
-            # when every pinned replica is occupied, an idle thread anywhere
-            # beats queueing behind the pin (same §4.3 spill).
-            idle = [t for t in pool if not t.work_queue.busy_at(now_ms)]
-            if not idle and restricted:
-                idle = [t for t in self._unsaturated(self._live_threads(), now_ms)
-                        if not t.work_queue.busy_at(now_ms)]
-            pool = idle or pool
-        return self.rng.choice(pool)
-
-    def _unsaturated(self, threads: List[ExecutorThread],
-                     now_ms: Optional[float]) -> List[ExecutorThread]:
-        return [t for t in threads
-                if t.vm.utilization(now_ms) <= self.overload_threshold
-                and not (now_ms is not None and t.work_queue.is_full(now_ms))]
-
-    def _pick_by_locality(self, threads: List[ExecutorThread],
-                          references: List[CloudburstReference],
-                          now_ms: Optional[float] = None) -> Optional[ExecutorThread]:
-        """Pick the executor whose VM cache holds the most referenced keys."""
-        index = self.kvs.cache_index
-        scores: List[Tuple[int, str, ExecutorThread]] = []
-        for thread in threads:
-            cache_id = thread.vm.cache.cache_id
-            cached = sum(1 for ref in references if cache_id in index.caches_for(ref.key))
-            scores.append((cached, thread.thread_id, thread))
-        scores.sort(key=lambda item: (-item[0], item[1]))
-        for cached, _, thread in scores:
-            if cached <= 0:
-                break
-            if thread.vm.utilization(now_ms) > self.overload_threshold:
-                continue
-            if now_ms is not None and thread.work_queue.busy_at(now_ms):
-                # Queueing behind a busy cache-holder is exactly what the
-                # §4.3 backpressure avoids: fall through so the request
-                # spills to an idle executor, replicating the hot keys there.
-                continue
-            return thread
-        return None
+        return self.placement_policy.pick(self, threads, function_name, args,
+                                          restricted, now_ms)
 
     # -- helpers ----------------------------------------------------------------------------
     def _live_threads(self) -> List[ExecutorThread]:

@@ -126,17 +126,23 @@ class Engine:
     def cancel(self, event: Event) -> None:
         event.cancelled = True
 
-    def every(self, interval_ms: float, fn: Callable[[], None]) -> "RecurringEvent":
+    def every(self, interval_ms: float, fn: Callable[[], None],
+              horizon_ms: Optional[float] = None) -> "RecurringEvent":
         """Run ``fn`` every ``interval_ms`` of virtual time while work is queued.
 
         The recurring event reschedules itself only while the engine has
         *other* pending events, so periodic background ticks (propagation
         flushes, gossip rounds, autoscaler policies) stop firing once the
         foreground workload drains instead of spinning the loop forever.
+
+        ``horizon_ms`` keeps the tick alive on an otherwise idle engine up to
+        that virtual time: control-plane policies need to observe the *end*
+        of a load burst (zero arrivals, zero completions) to decide to scale
+        down, which by definition happens after the foreground work drained.
         """
         if interval_ms <= 0:
             raise ValueError("recurring events need a positive interval")
-        return RecurringEvent(self, float(interval_ms), fn)
+        return RecurringEvent(self, float(interval_ms), fn, horizon_ms=horizon_ms)
 
     def stop(self) -> None:
         """Stop the current :meth:`run` after the in-flight event returns."""
@@ -201,23 +207,31 @@ class RecurringEvent:
     Anna propagation tick hand-rolled before this class existed).
     """
 
-    __slots__ = ("engine", "interval_ms", "fn", "cancelled", "fired", "_event")
+    __slots__ = ("engine", "interval_ms", "fn", "cancelled", "fired", "_event",
+                 "horizon_ms")
 
-    def __init__(self, engine: Engine, interval_ms: float, fn: Callable[[], None]):
+    def __init__(self, engine: Engine, interval_ms: float, fn: Callable[[], None],
+                 horizon_ms: Optional[float] = None):
         self.engine = engine
         self.interval_ms = interval_ms
         self.fn = fn
         self.cancelled = False
         self.fired = 0
+        self.horizon_ms = horizon_ms
         self._event: Optional[Event] = engine.schedule(
             interval_ms, self._fire, background=True)
+
+    def _within_horizon(self) -> bool:
+        return (self.horizon_ms is not None
+                and self.engine.now_ms + self.interval_ms <= self.horizon_ms)
 
     def _fire(self) -> None:
         if self.cancelled:
             return
         self.fired += 1
         self.fn()
-        if not self.cancelled and self.engine.foreground_pending > 0:
+        if not self.cancelled and (self.engine.foreground_pending > 0
+                                   or self._within_horizon()):
             self._event = self.engine.schedule(
                 self.interval_ms, self._fire, background=True)
         else:

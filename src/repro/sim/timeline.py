@@ -46,6 +46,10 @@ class AutoscalerDecision:
     remove_threads: int = 0
     add_delay_ms: float = 0.0
     note: str = ""
+    #: Scale-downs marked urgent (load disappeared entirely) skip the compute
+    #: control plane's grace period; ordinary low-utilization scale-downs must
+    #: repeat for a few consecutive ticks before they actuate.
+    urgent: bool = False
 
 
 #: Signature of an autoscaling policy: (now_ms, metrics) -> decision or None.

@@ -56,10 +56,44 @@ def good_figure6() -> dict:
     }
 
 
+def good_controlplane() -> dict:
+    return {
+        "publish_interval_ms": 1_250.0,
+        "policy_interval_ms": 2_500.0,
+        "publish_ticks": 12,
+        "policy_ticks": 6,
+        "scale_up_events": 1,
+        "threads_drained": 7,
+        "migrations": 1,
+        "calls_routed_to_drained": 0,
+        "baseline_threads": 6,
+        "peak_threads": 9,
+        "final_threads": 2,
+        "min_threads": 2,
+    }
+
+
+def good_figure7() -> dict:
+    return {
+        "requests_per_s": 80.0,
+        "peak_requests_per_s": 150.0,
+        "completed_requests": 100,
+        "capacity_timeline": [[0.0, 6], [7_500.0, 9], [12_500.0, 2]],
+        "initial_threads": 6,
+        "clients": 8,
+        "latency": _stats(60.0),
+        "storage": {"nodes": 4},
+        "storage_node_timeline": [],
+        "controlplane": good_controlplane(),
+        "wall_seconds": 1.0,
+    }
+
+
 def good_payload() -> dict:
     return {
         "figure5_locality": good_figure5(),
         "figure6_aggregation": good_figure6(),
+        "figure7_autoscaling": good_figure7(),
         "table2_anomalies": {"invariant_violations": []},
     }
 
@@ -99,6 +133,41 @@ class TestOrderingChecks:
         assert "LWW != 0" in run_all.collect_gate_errors(payload)
 
 
+class TestControlPlaneChecks:
+    def test_good_controlplane_has_no_errors(self):
+        assert run_all.figure7_controlplane_errors(good_figure7()) == []
+
+    def test_missing_section_is_flagged(self):
+        fig7 = good_figure7()
+        fig7["controlplane"] = None
+        errors = run_all.figure7_controlplane_errors(fig7)
+        assert any("missing" in e for e in errors)
+
+    def test_no_scale_up_is_flagged(self):
+        fig7 = good_figure7()
+        fig7["controlplane"]["peak_threads"] = 6
+        errors = run_all.figure7_controlplane_errors(fig7)
+        assert any("never scaled up" in e for e in errors)
+
+    def test_no_drain_back_to_baseline_is_flagged(self):
+        fig7 = good_figure7()
+        fig7["controlplane"]["final_threads"] = 9
+        errors = run_all.figure7_controlplane_errors(fig7)
+        assert any("did not return to baseline" in e for e in errors)
+
+    def test_missing_pin_migration_is_flagged(self):
+        fig7 = good_figure7()
+        fig7["controlplane"]["migrations"] = 0
+        errors = run_all.figure7_controlplane_errors(fig7)
+        assert any("pin migration" in e for e in errors)
+
+    def test_calls_to_drained_threads_are_flagged(self):
+        fig7 = good_figure7()
+        fig7["controlplane"]["calls_routed_to_drained"] = 3
+        errors = run_all.figure7_controlplane_errors(fig7)
+        assert any("drained executor threads" in e for e in errors)
+
+
 class TestMainExitCode:
     def _canned_sections(self, monkeypatch, fig5: dict, violations=()):
         table2 = {"invariant_violations": list(violations),
@@ -106,10 +175,7 @@ class TestMainExitCode:
                   "clients": 8, "propagation_interval_ms": 50.0,
                   "multi_key_additional": 0,
                   "distributed_session_additional": 0, "wall_seconds": 1.0}
-        fig7 = {"requests_per_s": 80.0, "peak_requests_per_s": 150.0,
-                "completed_requests": 100, "capacity_timeline": [],
-                "initial_threads": 6, "clients": 8,
-                "latency": _stats(60.0), "wall_seconds": 1.0}
+        fig7 = good_figure7()
         scaling = {"requests_per_point": 10, "wall_seconds": 1.0,
                    "points": [{"threads": 10, "clients": 10,
                                "requests_per_s": 100.0,

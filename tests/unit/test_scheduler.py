@@ -216,3 +216,45 @@ class TestConstructorParameters:
         charges = ctx.charges_for("cloudburst", "fault_timeout")
         assert charges
         assert all(charge.latency_ms == 777.0 for charge in charges)
+
+
+class TestPlacementPolicyPlugin:
+    def test_custom_policy_routes_every_call(self, cluster, scheduler):
+        from repro.cloudburst.policy import PlacementPolicy
+
+        class FirstThreadPolicy(PlacementPolicy):
+            uses_locality = True
+
+            def pick(self, scheduler, threads, function_name, args,
+                     restricted, now_ms):
+                return min(threads, key=lambda t: t.thread_id)
+
+        scheduler.placement_policy = FirstThreadPolicy()
+        scheduler.register_function(lambda x: x, name="f")
+        for i in range(5):
+            scheduler.call("f", [i])
+        first = min(cluster.vms[0].threads, key=lambda t: t.thread_id)
+        assert first.invocation_count == 5
+
+    def test_custom_policy_survives_redundant_locality_assignment(self, scheduler):
+        from repro.cloudburst.policy import (
+            PlacementPolicy,
+            RandomPlacementPolicy,
+        )
+
+        class MyPolicy(PlacementPolicy):
+            uses_locality = True
+
+            def pick(self, scheduler, threads, function_name, args,
+                     restricted, now_ms):
+                return threads[0]
+
+        scheduler.placement_policy = MyPolicy()
+        # Assigning the mode the policy already has keeps the custom policy
+        # (the ablation harness assigns locality_scheduling unconditionally).
+        scheduler.locality_scheduling = True
+        assert isinstance(scheduler.placement_policy, MyPolicy)
+        # Actually switching modes installs the stock policy for that mode.
+        scheduler.locality_scheduling = False
+        assert isinstance(scheduler.placement_policy, RandomPlacementPolicy)
+        assert scheduler.locality_scheduling is False

@@ -86,6 +86,34 @@ class TestEngine:
         assert engine.now_ms == 3.0
 
 
+class TestRecurringEvent:
+    def test_pauses_on_idle_engine_without_horizon(self):
+        engine = Engine()
+        fired = []
+        engine.every(10.0, lambda: fired.append(engine.now_ms))
+        engine.run()
+        # Nothing else queued: the tick fires once and pauses itself.
+        assert fired == [10.0]
+
+    def test_horizon_keeps_ticking_on_idle_engine(self):
+        engine = Engine()
+        fired = []
+        engine.every(10.0, lambda: fired.append(engine.now_ms), horizon_ms=55.0)
+        engine.run()
+        # Control-plane ticks must outlive the foreground workload (to see
+        # the end of a burst), but never beyond the horizon.
+        assert fired == [10.0, 20.0, 30.0, 40.0, 50.0]
+
+    def test_horizon_tick_still_cancellable(self):
+        engine = Engine()
+        fired = []
+        recurring = engine.every(10.0, lambda: fired.append(engine.now_ms),
+                                 horizon_ms=100.0)
+        engine.at(25.0, recurring.cancel)
+        engine.run()
+        assert fired == [10.0, 20.0]
+
+
 class TestWorkQueue:
     def test_admit_when_idle_starts_immediately(self):
         queue = WorkQueue()
