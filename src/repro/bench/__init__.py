@@ -19,6 +19,12 @@ from .casestudies import (
     run_figure11,
     run_figure12,
 )
+from .enginebench import (
+    FLOOR_EVENTS_PER_SEC,
+    PRE_PR_BASELINE,
+    engine_throughput_errors,
+    run_engine_micro,
+)
 from .consistency_bench import (
     ConsistencyLatencyResult,
     MetadataOverhead,
@@ -58,6 +64,10 @@ __all__ = [
     "run_figure10",
     "run_figure11",
     "run_figure12",
+    "FLOOR_EVENTS_PER_SEC",
+    "PRE_PR_BASELINE",
+    "engine_throughput_errors",
+    "run_engine_micro",
     "ConsistencyLatencyResult",
     "MetadataOverhead",
     "run_figure8",

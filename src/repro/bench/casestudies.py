@@ -163,7 +163,7 @@ def run_figure10(thread_counts: Sequence[int] = (10, 20, 40, 80, 160),
 
         return run_engine_closed_loop(
             cluster, request, clients=clients, total_requests=requests,
-            label=f"figure10-{threads}t")
+            label=f"figure10-{threads}t", record_charges=False)
 
     return _scaling_sweep(
         title="Figure 10: prediction-serving scaling",
@@ -280,7 +280,7 @@ def run_figure12(thread_counts: Sequence[int] = (10, 20, 40, 80, 160),
 
         return run_engine_closed_loop(
             cluster, request, clients=clients, total_requests=requests,
-            label=f"figure12-{threads}t")
+            label=f"figure12-{threads}t", record_charges=False)
 
     return _scaling_sweep(
         title="Figure 12: Retwis scaling (causal mode)",

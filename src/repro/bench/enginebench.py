@@ -1,0 +1,240 @@
+"""Engine-throughput microbenchmark: how fast is the discrete-event core?
+
+Every layer of the reproduction — executor work queues, Anna storage nodes,
+gossip, the compute control plane — runs as events on
+:class:`~repro.sim.engine.Engine`, so raw engine overhead is the throughput
+ceiling for every figure (the ROADMAP's "as fast as the hardware allows"
+item).  This module measures that overhead directly, with no Cloudburst stack
+in the way, and publishes the numbers into ``BENCH_throughput.json`` as the
+``engine_throughput`` section so each optimization PR has to *prove* its win.
+
+Scenarios (all deterministic: fixed event counts, no RNG, no wall-clock
+dependence in the simulated workload itself):
+
+* ``event_dispatch`` — many interleaved chains of self-rescheduling events:
+  the bare heap push/pop/fire loop.
+* ``cancel_churn`` — schedule/cancel interleavings: tombstone handling and
+  the O(1) pending counters under churn.
+* ``recurring_ticks`` — hundreds of :class:`RecurringEvent` maintenance
+  ticks (10k firings) riding alongside a foreground chain: the control-plane
+  shape that made ``foreground_pending`` the hot spot (each firing used to
+  scan the whole heap).
+* ``charge_log`` — :class:`RequestContext` latency charges with an
+  ``elapsed_ms`` read per charge: per-charge accounting cost, with and
+  without the itemised charge log.
+* ``fifo_reserve`` — :class:`FifoQueue` reservations across many servers:
+  earliest-free-server selection cost.
+* ``reservation_queue`` — :class:`ReservationQueue` out-of-order
+  reservations: the mid-array insert cost the tentpole asked to measure.
+
+The headline ``events_per_sec`` aggregates the three engine-loop scenarios
+(total events fired / total wall seconds); the per-primitive scenarios are
+reported alongside.  ``PRE_PR_BASELINE`` pins the numbers measured on the
+pre-optimization engine (PR 5 state) on the same machine class, and
+``FLOOR_EVENTS_PER_SEC`` is the regression gate: dropping below it means the
+optimization win has been lost entirely (the floor sits below the pre-PR
+baseline to absorb slower CI hardware).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict
+
+from ..sim import Engine, FifoQueue, RequestContext, SimClock
+from ..sim.engine import ReservationQueue
+
+#: Measured on the pre-optimization engine (PR 5 state, commit 6d0b48d) with
+#: this exact harness on the same machine class that recorded the current
+#: ``BENCH_throughput.json``.  The acceptance bar for the optimization pass is
+#: ``events_per_sec >= 2 * PRE_PR_BASELINE["events_per_sec"]``; the JSON
+#: section carries both numbers so the ratio is auditable.
+PRE_PR_BASELINE: Dict[str, float] = {
+    "events_per_sec": 137501.4,        # 238,701 events / 1.736 s
+    "event_dispatch_per_sec": 225898.0,
+    "cancel_churn_per_sec": 103082.0,
+    "recurring_ticks_per_sec": 53703.0,
+    "sim_ms_per_wall_ms": 1.05,        # recurring_ticks: 210 sim-ms / 199 wall-ms
+    "charge_log_charges_per_sec": 298633.0,
+    "fifo_reserve_per_sec": 22493.0,
+    "reservation_queue_per_sec": 579529.0,
+}
+
+#: Regression-gate floor for the headline events/sec.  Falling below this
+#: means the engine is no faster than before the optimization pass (with
+#: headroom for slower CI runners); ``run_all.py`` and the standalone
+#: ``benchmarks/bench_engine_micro.py`` both fail on it.
+FLOOR_EVENTS_PER_SEC: float = 100_000.0
+
+
+def _timed(fn: Callable[[], Dict[str, float]]) -> Dict[str, float]:
+    started = time.perf_counter()
+    payload = fn()
+    payload["wall_seconds"] = round(time.perf_counter() - started, 4)
+    return payload
+
+
+def bench_event_dispatch(chains: int = 64, events_per_chain: int = 2_000) -> Dict[str, float]:
+    """Interleaved self-rescheduling chains: the bare dispatch loop."""
+    engine = Engine()
+
+    def make_chain(offset: float) -> Callable[[], None]:
+        remaining = [events_per_chain]
+
+        def fire() -> None:
+            remaining[0] -= 1
+            if remaining[0] > 0:
+                engine.schedule(1.0 + offset, fire)
+
+        return fire
+
+    for chain in range(chains):
+        engine.at(chain * 0.01, make_chain(chain * 0.001))
+    engine.run()
+    return {"events": float(engine.events_processed)}
+
+
+def bench_cancel_churn(rounds: int = 20_000, fanout: int = 8) -> Dict[str, float]:
+    """Schedule ``fanout`` events per round, cancel half: tombstone churn."""
+    engine = Engine()
+    noop = lambda: None  # noqa: E731 - the cheapest possible event body
+
+    def round_fire(round_index: int) -> None:
+        scheduled = [engine.schedule(float(slot + 1), noop)
+                     for slot in range(fanout)]
+        for event in scheduled[::2]:
+            engine.cancel(event)
+        # The counters must agree mid-churn; reading them is part of the
+        # benchmark (they were O(heap) scans before the optimization pass).
+        assert engine.pending >= engine.foreground_pending
+        if round_index + 1 < rounds:
+            engine.schedule(0.5, lambda: round_fire(round_index + 1))
+
+    engine.at(0.0, lambda: round_fire(0))
+    engine.run()
+    return {"events": float(engine.events_processed)}
+
+
+def bench_recurring_ticks(recurring: int = 500, firings_per_tick: int = 20,
+                          interval_ms: float = 10.0) -> Dict[str, float]:
+    """10k maintenance-tick firings alongside a foreground chain.
+
+    Every :class:`RecurringEvent` firing consults ``foreground_pending`` to
+    decide whether to reschedule itself — the control-plane/gossip shape that
+    made pending-count scans the profile's hot spot at paper scale.
+    """
+    engine = Engine()
+    horizon_ms = interval_ms * firings_per_tick
+    ticks = [engine.every(interval_ms, lambda: None, horizon_ms=horizon_ms)
+             for _ in range(recurring)]
+
+    def foreground() -> None:
+        if engine.now_ms < horizon_ms:
+            engine.schedule(1.0, foreground)
+
+    engine.at(0.0, foreground)
+    engine.run()
+    for tick in ticks:
+        tick.cancel()
+    return {
+        "events": float(engine.events_processed),
+        "tick_firings": float(sum(tick.fired for tick in ticks)),
+        "simulated_ms": float(engine.now_ms),
+    }
+
+
+def bench_charge_log(contexts: int = 2_000, charges_per_context: int = 60,
+                     record_charges: bool = True) -> Dict[str, float]:
+    """Per-charge accounting with an ``elapsed_ms`` read after every charge.
+
+    This is the executor/cache/Anna accounting pattern: charge a latency,
+    read the running total.  Re-summing the charge log made ``elapsed_ms``
+    O(charges) per read before the optimization pass.
+    """
+    total = 0.0
+    for index in range(contexts):
+        ctx = RequestContext(clock=SimClock(float(index)),
+                             record_charges=record_charges)
+        for charge in range(charges_per_context):
+            ctx.charge("bench", "op", 0.25)
+            total += ctx.elapsed_ms
+    return {"charges": float(contexts * charges_per_context),
+            "checksum": round(total, 3)}
+
+
+def bench_fifo_reserve(servers: int = 256, reservations: int = 50_000) -> Dict[str, float]:
+    """Earliest-free-server selection across a wide pool."""
+    queue = FifoQueue(servers=servers)
+    busy = 0.0
+    for index in range(reservations):
+        start, end = queue.reserve(float(index) * 0.5, 7.5)
+        busy = max(busy, end)
+    return {"reservations": float(reservations), "span_ms": round(busy, 3)}
+
+
+def bench_reservation_queue(reservations: int = 30_000) -> Dict[str, float]:
+    """Out-of-order reservations: the mid-array insert cost, measured.
+
+    Arrivals jitter backwards deterministically (the concurrent-callback skew
+    the queue exists to absorb), so inserts land mid-array instead of
+    appending.
+    """
+    queue = ReservationQueue()
+    for index in range(reservations):
+        jitter = (index * 7919) % 97  # deterministic pseudo-skew, no RNG
+        arrival = float(index) * 2.0 - float(jitter)
+        queue.reserve(max(0.0, arrival), 1.5)
+    return {"reservations": float(reservations),
+            "retained_intervals": float(len(queue._starts))}
+
+
+def run_engine_micro() -> Dict[str, object]:
+    """Run every scenario; returns the ``engine_throughput`` JSON section."""
+    scenarios: Dict[str, Dict[str, float]] = {
+        "event_dispatch": _timed(bench_event_dispatch),
+        "cancel_churn": _timed(bench_cancel_churn),
+        "recurring_ticks": _timed(bench_recurring_ticks),
+        "charge_log": _timed(bench_charge_log),
+        "charge_log_unlogged": _timed(
+            lambda: bench_charge_log(record_charges=False)),
+        "fifo_reserve": _timed(bench_fifo_reserve),
+        "reservation_queue": _timed(bench_reservation_queue),
+    }
+    engine_scenarios = ("event_dispatch", "cancel_churn", "recurring_ticks")
+    engine_events = sum(scenarios[name]["events"] for name in engine_scenarios)
+    engine_wall = sum(scenarios[name]["wall_seconds"] for name in engine_scenarios)
+    events_per_sec = engine_events / engine_wall if engine_wall > 0 else 0.0
+    ticks = scenarios["recurring_ticks"]
+    sim_ms_per_wall_ms = (ticks["simulated_ms"] / (ticks["wall_seconds"] * 1000.0)
+                          if ticks["wall_seconds"] > 0 else 0.0)
+    for name in ("charge_log", "charge_log_unlogged"):
+        wall = scenarios[name]["wall_seconds"]
+        scenarios[name]["charges_per_sec"] = round(
+            scenarios[name]["charges"] / wall if wall > 0 else 0.0, 1)
+    for name in ("fifo_reserve", "reservation_queue"):
+        wall = scenarios[name]["wall_seconds"]
+        scenarios[name]["reservations_per_sec"] = round(
+            scenarios[name]["reservations"] / wall if wall > 0 else 0.0, 1)
+    baseline = PRE_PR_BASELINE.get("events_per_sec", 0.0)
+    return {
+        "schema": 1,
+        "events_per_sec": round(events_per_sec, 1),
+        "sim_ms_per_wall_ms": round(sim_ms_per_wall_ms, 1),
+        "scenarios": scenarios,
+        "baseline_pre_pr": dict(PRE_PR_BASELINE),
+        "speedup_vs_pre_pr": (round(events_per_sec / baseline, 2)
+                              if baseline > 0 else None),
+        "floor_events_per_sec": FLOOR_EVENTS_PER_SEC,
+    }
+
+
+def engine_throughput_errors(section: Dict[str, object]) -> list:
+    """The regression gate: error strings when the engine got slow again."""
+    errors = []
+    floor = section.get("floor_events_per_sec") or 0.0
+    measured = section.get("events_per_sec") or 0.0
+    if floor > 0 and measured < floor:
+        errors.append(
+            f"engine_throughput: {measured:.0f} events/s fell below the "
+            f"recorded floor {floor:.0f} (the optimization-pass win is gone)")
+    return errors

@@ -104,6 +104,7 @@ class EngineLoadDriver:
                  policy_interval_ms: float = 5_000.0,
                  min_threads: int = 1,
                  throughput_bucket_ms: float = 1_000.0,
+                 record_charges: bool = True,
                  label: str = "engine-driver"):
         if mode not in ("closed", "open"):
             raise ValueError(f"unknown driver mode {mode!r}")
@@ -144,6 +145,13 @@ class EngineLoadDriver:
         self.max_duration_ms = max_duration_ms
         self.control_plane = control_plane
         self.bucket_ms = throughput_bucket_ms
+        #: When False, request contexts skip the itemised charge log (the
+        #: latency samples are parity-pinned identical; only the structural
+        #: per-charge breakdown — and stats derived from it, like the cache's
+        #: kvs_queue_wait_ms — go empty).  Large sweeps use this: a driver
+        #: that only reads latency totals has no reason to allocate millions
+        #: of ChargeRecords.
+        self.record_charges = record_charges
         self.label = label
         self._rng = cluster.rng.spawn("load-driver")
 
@@ -240,7 +248,8 @@ class EngineLoadDriver:
         index = self.issued
         self.issued += 1
         self.inflight += 1
-        ctx = RequestContext(clock=SimClock(start))
+        ctx = RequestContext(clock=SimClock(start),
+                             record_charges=self.record_charges)
         try:
             future = self.request_fn(self._client_for(client), ctx, index)
         except StorageOverloadError:
@@ -411,24 +420,27 @@ def run_session_closed_loop(cluster, request_fn: DriverRequestFn, *,
 def run_engine_closed_loop(cluster, request_fn: DriverRequestFn, *,
                            clients: int, total_requests: int,
                            label: str = "engine-closed-loop",
-                           throughput_bucket_ms: float = 1_000.0) -> SimulationResult:
+                           throughput_bucket_ms: float = 1_000.0,
+                           record_charges: bool = True) -> SimulationResult:
     """Closed-loop clients through the real stack until a request budget."""
     driver = EngineLoadDriver(
         cluster, request_fn, clients=clients, mode="closed",
         max_requests=total_requests, throughput_bucket_ms=throughput_bucket_ms,
-        label=label)
+        record_charges=record_charges, label=label)
     return driver.run()
 
 
 def run_engine_open_loop(cluster, request_fn: DriverRequestFn, *,
                          arrival_rate_per_s: float, duration_ms: float,
                          label: str = "engine-open-loop",
-                         throughput_bucket_ms: float = 1_000.0) -> SimulationResult:
+                         throughput_bucket_ms: float = 1_000.0,
+                         record_charges: bool = True) -> SimulationResult:
     """Poisson open-loop arrivals through the real stack for a fixed window."""
     driver = EngineLoadDriver(
         cluster, request_fn, mode="open", arrival_rate_per_s=arrival_rate_per_s,
         stop_ms=duration_ms, max_duration_ms=duration_ms,
-        throughput_bucket_ms=throughput_bucket_ms, label=label)
+        throughput_bucket_ms=throughput_bucket_ms,
+        record_charges=record_charges, label=label)
     return driver.run()
 
 

@@ -390,7 +390,8 @@ class Scheduler:
         upstream = dag.upstream_of(name)
         ready_ms = fork_join.ready_at(upstream)
         branch = RequestContext(clock=SimClock(ready_ms),
-                                metadata=dict(ctx.metadata))
+                                metadata=dict(ctx.metadata),
+                                record_charges=ctx.record_charges)
         pinned = self.pinned_threads(name)
         args = [results[u] for u in upstream] + list(function_args.get(name, ()))
         thread = self._pick_executor(name, args, candidates=pinned or None,

@@ -34,7 +34,8 @@ Sibling = Tuple[VectorClock, Any]
 class CausalLattice(Lattice):
     """A causally versioned value (multi-value register plus dependency set)."""
 
-    __slots__ = ("dependencies", "_siblings")
+    __slots__ = ("dependencies", "_siblings", "_clock", "_meta_bytes",
+                 "_total_bytes")
 
     def __init__(self, vector_clock: Optional[VectorClock] = None, value: Any = None,
                  dependencies: Optional[Mapping[str, VectorClock]] = None,
@@ -45,6 +46,15 @@ class CausalLattice(Lattice):
         else:
             candidate = [(vector_clock or VectorClock(), value)]
         self._siblings: Tuple[Sibling, ...] = _prune(candidate)
+        # Derived quantities, computed on first use.  Safe to cache: the
+        # lattice is immutable (every mutation-shaped API — merge,
+        # with_dependency — returns a new instance) and nothing may mutate
+        # ``dependencies`` in place.  The causal protocols consult
+        # vector_clock/metadata_bytes/size_bytes on every read, which made
+        # re-deriving them the single hottest path in a fig12 profile.
+        self._clock: Optional[VectorClock] = None
+        self._meta_bytes: Optional[int] = None
+        self._total_bytes: Optional[int] = None
 
     # -- lattice interface ---------------------------------------------------
     def merge(self, other: "CausalLattice") -> "CausalLattice":
@@ -65,9 +75,13 @@ class CausalLattice(Lattice):
     @property
     def vector_clock(self) -> VectorClock:
         """The key's version: the join of all concurrent siblings' clocks."""
-        clock = VectorClock()
-        for sibling_clock, _ in self._siblings:
-            clock = clock.merge(sibling_clock)
+        clock = self._clock
+        if clock is None:
+            siblings = self._siblings
+            clock = siblings[0][0]
+            for sibling_clock, _ in siblings[1:]:
+                clock = clock.merge(sibling_clock)
+            self._clock = clock
         return clock
 
     @property
@@ -94,15 +108,22 @@ class CausalLattice(Lattice):
         This is the quantity reported in §6.2.1 (median 624 B, p99 7.1 KB in
         the paper's deployment).
         """
-        deps_bytes = sum(
-            len(key.encode("utf-8")) + clock.size_bytes()
-            for key, clock in self.dependencies.items()
-        )
-        clock_bytes = sum(clock.size_bytes() for clock, _ in self._siblings)
-        return clock_bytes + deps_bytes
+        meta = self._meta_bytes
+        if meta is None:
+            deps_bytes = sum(
+                len(key.encode("utf-8")) + clock.size_bytes()
+                for key, clock in self.dependencies.items()
+            )
+            clock_bytes = sum(clock.size_bytes() for clock, _ in self._siblings)
+            meta = self._meta_bytes = clock_bytes + deps_bytes
+        return meta
 
     def size_bytes(self) -> int:
-        return self.metadata_bytes() + sum(estimate_size(v) for _, v in self._siblings)
+        total = self._total_bytes
+        if total is None:
+            total = self._total_bytes = self.metadata_bytes() + sum(
+                estimate_size(v) for _, v in self._siblings)
+        return total
 
     def _identity(self) -> Any:
         return (
@@ -114,6 +135,12 @@ class CausalLattice(Lattice):
 
 def _prune(siblings: Iterable[Sibling]) -> Tuple[Sibling, ...]:
     """Reduce a set of versions to its antichain (drop dominated/duplicate ones)."""
+    siblings = list(siblings)
+    if len(siblings) == 1:
+        # A single version is trivially an antichain; skip the domination
+        # sweep and — more importantly — the repr-based tie-break sort key,
+        # which is O(payload) and dominated causal writes of large values.
+        return (siblings[0],)
     unique: list = []
     for clock, value in siblings:
         if not any(c == clock and _values_equal(v, value) for c, v in unique):

@@ -15,9 +15,18 @@ from .base import Lattice
 
 
 class VectorClock(Lattice):
-    """An immutable vector clock mapping node ids to logical clock values."""
+    """An immutable vector clock mapping node ids to logical clock values.
 
-    __slots__ = ("_entries",)
+    Causal-mode runs create and merge these at every read and write, which
+    made clock construction/merge the top of the fig12 profile.  Hence the
+    internal fast paths: a trusted constructor for entries that are already
+    validated (merge/increment outputs can only contain positive ints), merge
+    short-circuits on an empty operand (returning an existing clock is safe —
+    clocks are immutable), and the derived quantities (``size_bytes``, the
+    sorted identity tuple) are computed once per instance.
+    """
+
+    __slots__ = ("_entries", "_size", "_ident")
 
     def __init__(self, entries: Mapping[str, int] = None):
         cleaned: Dict[str, int] = {}
@@ -28,23 +37,49 @@ class VectorClock(Lattice):
             if clock > 0:
                 cleaned[str(node)] = clock
         self._entries = cleaned
+        self._size = None
+        self._ident = None
+
+    @classmethod
+    def _trusted(cls, entries: Dict[str, int]) -> "VectorClock":
+        """Wrap an already-validated entry dict without copying it.
+
+        Only for internal callers that guarantee string keys and positive int
+        values; the dict must not be mutated after being handed over.
+        """
+        clock = object.__new__(cls)
+        clock._entries = entries
+        clock._size = None
+        clock._ident = None
+        return clock
 
     # -- lattice interface -------------------------------------------------
     def merge(self, other: "VectorClock") -> "VectorClock":
         other = self._check_type(other)
-        merged = dict(self._entries)
-        for node, clock in other._entries.items():
-            merged[node] = max(merged.get(node, 0), clock)
-        return VectorClock(merged)
+        mine = self._entries
+        theirs = other._entries
+        # Merging with an empty clock is the common case on first writes;
+        # immutability makes returning the non-empty operand safe.
+        if not theirs:
+            return self
+        if not mine:
+            return other
+        merged = dict(mine)
+        get = merged.get
+        for node, clock in theirs.items():
+            if get(node, 0) < clock:
+                merged[node] = clock
+        return VectorClock._trusted(merged)
 
     def reveal(self) -> Dict[str, int]:
         return dict(self._entries)
 
     # -- ordering ------------------------------------------------------------
     def increment(self, node_id: str) -> "VectorClock":
+        node_id = str(node_id)
         entries = dict(self._entries)
         entries[node_id] = entries.get(node_id, 0) + 1
-        return VectorClock(entries)
+        return VectorClock._trusted(entries)
 
     def get(self, node_id: str) -> int:
         return self._entries.get(node_id, 0)
@@ -77,13 +112,20 @@ class VectorClock(Lattice):
     # -- sizing ----------------------------------------------------------------
     def size_bytes(self) -> int:
         # Each entry is a node-id string plus an 8-byte counter.
-        return sum(len(node.encode("utf-8")) + 8 for node in self._entries)
+        size = self._size
+        if size is None:
+            size = self._size = sum(
+                len(node.encode("utf-8")) + 8 for node in self._entries)
+        return size
 
     def entries(self) -> Iterable[Tuple[str, int]]:
         return self._entries.items()
 
-    def _identity(self) -> Dict[str, int]:
-        return tuple(sorted(self._entries.items()))
+    def _identity(self) -> Tuple[Tuple[str, int], ...]:
+        ident = self._ident
+        if ident is None:
+            ident = self._ident = tuple(sorted(self._entries.items()))
+        return ident
 
     def __len__(self) -> int:
         return len(self._entries)

@@ -9,16 +9,27 @@ At the end of the request the clock's elapsed time is the request latency.
 This keeps benchmarks deterministic and fast while preserving the *structure*
 of each protocol: a protocol that performs one extra round trip is charged one
 extra round trip.
+
+Charge accounting is allocation-light (the engine microbenchmark's
+``charge_log`` scenario gates it): :class:`ChargeRecord` is a ``__slots__``
+class, ``elapsed_ms`` is a running accumulator instead of a re-sum over the
+log, and load drivers that only need latency totals can construct contexts
+with ``record_charges=False`` to skip the itemised log entirely.  The opt-out
+is parity-pinned: a charge-log-on run must produce latency samples identical
+to a charge-log-off run (asserted by the determinism suite) — only the
+*structural* queries (``charges``, ``count``, ``total``, ``breakdown``) go
+empty, never the timing.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 
 class SimClock:
     """A monotonically advancing virtual clock measured in milliseconds."""
+
+    __slots__ = ("_now_ms",)
 
     def __init__(self, start_ms: float = 0.0):
         self._now_ms = float(start_ms)
@@ -51,39 +62,72 @@ class SimClock:
         return f"SimClock(now_ms={self._now_ms:.3f})"
 
 
-@dataclass
 class ChargeRecord:
     """One latency charge applied to a request: which service/op, how long."""
 
-    service: str
-    operation: str
-    latency_ms: float
-    at_ms: float
+    __slots__ = ("service", "operation", "latency_ms", "at_ms")
+
+    def __init__(self, service: str, operation: str, latency_ms: float,
+                 at_ms: float):
+        self.service = service
+        self.operation = operation
+        self.latency_ms = latency_ms
+        self.at_ms = at_ms
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"ChargeRecord(service={self.service!r}, "
+                f"operation={self.operation!r}, "
+                f"latency_ms={self.latency_ms!r}, at_ms={self.at_ms!r})")
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ChargeRecord):
+            return NotImplemented
+        return (self.service == other.service
+                and self.operation == other.operation
+                and self.latency_ms == other.latency_ms
+                and self.at_ms == other.at_ms)
 
 
-@dataclass
 class RequestContext:
     """Per-request accounting: virtual clock plus an itemised charge log.
 
     The charge log makes it possible for tests to assert on protocol structure
     ("this request performed exactly one remote version fetch") rather than on
     opaque latency totals.
+
+    ``record_charges=False`` drops the itemised log (structural queries return
+    empty/zero) while keeping the clock and ``elapsed_ms`` byte-identical —
+    the cheap mode the closed/open-loop load drivers run in, where thousands
+    of requests only ever read their latency total.
     """
 
-    clock: SimClock = field(default_factory=SimClock)
-    charges: List[ChargeRecord] = field(default_factory=list)
-    metadata: Dict[str, object] = field(default_factory=dict)
+    __slots__ = ("clock", "charges", "metadata", "record_charges",
+                 "_elapsed_ms", "_start_ms")
+
+    def __init__(self, clock: Optional[SimClock] = None,
+                 charges: Optional[List[ChargeRecord]] = None,
+                 metadata: Optional[Dict[str, object]] = None,
+                 record_charges: bool = True):
+        self.clock = clock if clock is not None else SimClock()
+        self.charges: List[ChargeRecord] = charges if charges is not None else []
+        self.metadata: Dict[str, object] = metadata if metadata is not None else {}
+        self.record_charges = record_charges
+        self._elapsed_ms = (sum(charge.latency_ms for charge in self.charges)
+                            if self.charges else 0.0)
+        # Time of the first charge (even an unlogged one); None until then.
+        self._start_ms: Optional[float] = (self.charges[0].at_ms
+                                           if self.charges else None)
 
     @property
     def start_ms(self) -> float:
-        if not self.charges:
+        if self._start_ms is None:
             return self.clock.now_ms
-        return self.charges[0].at_ms
+        return self._start_ms
 
     @property
     def elapsed_ms(self) -> float:
-        """Total latency charged to this request so far."""
-        return sum(charge.latency_ms for charge in self.charges)
+        """Total latency charged to this request so far (O(1) accumulator)."""
+        return self._elapsed_ms
 
     def charge(self, service: str, operation: str, latency_ms: float) -> float:
         """Record a latency charge and advance the clock."""
@@ -91,14 +135,15 @@ class RequestContext:
             raise ValueError(
                 f"negative latency charge {latency_ms} for {service}.{operation}"
             )
-        record = ChargeRecord(
-            service=service,
-            operation=operation,
-            latency_ms=float(latency_ms),
-            at_ms=self.clock.now_ms,
-        )
-        self.charges.append(record)
-        self.clock.advance(latency_ms)
+        latency_ms = float(latency_ms)
+        clock = self.clock
+        if self._start_ms is None:
+            self._start_ms = clock.now_ms
+        if self.record_charges:
+            self.charges.append(
+                ChargeRecord(service, operation, latency_ms, clock.now_ms))
+        self._elapsed_ms += latency_ms
+        clock.advance(latency_ms)
         return latency_ms
 
     def charges_for(self, service: str, operation: Optional[str] = None) -> List[ChargeRecord]:
@@ -131,12 +176,18 @@ class RequestContext:
         starting at the parent's current time; the parent later joins on the
         maximum of the branch clocks.
         """
-        return RequestContext(clock=self.clock.copy(), metadata=dict(self.metadata))
+        return RequestContext(clock=self.clock.copy(),
+                              metadata=dict(self.metadata),
+                              record_charges=self.record_charges)
 
     def join(self, branches: List["RequestContext"]) -> None:
         """Join parallel branches: advance to the slowest branch's clock."""
         for branch in branches:
-            self.charges.extend(branch.charges)
+            if branch.charges:
+                self.charges.extend(branch.charges)
+            if self._start_ms is None and branch._start_ms is not None:
+                self._start_ms = branch._start_ms
+            self._elapsed_ms += branch._elapsed_ms
         if branches:
             slowest = max(branch.clock.now_ms for branch in branches)
             self.clock.advance_to(slowest)

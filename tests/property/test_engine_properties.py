@@ -39,6 +39,44 @@ def test_events_fire_in_nondecreasing_time_with_fifo_ties(times):
         assert indices == sorted(indices)
 
 
+#: One step of an interleaved schedule/cancel/fire workload: (op, operand).
+#: op 0 schedules a foreground event, 1 a background event, 2 cancels a
+#: previously created event (operand picks which), 3 fires one step.
+_COUNTER_OPS = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=3),
+              st.integers(min_value=0, max_value=10_000),
+              st.floats(min_value=0.0, max_value=1e4, allow_nan=False,
+                        allow_infinity=False)),
+    max_size=120)
+
+
+@given(_COUNTER_OPS)
+@settings(max_examples=80, deadline=None)
+def test_pending_counters_match_brute_force(ops):
+    """pending/foreground_pending (O(1) counters) must always equal a brute
+    force count over the live heap, under any interleaving of schedule,
+    cancel (including double cancels and cancels of fired events) and fire."""
+    engine = Engine()
+    created = []
+    for op, pick, at_ms in ops:
+        if op == 0:
+            created.append(engine.at(at_ms, lambda: None))
+        elif op == 1:
+            created.append(engine.at(at_ms, lambda: None, background=True))
+        elif op == 2 and created:
+            engine.cancel(created[pick % len(created)])
+        elif op == 3:
+            engine.step()
+        live = [entry[2] for entry in engine._heap if not entry[2].cancelled]
+        assert engine.pending == len(live)
+        assert engine.foreground_pending == sum(
+            1 for event in live if not event.background)
+        assert engine.pending >= 0 and engine.foreground_pending >= 0
+    engine.run()
+    assert engine.pending == 0
+    assert engine.foreground_pending == 0
+
+
 @given(st.lists(st.tuples(
     st.floats(min_value=0.0, max_value=1e4, allow_nan=False, allow_infinity=False),
     st.floats(min_value=0.0, max_value=1e3, allow_nan=False, allow_infinity=False),

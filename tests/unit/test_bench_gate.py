@@ -89,11 +89,38 @@ def good_figure7() -> dict:
     }
 
 
+def good_scaling() -> dict:
+    # A healthy paper-shaped sweep: 160 threads beats 10 by 15x, clearing
+    # both the fig10 (8x) and fig12 (4x) gate ratios.
+    return {
+        "requests_per_point": 2_000,
+        "points": [
+            {"threads": 10, "clients": 10, "requests_per_s": 100.0,
+             "median_ms": 5.0, "p99_ms": 10.0},
+            {"threads": 160, "clients": 160, "requests_per_s": 1_500.0,
+             "median_ms": 5.0, "p99_ms": 10.0},
+        ],
+        "wall_seconds": 1.0,
+    }
+
+
+def good_engine_throughput() -> dict:
+    return {
+        "events_per_sec": 350_000.0,
+        "floor_events_per_sec": 100_000.0,
+        "speedup_vs_pre_pr": 2.5,
+        "sim_ms_per_wall_ms": 8.0,
+    }
+
+
 def good_payload() -> dict:
     return {
         "figure5_locality": good_figure5(),
         "figure6_aggregation": good_figure6(),
         "figure7_autoscaling": good_figure7(),
+        "figure10_prediction_scaling": good_scaling(),
+        "figure12_retwis_scaling": good_scaling(),
+        "engine_throughput": good_engine_throughput(),
         "table2_anomalies": {"invariant_violations": []},
     }
 
@@ -131,6 +158,33 @@ class TestOrderingChecks:
         payload = good_payload()
         payload["table2_anomalies"]["invariant_violations"] = ["LWW != 0"]
         assert "LWW != 0" in run_all.collect_gate_errors(payload)
+
+
+class TestScalingAndEngineGates:
+    def test_collapsed_scaling_curve_is_flagged(self):
+        fig = good_scaling()
+        fig["points"][1]["requests_per_s"] = 300.0  # only 3x the 10-thread point
+        errors = run_all.scaling_curve_errors("fig12", fig, min_ratio=4.0)
+        assert any("scaling collapsed" in e for e in errors)
+
+    def test_missing_endpoint_is_flagged(self):
+        fig = good_scaling()
+        fig["points"] = fig["points"][:1]  # 160-thread point gone
+        errors = run_all.scaling_curve_errors("fig10", fig, min_ratio=8.0)
+        assert any("missing" in e for e in errors)
+
+    def test_ratio_is_strict_per_figure(self):
+        # 5x clears fig12's 4x bar but not fig10's 8x bar.
+        fig = good_scaling()
+        fig["points"][1]["requests_per_s"] = 500.0
+        assert run_all.scaling_curve_errors("fig12", fig, min_ratio=4.0) == []
+        assert run_all.scaling_curve_errors("fig10", fig, min_ratio=8.0)
+
+    def test_engine_below_floor_is_flagged(self):
+        payload = good_payload()
+        payload["engine_throughput"]["events_per_sec"] = 50_000.0
+        errors = run_all.collect_gate_errors(payload)
+        assert any("fell below the" in e for e in errors)
 
 
 class TestControlPlaneChecks:
@@ -176,13 +230,12 @@ class TestMainExitCode:
                   "multi_key_additional": 0,
                   "distributed_session_additional": 0, "wall_seconds": 1.0}
         fig7 = good_figure7()
-        scaling = {"requests_per_point": 10, "wall_seconds": 1.0,
-                   "points": [{"threads": 10, "clients": 10,
-                               "requests_per_s": 100.0,
-                               "median_ms": 5.0, "p99_ms": 10.0}]}
+        scaling = good_scaling()
         fig8 = {"levels": {"LWW": _stats(2.0)}, "metadata_overhead_bytes": {},
                 "clients": 4, "propagation_interval_ms": 50.0,
                 "wall_seconds": 1.0}
+        monkeypatch.setattr(run_all, "run_engine_micro",
+                            lambda *a, **k: good_engine_throughput())
         monkeypatch.setattr(run_all, "snapshot_figure5", lambda *a, **k: fig5)
         monkeypatch.setattr(run_all, "snapshot_figure6",
                             lambda *a, **k: good_figure6())

@@ -91,3 +91,62 @@ class TestRequestContext:
         ctx.charge("cloudburst", "schedule", 1.0)
         ctx.join([])
         assert ctx.clock.now_ms == pytest.approx(1.0)
+
+    def test_elapsed_accumulator_matches_charge_log(self):
+        ctx = RequestContext()
+        for index in range(50):
+            ctx.charge("anna", "get", 0.1 * index)
+            # elapsed_ms is a running accumulator; it must agree with a
+            # re-sum of the itemised log at every step.
+            assert ctx.elapsed_ms == pytest.approx(
+                sum(charge.latency_ms for charge in ctx.charges))
+
+    def test_start_ms_is_first_charge_time(self):
+        ctx = RequestContext(clock=SimClock(100.0))
+        assert ctx.start_ms == 100.0  # no charges yet: current time
+        ctx.clock.advance_to(120.0)
+        ctx.charge("anna", "get", 5.0)
+        ctx.charge("anna", "get", 5.0)
+        assert ctx.start_ms == 120.0
+
+
+class TestRecordChargesOptOut:
+    """record_charges=False: same timing, no itemised log (parity-pinned)."""
+
+    def test_timing_identical_log_empty(self):
+        logged = RequestContext(clock=SimClock(10.0))
+        unlogged = RequestContext(clock=SimClock(10.0), record_charges=False)
+        for ctx in (logged, unlogged):
+            ctx.charge("anna", "get", 1.5)
+            ctx.charge("cache", "get", 0.25)
+        assert unlogged.clock.now_ms == logged.clock.now_ms
+        assert unlogged.elapsed_ms == logged.elapsed_ms
+        assert unlogged.start_ms == logged.start_ms
+        assert unlogged.charges == []
+        assert unlogged.count("anna") == 0
+        assert unlogged.total("anna") == 0.0
+        assert unlogged.breakdown() == {}
+
+    def test_negative_charge_still_rejected(self):
+        ctx = RequestContext(record_charges=False)
+        with pytest.raises(ValueError):
+            ctx.charge("anna", "get", -0.1)
+
+    def test_fork_propagates_opt_out(self):
+        ctx = RequestContext(record_charges=False)
+        ctx.charge("cloudburst", "schedule", 1.0)
+        branch = ctx.fork()
+        assert branch.record_charges is False
+        branch.charge("anna", "get", 2.0)
+        assert branch.charges == []
+
+    def test_join_sums_unlogged_branch_elapsed(self):
+        ctx = RequestContext(record_charges=False)
+        ctx.charge("cloudburst", "schedule", 1.0)
+        fast, slow = ctx.fork(), ctx.fork()
+        fast.charge("anna", "get", 1.0)
+        slow.charge("anna", "get", 10.0)
+        ctx.join([fast, slow])
+        assert ctx.clock.now_ms == pytest.approx(11.0)
+        assert ctx.elapsed_ms == pytest.approx(12.0)
+        assert ctx.charges == []

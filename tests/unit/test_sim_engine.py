@@ -86,6 +86,80 @@ class TestEngine:
         assert engine.now_ms == 3.0
 
 
+class TestPendingCounters:
+    """The O(1) pending/foreground_pending counters (no heap scans)."""
+
+    def test_counters_track_schedule_cancel_fire(self):
+        engine = Engine()
+        assert engine.pending == 0
+        assert engine.foreground_pending == 0
+        fg = engine.at(1.0, lambda: None)
+        bg = engine.at(2.0, lambda: None, background=True)
+        assert engine.pending == 2
+        assert engine.foreground_pending == 1
+        engine.cancel(bg)
+        assert engine.pending == 1
+        assert engine.foreground_pending == 1
+        engine.step()  # fires fg
+        assert engine.pending == 0
+        assert engine.foreground_pending == 0
+        # Cancelling after the fact must not drive the counters negative.
+        engine.cancel(fg)
+        engine.cancel(bg)
+        assert engine.pending == 0
+        assert engine.foreground_pending == 0
+
+    def test_double_cancel_counts_once(self):
+        engine = Engine()
+        event = engine.at(1.0, lambda: None)
+        engine.cancel(event)
+        engine.cancel(event)
+        assert engine.pending == 0
+
+    def test_counters_agree_with_heap_contents(self):
+        engine = Engine()
+        events = [engine.at(float(i), lambda: None, background=(i % 3 == 0))
+                  for i in range(30)]
+        for event in events[::2]:
+            engine.cancel(event)
+        live = [entry[2] for entry in engine._heap if not entry[2].cancelled]
+        assert engine.pending == len(live)
+        assert engine.foreground_pending == sum(
+            1 for event in live if not event.background)
+
+    def test_tombstone_compaction_bounds_heap(self):
+        engine = Engine()
+        keeper = engine.at(1e9, lambda: None)
+        # Far more cancellations than the compaction threshold: the heap must
+        # not retain one tombstone per cancelled event.
+        for _ in range(5):
+            events = [engine.at(float(i), lambda: None) for i in range(400)]
+            for event in events:
+                engine.cancel(event)
+        assert engine.pending == 1
+        assert len(engine._heap) < 1200
+        engine.run()
+        assert keeper.fn is None  # still fired despite the churn
+
+    def test_peek_ms_skips_cancelled_head(self):
+        engine = Engine()
+        early = engine.at(1.0, lambda: None)
+        engine.at(5.0, lambda: None)
+        engine.cancel(early)
+        assert engine.peek_ms() == 5.0
+        engine.run()
+        assert engine.peek_ms() is None
+
+    def test_run_max_events_stops_early(self):
+        engine = Engine()
+        fired = []
+        for i in range(5):
+            engine.at(float(i), lambda i=i: fired.append(i))
+        assert engine.run(max_events=2) == 2
+        assert fired == [0, 1]
+        assert engine.pending == 3
+
+
 class TestRecurringEvent:
     def test_pauses_on_idle_engine_without_horizon(self):
         engine = Engine()
@@ -288,6 +362,42 @@ class TestFifoQueue:
         with pytest.raises(ValueError):
             FifoQueue(servers=1).reserve(0.0, -1.0)
 
+    def test_selection_matches_min_scan(self):
+        # The (free_at, index) heap must pick exactly the server a min() scan
+        # over all servers would have picked (including the lower-index tie
+        # break), or capacity sweeps stop being replayable.
+        import random
+
+        rng = random.Random(7)
+        heap_queue = FifoQueue(servers=5)
+        free_at = [0.0] * 5
+        for step in range(300):
+            arrival = step * 0.7
+            service = rng.choice([0.0, 1.0, 3.5, 12.0])
+            index = min(range(len(free_at)), key=lambda i: (free_at[i], i))
+            expected_start = max(arrival, free_at[index])
+            free_at[index] = expected_start + service
+            assert heap_queue.reserve(arrival, service) == (
+                expected_start, expected_start + service)
+
+    def test_shrink_drops_latest_free_servers(self):
+        queue = FifoQueue(servers=3)
+        queue.reserve(0.0, 10.0)   # server busy until 10
+        queue.reserve(0.0, 50.0)   # server busy until 50
+        queue.set_servers(2, now_ms=0.0)
+        # The latest-free server (busy until 50) was dropped: the two
+        # remaining free up at 0 and 10.
+        assert queue.reserve(0.0, 1.0) == (0.0, 1.0)
+        assert queue.reserve(0.0, 1.0) == (1.0, 2.0)
+
+    def test_grow_then_reserve_uses_new_server(self):
+        queue = FifoQueue(servers=1)
+        queue.reserve(0.0, 100.0)
+        queue.set_servers(3, now_ms=20.0)
+        assert queue.servers == 3
+        # New servers become free at now_ms, not at 0.
+        assert queue.reserve(5.0, 1.0) == (20.0, 21.0)
+
 
 class TestProcessorSharingQueue:
     def test_lone_job_runs_at_full_speed(self):
@@ -306,6 +416,17 @@ class TestProcessorSharingQueue:
         queue.reserve(0.0, 100.0)
         _, end = queue.reserve(0.0, 10.0)
         assert end == 10.0  # 2 sharers over capacity 2 -> full speed
+
+    def test_end_history_is_compacted(self):
+        queue = ProcessorSharingQueue()
+        total = ProcessorSharingQueue._COMPACT_LIMIT + 10
+        for index in range(total):
+            queue.reserve(index * 10.0, 1.0)  # never overlapping
+        assert len(queue._ends) <= ProcessorSharingQueue._COMPACT_LIMIT
+        # Recent overlap is still counted after compaction.
+        last_arrival = (total - 1) * 10.0
+        _, end = queue.reserve(last_arrival + 0.5, 10.0)
+        assert end == last_arrival + 0.5 + 20.0  # shares with the last job
 
 
 class TestForkJoin:
