@@ -78,7 +78,7 @@ class CausalLattice(Lattice):
         clock = self._clock
         if clock is None:
             siblings = self._siblings
-            clock = siblings[0][0]
+            clock = siblings[0][0] if siblings else VectorClock()
             for sibling_clock, _ in siblings[1:]:
                 clock = clock.merge(sibling_clock)
             self._clock = clock

@@ -181,10 +181,13 @@ class Engine:
         self._tombstones += 1
         # Lazy-deletion compaction: rebuild once tombstones dominate so a
         # cancel-heavy workload cannot keep dead entries in the heap forever.
+        # Must compact *in place*: run()/step()/peek_ms() cache a `heap =
+        # self._heap` alias, and a cancel fired from inside an event callback
+        # would otherwise strand the running loop on the stale list.
         if (self._tombstones > _TOMBSTONE_COMPACT_MIN
                 and self._tombstones * 2 > len(self._heap)):
-            self._heap = [entry for entry in self._heap
-                          if not entry[2].cancelled]
+            self._heap[:] = [entry for entry in self._heap
+                             if not entry[2].cancelled]
             heapq.heapify(self._heap)
             self._tombstones = 0
 
@@ -608,14 +611,14 @@ class ProcessorSharingQueue:
 
     __slots__ = ("capacity", "label", "_ends")
 
-    #: Compact the end-time history past this many entries, keeping the most
-    #: recent ``_COMPACT_KEEP`` — the same bounded-history discipline as
-    #: :class:`ReservationQueue` (an ``insort`` into an ever-growing list was
-    #: the one unbounded queue left).  Dropping ancient end times can only
-    #: make a pathologically stale arrival see *fewer* active sharers — an
-    #: undercount of ancient contention, never a spurious slowdown.
+    #: Compact the end-time history past this many entries by dropping jobs
+    #: that ended at-or-before the current arrival (an ``insort`` into an
+    #: ever-growing list was the one unbounded queue left).  Since arrivals
+    #: are non-decreasing in practice, expired end times can never overlap a
+    #: later arrival, so compaction is exactly behaviour-preserving for
+    #: ``reserve``; only jobs still running survive, and more than
+    #: ``_COMPACT_LIMIT`` of those means real concurrency, not garbage.
     _COMPACT_LIMIT = 8192
-    _COMPACT_KEEP = 4096
 
     def __init__(self, capacity: float = 1.0, label: str = ""):
         if capacity <= 0:
@@ -637,7 +640,9 @@ class ProcessorSharingQueue:
         end = arrival + demand_ms * stretch
         insort(self._ends, end)
         if len(self._ends) > self._COMPACT_LIMIT:
-            del self._ends[:len(self._ends) - self._COMPACT_KEEP]
+            expired = bisect_right(self._ends, arrival)
+            if expired:
+                del self._ends[:expired]
         return arrival, end
 
 

@@ -71,6 +71,12 @@ class TestCausalAccessors:
     def test_size_includes_value(self):
         assert make({"a": 1}, "x" * 100).size_bytes() >= 100
 
+    def test_empty_siblings_yield_empty_clock(self):
+        # The constructor accepts an explicitly empty siblings iterable; the
+        # cached-clock fast path must not IndexError on it.
+        empty = CausalLattice(siblings=[])
+        assert empty.vector_clock.reveal() == {}
+
 
 class TestCausalReveal:
     def test_single_version_reveal(self):

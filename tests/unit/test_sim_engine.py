@@ -141,6 +141,34 @@ class TestPendingCounters:
         engine.run()
         assert keeper.fn is None  # still fired despite the churn
 
+    def test_mid_run_compaction_keeps_run_loop_live(self):
+        # Regression: cancel()'s tombstone compaction used to rebind
+        # self._heap to a new list while run() held a cached alias, so a
+        # callback cancelling >_TOMBSTONE_COMPACT_MIN events stranded the
+        # running loop on the stale heap (later events never fired, counters
+        # went negative, and the next run() crashed on already-fired entries).
+        engine = Engine()
+        fired = []
+        victims = [engine.at(10.0 + i, lambda: fired.append("victim"))
+                   for i in range(700)]
+
+        def cancel_all():
+            for event in victims:
+                engine.cancel(event)
+            # Scheduled after compaction: must land on the live heap.
+            engine.schedule(1.0, lambda: fired.append("after"))
+
+        engine.at(1.0, cancel_all)
+        engine.at(2000.0, lambda: fired.append("tail"))
+        engine.run()
+        assert fired == ["after", "tail"]
+        assert engine.pending == 0
+        assert engine._tombstones == 0
+        # A second run on the same engine must also work.
+        engine.at(3000.0, lambda: fired.append("second"))
+        engine.run()
+        assert fired == ["after", "tail", "second"]
+
     def test_peek_ms_skips_cancelled_head(self):
         engine = Engine()
         early = engine.at(1.0, lambda: None)
@@ -427,6 +455,16 @@ class TestProcessorSharingQueue:
         last_arrival = (total - 1) * 10.0
         _, end = queue.reserve(last_arrival + 0.5, 10.0)
         assert end == last_arrival + 0.5 + 20.0  # shares with the last job
+
+    def test_compaction_never_drops_active_jobs(self):
+        # Compaction drops only expired end times (end <= arrival), so jobs
+        # still running always survive — sharer counts stay exact no matter
+        # how long the queue runs.
+        queue = ProcessorSharingQueue(capacity=1e12)  # no stretch blow-up
+        limit = ProcessorSharingQueue._COMPACT_LIMIT
+        for index in range(limit + 100):
+            queue.reserve(float(index), 1e6)  # all still active at the end
+        assert queue.active_at(float(limit + 100)) == limit + 100
 
 
 class TestForkJoin:
