@@ -44,7 +44,9 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro.bench import (  # noqa: E402
     engine_throughput_errors,
+    fault_recovery_errors,
     run_engine_micro,
+    run_fault_recovery,
     run_figure5,
     run_figure6,
     run_figure7,
@@ -204,6 +206,7 @@ def collect_gate_errors(payload: dict) -> list:
     errors += scaling_curve_errors("fig12", payload["figure12_retwis_scaling"],
                                    min_ratio=4.0)
     errors += engine_throughput_errors(payload["engine_throughput"])
+    errors += fault_recovery_errors(payload["fault_recovery"])
     return errors
 
 
@@ -314,6 +317,16 @@ def snapshot_table2(seed: int, executions: int, dag_count: int,
     }
 
 
+def snapshot_fault_recovery(seed: int, request_count: int,
+                            determinism_check: bool = True) -> dict:
+    """Retwis under each fault class, gated on the §4.5 oracle."""
+    started = time.time()
+    section = run_fault_recovery(seed=seed + 7, request_count=request_count,
+                                 determinism_check=determinism_check)
+    section["wall_seconds"] = round(time.time() - started, 2)
+    return section
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--output", default=str(REPO_ROOT / "BENCH_throughput.json"))
@@ -339,6 +352,7 @@ def main(argv=None) -> int:
                            populated_keys=2_000, executor_vms=5)
         table2_kwargs = dict(executions=4_000, dag_count=100,
                              populated_keys=1_000, executor_vms=5)
+        fault_requests = 400
     elif args.quick:
         scale_label = "quick"
         fig5_requests, fig6_repetitions = 8, 10
@@ -346,6 +360,7 @@ def main(argv=None) -> int:
                            populated_keys=600, executor_vms=4)
         table2_kwargs = dict(executions=800, dag_count=40,
                              populated_keys=400, executor_vms=4)
+        fault_requests = 120
     else:
         scale_label = "reduced"
         fig5_requests, fig6_repetitions = 20, 30
@@ -353,6 +368,7 @@ def main(argv=None) -> int:
                            populated_keys=1_200, executor_vms=5)
         table2_kwargs = dict(executions=2_000, dag_count=80,
                              populated_keys=800, executor_vms=5)
+        fault_requests = 200
 
     print("engine microbenchmark (events/sec gate)...", flush=True)
     engine_micro = run_engine_micro()
@@ -404,8 +420,25 @@ def main(argv=None) -> int:
     print(f"  table2 {table2['anomalies']} over {table2['executions']} executions "
           f"[{table2['wall_seconds']}s]")
 
+    print("fault recovery (retwis under injected failures, §4.5 gate)...",
+          flush=True)
+    fault_recovery = snapshot_fault_recovery(args.seed, fault_requests)
+    for fault, entry in fault_recovery["classes"].items():
+        faults = entry["faults"]
+        print(f"  {fault:17s} injected={faults['injected']} "
+              f"recovered={faults['recovered']} "
+              f"max_recovery={faults['max_recovery_ms']:.1f}ms "
+              f"anomalies={entry['anomalies']} "
+              f"abandoned={entry['abandoned_sessions']}")
+    determinism = fault_recovery.get("determinism")
+    if determinism:
+        print(f"  determinism[{determinism['fault']}]: "
+              f"timeline_match={determinism['timeline_match']} "
+              f"anomalies_match={determinism['anomalies_match']} "
+              f"[{fault_recovery['wall_seconds']}s]")
+
     payload = {
-        "schema": 5,
+        "schema": 6,
         "seed": args.seed,
         "scale": scale_label,
         "engine_throughput": engine_micro,
@@ -416,6 +449,7 @@ def main(argv=None) -> int:
         "figure12_retwis_scaling": fig12,
         "figure8_consistency": fig8,
         "table2_anomalies": table2,
+        "fault_recovery": fault_recovery,
     }
     gate_errors = collect_gate_errors(payload)
     payload["consistency_invariants_ok"] = \

@@ -1,0 +1,90 @@
+#!/usr/bin/env python
+"""Run the fault-injection matrix and gate on the §4.5 recovery oracle.
+
+Runs retwis (as two-stage DAG sessions) under each
+:data:`~repro.bench.faultbench.FAULT_CLASSES` fault class — executor VM
+kills, storage replica drops, gossip partitions, scheduler crashes — and
+exits nonzero unless every run satisfies the oracle: Table 2 invariants hold,
+zero calls routed to dead threads, zero abandoned sessions, every injected
+fault recovered within the bounded virtual-time window, and the fault
+schedule plus anomaly counters replay identically for the same seed.
+
+``--journal-dump`` writes every scheduler's session journal (and each class's
+fault timeline) as JSON; CI uploads it as an artifact when the gate fails so
+the exact in-flight state that broke the oracle is inspectable.
+
+Usage::
+
+    python benchmarks/run_fault_matrix.py --quick
+    python benchmarks/run_fault_matrix.py --output fault_matrix.json \
+        --journal-dump fault_journals.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.bench import fault_recovery_errors, run_fault_recovery  # noqa: E402
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--output", default=str(REPO_ROOT / "BENCH_fault_matrix.json"))
+    parser.add_argument("--journal-dump", default=None,
+                        help="also write per-scheduler session journals here")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--quick", action="store_true",
+                        help="reduced request budget (CI smoke); same gates")
+    args = parser.parse_args(argv)
+
+    request_count = 120 if args.quick else 240
+    started = time.time()
+    section = run_fault_recovery(seed=args.seed, request_count=request_count,
+                                 include_journals=args.journal_dump is not None)
+    section["wall_seconds"] = round(time.time() - started, 2)
+
+    journals = {fault: entry.pop("journals", None)
+                for fault, entry in section["classes"].items()}
+    errors = fault_recovery_errors(section)
+    section["gate_ok"] = not errors
+
+    for fault, entry in section["classes"].items():
+        faults = entry["faults"]
+        print(f"{fault:17s} injected={faults['injected']} "
+              f"recovered={faults['recovered']} "
+              f"max_recovery={faults['max_recovery_ms']:.1f}ms "
+              f"(bound {faults['recovery_bound_ms']:.1f}ms) "
+              f"anomalies={entry['anomalies']} "
+              f"abandoned={entry['abandoned_sessions']} "
+              f"dead_calls={entry['calls_routed_to_dead']}")
+    determinism = section.get("determinism")
+    if determinism:
+        print(f"determinism[{determinism['fault']}]: "
+              f"timeline_match={determinism['timeline_match']} "
+              f"anomalies_match={determinism['anomalies_match']}")
+
+    output = Path(args.output)
+    output.write_text(json.dumps(section, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {output} [{section['wall_seconds']}s]")
+    if args.journal_dump is not None:
+        dump = Path(args.journal_dump)
+        dump.write_text(json.dumps(journals, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {dump}")
+
+    if errors:
+        print("FAULT MATRIX GATE FAILURES:", file=sys.stderr)
+        for error in errors:
+            print(f"  - {error}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

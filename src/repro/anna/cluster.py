@@ -516,6 +516,10 @@ class AnnaCluster:
             self._gossip_event.cancel()
         if self._autoscaler is not None:
             self._autoscaler.detach_engine()
+        # A replica still partitioned at detach would make the drain loop
+        # below spin forever (its dirty keys requeue every round), so any
+        # injected partition heals first — detaching means the run is over.
+        self.heal_all_partitions()
         while self._dirty:
             self.run_gossip_round()
         self._engine = None
@@ -556,12 +560,21 @@ class AnnaCluster:
         accepted by different replicas converge after a single exchange.
         Gossip merges bypass the work queues and access statistics: replica
         maintenance is not client load.  Returns the number of key pushes.
+
+        Partitioned replicas (fault injection, :meth:`partition_node`) are
+        unreachable for anti-entropy in both directions: their own dirty keys
+        stay queued, and pushes *toward* them are requeued at the source —
+        nothing is dropped, so healing the partition converges the replicas
+        on the next round.
         """
         dirty, self._dirty = self._dirty, {}
         exchanged = 0
         for node_id in sorted(dirty):
             node = self._nodes.get(node_id)
             if node is None:
+                continue
+            if node.partitioned:
+                self._dirty.setdefault(node_id, set()).update(dirty[node_id])
                 continue
             for key in sorted(dirty[node_id]):
                 value = node.peek(key)
@@ -570,11 +583,47 @@ class AnnaCluster:
                 for owner in self._owners(key):
                     if owner == node_id:
                         continue
-                    self._nodes[owner].put(key, value, count_access=False)
+                    target = self._nodes[owner]
+                    if target.partitioned:
+                        self._dirty.setdefault(node_id, set()).add(key)
+                        continue
+                    target.put(key, value, count_access=False)
                     exchanged += 1
         self.gossip_rounds += 1
         self.gossip_key_exchanges += exchanged
         return exchanged
+
+    def partition_node(self, node_id: str) -> None:
+        """Cut one replica off from anti-entropy gossip (fault injection).
+
+        Models a network partition between storage peers: clients can still
+        reach the node directly, but replica maintenance to and from it is
+        deferred until :meth:`heal_partition`.  Stale reads served from the
+        partitioned replica during the window are exactly the §6.2 anomaly
+        surface the fault bench measures.
+        """
+        if node_id not in self._nodes:
+            raise KeyError(f"unknown storage node: {node_id!r}")
+        self._nodes[node_id].partitioned = True
+
+    def heal_partition(self, node_id: str) -> None:
+        """Reconnect a partitioned replica; queued gossip flows again."""
+        if node_id not in self._nodes:
+            raise KeyError(f"unknown storage node: {node_id!r}")
+        self._nodes[node_id].partitioned = False
+
+    def heal_all_partitions(self) -> int:
+        """Reconnect every partitioned replica; returns how many were healed."""
+        healed = 0
+        for node in self._nodes.values():
+            if node.partitioned:
+                node.partitioned = False
+                healed += 1
+        return healed
+
+    def partitioned_nodes(self) -> List[str]:
+        return sorted(node_id for node_id, node in self._nodes.items()
+                      if node.partitioned)
 
     def dirty_key_count(self) -> int:
         """Writes accepted by one replica but not yet gossiped to the rest."""

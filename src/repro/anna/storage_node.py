@@ -95,6 +95,11 @@ class StorageNode:
         self.read_redirects = 0
         #: Lattice merges received from peers (write fan-out / anti-entropy).
         self.replica_merges = 0
+        #: Fault injection: while True, anti-entropy gossip to and from this
+        #: node is deferred (dirty keys stay queued) — the replica is cut off
+        #: from its peers, though clients can still reach it directly.  Set
+        #: through :meth:`~repro.anna.cluster.AnnaCluster.partition_node`.
+        self.partitioned = False
 
     # -- storage operations ----------------------------------------------------
     def put(self, key: str, value: Lattice, now_ms: float = 0.0,

@@ -31,13 +31,16 @@ from .consistency_bench import (
     run_figure8,
     run_table2,
 )
+from .faultbench import (
+    FAULT_CLASSES,
+    fault_recovery_errors,
+    run_fault_recovery,
+)
 from .harness import (
     ComparisonResult,
     EngineLoadDriver,
-    SessionLoadDriver,
     SweepResult,
     run_closed_loop,
-    run_session_closed_loop,
 )
 from .microbenchmarks import (
     AutoscalingExperiment,
@@ -74,10 +77,11 @@ __all__ = [
     "run_table2",
     "ComparisonResult",
     "EngineLoadDriver",
-    "SessionLoadDriver",
     "SweepResult",
     "run_closed_loop",
-    "run_session_closed_loop",
+    "FAULT_CLASSES",
+    "fault_recovery_errors",
+    "run_fault_recovery",
     "AutoscalingExperiment",
     "measure_autoscaling_service_time",
     "run_figure1",

@@ -15,9 +15,6 @@ Two request drivers live here:
   stateful DAG sessions genuinely interleave their cache and snapshot
   accesses on one timeline.
 
-:class:`SessionLoadDriver` survives as a deprecated alias of
-:class:`EngineLoadDriver`: since invocations became futures, "session"
-completion callbacks are just ``add_done_callback`` on the returned future.
 """
 
 from __future__ import annotations
@@ -363,58 +360,6 @@ class EngineLoadDriver:
             duration_ms=duration,
             capacity_timeline=capacity_timeline,
         )
-
-
-class SessionLoadDriver(EngineLoadDriver):
-    """Deprecated alias of :class:`EngineLoadDriver`.
-
-    The session-aware driver existed because DAG sessions needed a completion
-    callback while plain calls completed synchronously.  With the
-    futures-first client API every invocation returns a
-    :class:`CloudburstFuture`, so the base driver already handles both: a
-    request fn returns the future of ``cloud.call_dag(...)`` and the driver
-    subscribes with ``add_done_callback``.
-
-    Old-style 4-argument session fns ``(ctx, client_id, index, done)`` are
-    rejected up front with a migration pointer — silently invoking them with
-    the new ``(cloud, ctx, index)`` arguments would fail with an opaque
-    TypeError deep inside the run (and their ``done`` callback would never
-    be supplied).
-    """
-
-    def __init__(self, cluster, request_fn, **kwargs):
-        import inspect
-
-        try:
-            parameters = inspect.signature(request_fn).parameters.values()
-            # Count only required positionals: defaulted trailing params are
-            # the closure-binding idiom (lambda cloud, ctx, index, rng=rng: ...),
-            # not the legacy 4-arg (ctx, client_id, index, done) shape.
-            positional = [p for p in parameters
-                          if p.kind in (p.POSITIONAL_ONLY,
-                                        p.POSITIONAL_OR_KEYWORD)
-                          and p.default is p.empty]
-            takes_var_args = any(p.kind == p.VAR_POSITIONAL for p in parameters)
-        except (TypeError, ValueError):  # builtins, odd callables: let it ride
-            positional, takes_var_args = [], True
-        if len(positional) >= 4 and not takes_var_args:
-            raise TypeError(
-                "SessionLoadDriver no longer takes session fns "
-                "(ctx, client_id, index, done): with the futures-first client "
-                "API, pass a request fn (cloud, ctx, index) returning the "
-                "CloudburstFuture of cloud.call_dag(...) — completion is "
-                "delivered through the future, not a done callback")
-        super().__init__(cluster, request_fn, **kwargs)
-
-
-def run_session_closed_loop(cluster, request_fn: DriverRequestFn, *,
-                            clients: int, total_requests: int,
-                            label: str = "session-closed-loop",
-                            throughput_bucket_ms: float = 1_000.0) -> SimulationResult:
-    """Deprecated alias of :func:`run_engine_closed_loop` (futures unified them)."""
-    return run_engine_closed_loop(
-        cluster, request_fn, clients=clients, total_requests=total_requests,
-        label=label, throughput_bucket_ms=throughput_bucket_ms)
 
 
 def run_engine_closed_loop(cluster, request_fn: DriverRequestFn, *,

@@ -23,6 +23,7 @@ from __future__ import annotations
 import itertools
 from typing import Any, Callable, Dict, Optional, Sequence, Tuple
 
+from ..errors import SchedulingError
 from ..sim import LatencyRecorder, RequestContext, SimClock
 from .consistency.levels import ConsistencyLevel
 from .dag import Dag
@@ -261,4 +262,15 @@ class CloudburstClient:
             engine.step()
 
     def _next_scheduler(self) -> Scheduler:
-        return next(self._scheduler_cycle)
+        """Round-robin over *live* schedulers (crashed ones are skipped).
+
+        When every scheduler is alive this is plain round-robin, so load
+        spreads exactly as before; during a scheduler crash the client fails
+        over to the survivors, and only if the whole control plane is down
+        does the call raise.
+        """
+        for _ in range(len(self._schedulers)):
+            scheduler = next(self._scheduler_cycle)
+            if scheduler.alive:
+                return scheduler
+        raise SchedulingError("every scheduler is down")

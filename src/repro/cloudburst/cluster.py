@@ -251,6 +251,34 @@ class CloudburstCluster:
                 return vm
         raise KeyError(f"unknown VM: {vm_id!r}")
 
+    # -- scheduler faults (§4.5) ---------------------------------------------------------
+    def scheduler(self, scheduler_id: str) -> Scheduler:
+        for candidate in self.schedulers:
+            if candidate.scheduler_id == scheduler_id:
+                return candidate
+        raise KeyError(f"unknown scheduler: {scheduler_id!r}")
+
+    def crash_scheduler(self, scheduler_id: str) -> Scheduler:
+        """Fault injection: crash a scheduler; its in-flight sessions freeze.
+
+        Clients fail over to the surviving schedulers; the crashed one's
+        journaled sessions are recovered by :meth:`restart_scheduler`.
+        """
+        scheduler = self.scheduler(scheduler_id)
+        scheduler.crash()
+        return scheduler
+
+    def restart_scheduler(self, scheduler_id: str) -> int:
+        """Restart a crashed scheduler; returns sessions recovered from its journal."""
+        return self.scheduler(scheduler_id).restart()
+
+    def live_schedulers(self) -> List[Scheduler]:
+        return [scheduler for scheduler in self.schedulers if scheduler.alive]
+
+    def abandoned_session_count(self) -> int:
+        """In-flight journal records across all schedulers (should be zero at rest)."""
+        return sum(s.journal.in_flight_count() for s in self.schedulers)
+
     # -- clients and observability -------------------------------------------------------
     def connect(self, client_id: Optional[str] = None,
                 consistency: Optional[ConsistencyLevel] = None) -> CloudburstClient:

@@ -27,6 +27,7 @@ from .consistency.levels import ConsistencyLevel
 from .consistency.protocols import ObservingProtocol, SessionState, make_protocol
 from .dag import Dag, DagRegistry
 from .executor import ExecutorThread, ExecutorVM, FUNCTION_LIST_KEY, function_key
+from .sessions import DagSession, SessionJournal
 from .policy import (
     DEFAULT_PLACEMENT_POLICY,
     RANDOM_PLACEMENT_POLICY,
@@ -61,6 +62,10 @@ class SchedulerStats:
     calls_per_dag: Dict[str, int] = field(default_factory=dict)
     locality_hits: int = 0
     locality_misses: int = 0
+    #: Invocations dispatched onto a dead thread or dead VM.  Placement
+    #: filters live threads, so anything counted here is a routing bug —
+    #: the fault-recovery bench gates this at exactly zero.
+    calls_routed_to_dead: int = 0
 
     def record_function_call(self, name: str) -> None:
         self.calls_per_function[name] = self.calls_per_function.get(name, 0) + 1
@@ -93,6 +98,12 @@ class Scheduler:
         self.overload_threshold = overload_threshold
         self.max_retries = max_retries
         self.stats = SchedulerStats()
+        #: False while crashed (fault injection); in-flight engine sessions
+        #: freeze instead of executing against a dead scheduler and resume
+        #: from the journal on :meth:`restart`.
+        self.alive = True
+        #: Durable per-session status transitions (§4.5 recovery source).
+        self.journal = SessionJournal(scheduler_id)
         #: Pluggable placement policy (§4.2-§4.3): how this scheduler turns
         #: published cache/load metadata into an executor choice.  See
         #: :mod:`repro.cloudburst.policy`.
@@ -102,6 +113,39 @@ class Scheduler:
         #: function name -> executor thread ids the function is pinned on.
         self.function_pins: Dict[str, List[str]] = {}
         self.anomaly_tracker = anomaly_tracker
+
+    # -- lifecycle: crash / restart (§4.5 fault injection) ------------------------------
+    def crash(self) -> None:
+        """Kill this scheduler (fault injection).
+
+        In-flight engine sessions freeze: their queued events return without
+        executing, and clients stop routing new work here.  The sessions stay
+        journaled, so :meth:`restart` can recover every one of them.
+        """
+        self.alive = False
+
+    def restart(self) -> int:
+        """Bring a crashed scheduler back and recover its in-flight DAGs.
+
+        Returns the number of sessions resumed from the journal.
+        """
+        self.alive = True
+        return self.recover_sessions()
+
+    def recover_sessions(self) -> int:
+        """Resume every in-flight DAG session recorded in the journal.
+
+        Each dead attempt's snapshots and shadow reads are released through
+        the normal ``_release_session``/``abandon_execution`` path and the
+        DAG re-executes (§4.5 at-least-once).  Sessions the journal already
+        saw complete are *not* resumed — re-running them would double-apply
+        their sink writes.
+        """
+        resumed = 0
+        for session in self.journal.live_sessions():
+            session.recover_from_crash()
+            resumed += 1
+        return resumed
 
     # -- registration (§4.3 "Scheduling Mechanisms") -----------------------------------
     def register_function(self, func: Callable, name: Optional[str] = None,
@@ -186,16 +230,21 @@ class Scheduler:
              store_in_kvs: bool = False,
              ctx: Optional[RequestContext] = None) -> ExecutionResult:
         """Schedule and execute a single function invocation."""
+        if not self.alive:
+            raise SchedulingError(f"scheduler {self.scheduler_id!r} is down")
         level = consistency or self.default_consistency
         ctx = ctx or RequestContext()
         start_ms = ctx.clock.now_ms
         self.stats.record_function_call(function_name)
         self.latency_model.charge(ctx, "cloudburst", "client_to_scheduler")
         self.latency_model.charge(ctx, "cloudburst", "schedule")
-        state = SessionState.create(level)
-        protocol = self._make_protocol(level)
         retries = 0
         while True:
+            # Each §4.5 attempt runs under a fresh session: reusing one state
+            # across retries leaked the failed attempt's snapshot pins and
+            # shadow reads into the retry's (different) execution.
+            state = SessionState.create(level)
+            protocol = self._make_protocol(level)
             thread = self._pick_executor(function_name, args,
                                          now_ms=ctx.clock.now_ms)
             self.latency_model.charge(ctx, "cloudburst", "scheduler_to_executor")
@@ -203,6 +252,10 @@ class Scheduler:
                 value = self._run_on_thread(thread, function_name, args, ctx, state, protocol)
                 break
             except ExecutorFailedError:
+                # Release the failed attempt before retrying or raising —
+                # snapshots and shadow reads must never outlive the attempt
+                # that pinned them.
+                self._release_session(state, protocol)
                 retries += 1
                 if retries > self.max_retries:
                     raise DagExecutionError(
@@ -238,11 +291,14 @@ class Scheduler:
         :class:`ExecutionResult` is returned.  With ``engine`` the execution
         is decomposed into discrete events on that engine (each function fires
         at its fork/join ready time, so concurrent sessions genuinely
-        interleave) and an :class:`_EngineDagSession` is returned immediately;
+        interleave) and a :class:`~repro.cloudburst.sessions.DagSession` is
+        returned immediately;
         completion is delivered to ``on_complete``/``on_error``.  The
         event-per-function path is charge-for-charge identical to the inline
         path — the single-client parity tests pin that.
         """
+        if not self.alive:
+            raise SchedulingError(f"scheduler {self.scheduler_id!r} is down")
         level = consistency or self.default_consistency
         function_args = function_args or {}
         if engine is not None:
@@ -299,7 +355,7 @@ class Scheduler:
                             store_in_kvs: bool,
                             on_complete: Optional[Callable[["ExecutionResult"], None]],
                             on_error: Optional[Callable[[Exception], None]],
-                            ) -> "_EngineDagSession":
+                            ) -> DagSession:
         """Schedule a DAG execution as discrete events on a shared engine.
 
         The inline path runs a whole DAG to completion inside one Python
@@ -316,6 +372,9 @@ class Scheduler:
         whole multi-client driver run); without ``on_error`` the
         :class:`DagExecutionError` propagates out of the engine loop,
         matching the inline contract.
+
+        Every session opened here is journaled (:class:`SessionJournal`): a
+        scheduler that crashes and restarts resumes the in-flight ones.
         """
         ctx = ctx or RequestContext(clock=SimClock(engine.now_ms))
         start_ms = ctx.clock.now_ms
@@ -324,30 +383,11 @@ class Scheduler:
         self.stats.record_dag_call(dag_name)
         self.latency_model.charge(ctx, "cloudburst", "client_to_scheduler")
         self.latency_model.charge(ctx, "cloudburst", "schedule")
-        session = _EngineDagSession(self, dag, function_args, ctx, start_ms,
-                                    level, engine, on_complete, on_error,
-                                    store_in_kvs=store_in_kvs)
+        session = DagSession(self, dag, function_args, ctx, start_ms,
+                             level, engine, on_complete, on_error,
+                             store_in_kvs=store_in_kvs)
         session.start()
         return session
-
-    def call_dag_on_engine(self, dag_name: str,
-                           function_args: Optional[Dict[str, Sequence[Any]]] = None,
-                           consistency: Optional[ConsistencyLevel] = None,
-                           engine=None,
-                           ctx: Optional[RequestContext] = None,
-                           on_complete: Optional[Callable[["ExecutionResult"], None]] = None,
-                           on_error: Optional[Callable[[Exception], None]] = None,
-                           ) -> "_EngineDagSession":
-        """Deprecated alias: use :meth:`call_dag` with ``engine=...`` instead.
-
-        The engine path was folded into :meth:`call_dag` when the client API
-        went futures-first; this name survives for older callers only.
-        """
-        if engine is None:
-            raise ValueError("call_dag_on_engine needs a discrete-event engine")
-        return self.call_dag(dag_name, function_args, consistency=consistency,
-                             ctx=ctx, engine=engine,
-                             on_complete=on_complete, on_error=on_error)
 
     def _execute_dag(self, dag: Dag, function_args: Dict[str, Sequence[Any]],
                      ctx: RequestContext, state: SessionState, protocol) -> Any:
@@ -365,8 +405,8 @@ class Scheduler:
         fork_join = ForkJoin(base_ms=ctx.clock.now_ms)
         branches: List[RequestContext] = []
         for name in order:
-            value, branch = self._dispatch_function(dag, name, results, function_args,
-                                                    fork_join, ctx, state, protocol)
+            value, branch, _ = self._dispatch_function(dag, name, results, function_args,
+                                                       fork_join, ctx, state, protocol)
             results[name] = value
             fork_join.complete(name, branch.clock.now_ms)
             branches.append(branch)
@@ -379,13 +419,16 @@ class Scheduler:
     def _dispatch_function(self, dag: Dag, name: str, results: Dict[str, Any],
                            function_args: Dict[str, Sequence[Any]],
                            fork_join: ForkJoin, ctx: RequestContext,
-                           state: SessionState, protocol) -> Tuple[Any, RequestContext]:
+                           state: SessionState, protocol
+                           ) -> Tuple[Any, RequestContext, ExecutorThread]:
         """Place and run one DAG function at its fork/join ready time.
 
         Shared by the sequential loop above and the engine-event path
-        (:class:`_EngineDagSession`) so the two stay charge-for-charge
-        identical — the single-client cross-check in the consistency tests
-        depends on that parity.  Returns ``(value, branch_context)``.
+        (:class:`~repro.cloudburst.sessions.DagSession`) so the two stay
+        charge-for-charge identical — the single-client cross-check in the
+        consistency tests depends on that parity.  Returns
+        ``(value, branch_context, thread)``; the thread feeds the session
+        journal's placement record.
         """
         upstream = dag.upstream_of(name)
         ready_ms = fork_join.ready_at(upstream)
@@ -403,12 +446,16 @@ class Scheduler:
             self.latency_model.charge(branch, "cloudburst", "dag_trigger",
                                       size_bytes=state.metadata_bytes())
         value = self._run_on_thread(thread, name, args, branch, state, protocol)
-        return value, branch
+        return value, branch, thread
 
     def _run_on_thread(self, thread: ExecutorThread, function_name: str,
                        args: Sequence[Any], ctx: RequestContext,
                        state: SessionState, protocol) -> Any:
         vm = thread.vm
+        if not thread.alive or not vm.alive:
+            # Placement filters live threads, so reaching a dead one here is
+            # a routing bug; the fault bench gates this counter at zero.
+            self.stats.calls_routed_to_dead += 1
         vm.inflight += 1
         try:
             value = thread.execute(function_name, args, ctx, state, protocol)
@@ -479,128 +526,3 @@ class Scheduler:
         protocol.finalize(state, self._cache_registry())
         if self.anomaly_tracker is not None:
             self.anomaly_tracker.abandon_execution(state.execution_id)
-
-
-class _EngineDagSession:
-    """One in-flight DAG execution decomposed into engine events.
-
-    Mirrors :meth:`Scheduler._execute_dag` — same charges, same fork/join
-    timing, same consistency-protocol calls — but each function runs in its
-    own engine event at its ready time, so concurrent sessions interleave
-    their cache accesses in the order virtual time dictates.  Failed
-    attempts release their session state (snapshots, shadow reads) before
-    the §4.5 whole-DAG retry.
-    """
-
-    def __init__(self, scheduler: Scheduler, dag: Dag,
-                 function_args: Dict[str, Sequence[Any]], ctx: RequestContext,
-                 start_ms: float, level: ConsistencyLevel, engine,
-                 on_complete: Optional[Callable[[ExecutionResult], None]],
-                 on_error: Optional[Callable[[Exception], None]] = None,
-                 store_in_kvs: bool = False):
-        self.scheduler = scheduler
-        self.dag = dag
-        self.function_args = function_args
-        self.ctx = ctx
-        self.start_ms = start_ms
-        self.level = level
-        self.engine = engine
-        self.on_complete = on_complete
-        self.on_error = on_error
-        self.store_in_kvs = store_in_kvs
-        self.retries = 0
-        self.done = False
-        self.result: Optional[ExecutionResult] = None
-        self.error: Optional[Exception] = None
-        self._reset_attempt()
-
-    def _reset_attempt(self) -> None:
-        self.state = SessionState.create(self.level)
-        self.protocol = self.scheduler._make_protocol(self.level)
-        self.results: Dict[str, Any] = {}
-        self.branches: List[RequestContext] = []
-        self.remaining = len(self.dag.functions)
-        self.fork_join = ForkJoin(base_ms=self.ctx.clock.now_ms)
-        self._scheduled: set = set()
-
-    def start(self) -> None:
-        base = self.ctx.clock.now_ms
-        for name in self.dag.sources:
-            self._schedule(name, base)
-
-    def _schedule(self, name: str, at_ms: float) -> None:
-        if name in self._scheduled:
-            return
-        self._scheduled.add(name)
-        attempt = self.state
-        self.engine.at(at_ms, lambda: self._run_function(name, attempt))
-
-    def _run_function(self, name: str, attempt: SessionState) -> None:
-        if attempt is not self.state or self.done:
-            return  # stale event from an attempt that failed and restarted
-        try:
-            value, branch = self.scheduler._dispatch_function(
-                self.dag, name, self.results, self.function_args,
-                self.fork_join, self.ctx, self.state, self.protocol)
-        except (ExecutorFailedError, StorageOverloadError):
-            # A dead executor and a saturated storage replica set get the
-            # same §4.5 treatment: the attempt fails, the session pays the
-            # fault timeout and retries; exhausted retries go to ``on_error``
-            # so one overloaded key cannot unwind a whole driver run.
-            self._retry()
-            return
-        self.results[name] = value
-        self.fork_join.complete(name, branch.clock.now_ms)
-        self.branches.append(branch)
-        self.remaining -= 1
-        for downstream in self.dag.downstream_of(name):
-            gates = self.dag.upstream_of(downstream)
-            if all(u in self.results for u in gates):
-                self._schedule(downstream, self.fork_join.ready_at(gates))
-        if self.remaining == 0:
-            self._finish()
-
-    def _retry(self) -> None:
-        scheduler = self.scheduler
-        scheduler._release_session(self.state, self.protocol)
-        self.retries += 1
-        if self.retries > scheduler.max_retries:
-            error = DagExecutionError(
-                f"DAG {self.dag.name!r} failed after {self.retries} attempts")
-            self.done = True
-            self.error = error
-            if self.on_error is not None:
-                # Deliver the failure to this session's owner; other sessions
-                # sharing the engine keep running (raising here would abort
-                # the whole driver run for every concurrent client).
-                self.on_error(error)
-                return
-            raise error
-        self.ctx.charge("cloudburst", "fault_timeout", scheduler.fault_timeout_ms)
-        self._reset_attempt()
-        self.engine.at(self.ctx.clock.now_ms, self.start)
-
-    def _finish(self) -> None:
-        scheduler = self.scheduler
-        ctx = self.ctx
-        ctx.join(self.branches)
-        sinks = self.dag.sinks
-        value = (self.results[sinks[0]] if len(sinks) == 1
-                 else {sink: self.results[sink] for sink in sinks})
-        # Mirror the inline call_dag tail exactly (parity): store-to-KVS
-        # replaces the result_to_client charge, never adds to it.
-        result_key = None
-        if self.store_in_kvs:
-            result_key = f"__cloudburst_results__/{self.state.execution_id}"
-            scheduler.kvs.put_plain(result_key, value, ctx)
-        else:
-            scheduler.latency_model.charge(ctx, "cloudburst", "result_to_client")
-        self.protocol.finalize(self.state, scheduler._cache_registry())
-        scheduler._complete_anomaly_tracking(self.state)
-        self.done = True
-        self.result = ExecutionResult(
-            value=value, latency_ms=ctx.clock.now_ms - self.start_ms,
-            execution_id=self.state.execution_id, ctx=ctx,
-            retries=self.retries, result_key=result_key, session=self.state)
-        if self.on_complete is not None:
-            self.on_complete(self.result)

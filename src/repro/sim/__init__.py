@@ -17,6 +17,7 @@ from .engine import (
     ReservationQueue,
     WorkQueue,
 )
+from .faults import DEFAULT_FAULT_CLASSES, FaultEvent, FaultPlane
 from .latency import ComputeModel, DEFAULT_COSTS, LatencyModel, OperationCost
 from .rng import RandomSource, ZipfGenerator
 from .stats import (
@@ -48,6 +49,9 @@ __all__ = [
     "ProcessorSharingQueue",
     "ReservationQueue",
     "WorkQueue",
+    "DEFAULT_FAULT_CLASSES",
+    "FaultEvent",
+    "FaultPlane",
     "ComputeModel",
     "DEFAULT_COSTS",
     "LatencyModel",

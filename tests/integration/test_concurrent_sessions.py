@@ -224,20 +224,67 @@ class TestSessionFailureIsolation:
             engine.run()
         cluster.detach_engine()
 
-    def test_call_dag_on_engine_survives_as_deprecated_alias(self):
-        cluster = self._flaky_cluster()
+    def _reading_flaky_cluster(self):
+        from repro.cloudburst import AnomalyTracker
+
+        cluster = CloudburstCluster(
+            executor_vms=2, threads_per_vm=2, seed=9,
+            consistency=ConsistencyLevel.DISTRIBUTED_SESSION_RR,
+            anomaly_tracker=AnomalyTracker())
+        cloud = cluster.connect()
+        cloud.put("shared-key", 41)
+
+        def read_then_die(cloudburst):
+            from repro.errors import ExecutorFailedError
+            # The read pins an RR snapshot and lands a shadow read in the
+            # anomaly tracker before the executor dies.
+            cloudburst.get("shared-key")
+            raise ExecutorFailedError(cloudburst.get_id(), "injected fault")
+
+        cloud.register(read_then_die, name="read_then_die")
+        cloud.register_dag("read-die-dag", ["read_then_die"])
+        return cluster
+
+    def _assert_no_leaked_session_state(self, cluster):
+        for vm in cluster.vms:
+            assert vm.cache.snapshot_count() == 0
+        assert cluster.anomaly_tracker._reads_by_execution == {}
+
+    def test_failed_dag_attempts_leak_no_snapshots_or_shadow_reads(self):
+        # Satellite of the fault-plane PR: every abandoned attempt must
+        # release its session (snapshot pins evicted, shadow reads dropped
+        # from the tracker) *before* the error reaches the caller.
+        cluster = self._reading_flaky_cluster()
         scheduler = cluster.schedulers[0]
         engine = Engine()
         cluster.attach_engine(engine)
         errors = []
-        session = scheduler.call_dag_on_engine(
-            "flaky-dag", engine=engine, on_error=errors.append)
+        in_error_callback = {}
+
+        def on_error(error):
+            errors.append(error)
+            # The release must have happened before the future resolves.
+            in_error_callback["snapshots"] = [
+                vm.cache.snapshot_count() for vm in cluster.vms]
+            in_error_callback["tracked_reads"] = dict(
+                cluster.anomaly_tracker._reads_by_execution)
+
+        scheduler.call_dag("read-die-dag", engine=engine, on_error=on_error)
         engine.run()
         cluster.detach_engine()
-        assert session.done and len(errors) == 1
-        with pytest.raises(ValueError):
-            scheduler.call_dag_on_engine("flaky-dag")  # engine is mandatory
+        assert len(errors) == 1
+        assert in_error_callback["snapshots"] == [0] * len(cluster.vms)
+        assert in_error_callback["tracked_reads"] == {}
+        self._assert_no_leaked_session_state(cluster)
 
+    def test_failed_sync_call_leaks_no_snapshots_or_shadow_reads(self):
+        from repro.errors import DagExecutionError
+
+        cluster = self._reading_flaky_cluster()
+        scheduler = cluster.schedulers[0]
+        with pytest.raises(DagExecutionError):
+            scheduler.call("read_then_die")
+        self._assert_no_leaked_session_state(cluster)
 
 class TestTable2Determinism:
     def test_same_seed_same_anomaly_counts(self):

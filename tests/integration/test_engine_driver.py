@@ -183,38 +183,6 @@ class TestDriverAutoscaling:
                              policy=lambda now, metrics: None)
 
 
-class TestSessionLoadDriverAlias:
-    def test_old_style_session_fn_rejected_with_migration_pointer(self):
-        from repro.bench.harness import SessionLoadDriver
-
-        cluster, _ = _make_cluster(seed=3)
-        with pytest.raises(TypeError, match="futures-first"):
-            SessionLoadDriver(cluster,
-                              lambda ctx, client_id, index, done: None,
-                              clients=2, max_requests=4)
-
-    def test_new_style_request_fn_accepted(self):
-        from repro.bench.harness import SessionLoadDriver
-
-        cluster, _ = _make_cluster(seed=3)
-        driver = SessionLoadDriver(cluster, _work_request, clients=2,
-                                   max_requests=4)
-        sim = driver.run()
-        assert sim.completed_requests == 4
-
-    def test_defaulted_closure_binding_params_not_mistaken_for_legacy_fn(self):
-        from repro.bench.harness import SessionLoadDriver
-
-        cluster, _ = _make_cluster(seed=3)
-        driver = SessionLoadDriver(
-            cluster,
-            lambda cloud, ctx, index, name="work": cloud.call(
-                name, [index], ctx=ctx),
-            clients=2, max_requests=4)
-        sim = driver.run()
-        assert sim.completed_requests == 4
-
-
 class TestBuildClusterWithThreads:
     def test_exact_totals(self):
         for total in (1, 2, 3, 4, 10):

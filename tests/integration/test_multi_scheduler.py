@@ -99,3 +99,72 @@ class TestEngineBackendOverManySchedulers:
         served = [s.stats.calls_per_dag.get("pipe", 0)
                   for s in cluster.schedulers]
         assert all(count > 0 for count in served), served
+
+
+class TestSchedulerFailover:
+    """Scheduler crash mid-run (satellite of the fault-plane PR).
+
+    scheduler-0 crashes while its DAG sessions are in flight and restarts
+    later; the restarted scheduler replays its journal and resumes every
+    abandoned session, clients fail over to the survivors in between, and
+    no request is lost, double-applied, or routed to a dead thread.
+    """
+
+    def test_crash_and_restart_loses_no_requests(self, cluster, clients):
+        from repro.bench.harness import EngineLoadDriver
+
+        _register_pipeline(clients[0])
+        values = []
+
+        def request(cloud, ctx, index):
+            future = cloud.call_dag("pipe", {"inc": [4]}, ctx=ctx)
+            future.add_done_callback(lambda f: values.append(f.get()))
+            return future
+
+        driver = EngineLoadDriver(cluster, request, clients=CLIENTS,
+                                  max_requests=48)
+        # Crash scheduler-0 once requests are in flight; restart it while the
+        # run is still going so it serves again before the budget is done.
+        driver.engine.at(2.0, lambda: cluster.crash_scheduler("scheduler-0"))
+        driver.engine.at(10.0, lambda: cluster.restart_scheduler("scheduler-0"))
+        sim = driver.run()
+
+        assert sim.completed_requests == 48
+        assert values == [15] * 48
+        crashed = cluster.scheduler("scheduler-0")
+        assert crashed.alive
+        # The restart resumed (not dropped) whatever the crash abandoned.
+        assert crashed.journal.recovered_sessions > 0
+        assert crashed.stats.calls_routed_to_dead == 0
+        for scheduler in cluster.schedulers:
+            assert scheduler.journal.in_flight_count() == 0
+            assert "pipe" in scheduler.dag_registry  # registrations agree
+        assert cluster.abandoned_session_count() == 0
+
+    def test_untouched_sessions_apply_exactly_once(self, cluster, clients):
+        from repro.bench.harness import EngineLoadDriver
+
+        _register_pipeline(clients[0])
+
+        def request(cloud, ctx, index):
+            return cloud.call_dag("pipe", {"inc": [4]}, ctx=ctx)
+
+        driver = EngineLoadDriver(cluster, request, clients=CLIENTS,
+                                  max_requests=36)
+        driver.engine.at(2.0, lambda: cluster.crash_scheduler("scheduler-0"))
+        driver.engine.at(8.0, lambda: cluster.restart_scheduler("scheduler-0"))
+        driver.run()
+        for scheduler in cluster.schedulers:
+            for record in scheduler.journal.records():
+                if record.recoveries == 0:
+                    # Sessions the crash never touched ran exactly one attempt.
+                    assert len(record.attempts) == 1
+
+    def test_all_schedulers_down_is_a_scheduling_error(self, cluster, clients):
+        from repro.errors import SchedulingError
+
+        _register_pipeline(clients[0])
+        for scheduler in cluster.schedulers:
+            cluster.crash_scheduler(scheduler.scheduler_id)
+        with pytest.raises(SchedulingError):
+            clients[0].call("inc", [1])

@@ -113,6 +113,35 @@ def good_engine_throughput() -> dict:
     }
 
 
+def _fault_entry(fault: str, injected: int = 3) -> dict:
+    return {
+        "fault": fault,
+        "requests": 200,
+        "completed": 200,
+        "failed": 0,
+        "anomalies": {"LWW": 0, "SK": 120, "MK": 120, "DSC": 121, "DSRR": 0},
+        "violations": [],
+        "abandoned_sessions": 0,
+        "calls_routed_to_dead": 0,
+        "recovered_sessions": 4 if fault == "scheduler_crash" else 0,
+        "faults": {"injected": injected, "recovered": injected,
+                   "max_recovery_ms": 10.0, "recovery_bound_ms": 15.0},
+    }
+
+
+def good_fault_recovery() -> dict:
+    classes = ("executor_kill", "storage_drop", "gossip_partition",
+               "scheduler_crash")
+    return {
+        "seed": 14,
+        "fault_classes": list(classes),
+        "classes": {fault: _fault_entry(fault) for fault in classes},
+        "determinism": {"fault": "executor_kill", "timeline_match": True,
+                        "anomalies_match": True},
+        "wall_seconds": 1.0,
+    }
+
+
 def good_payload() -> dict:
     return {
         "figure5_locality": good_figure5(),
@@ -122,6 +151,7 @@ def good_payload() -> dict:
         "figure12_retwis_scaling": good_scaling(),
         "engine_throughput": good_engine_throughput(),
         "table2_anomalies": {"invariant_violations": []},
+        "fault_recovery": good_fault_recovery(),
     }
 
 
@@ -187,6 +217,71 @@ class TestScalingAndEngineGates:
         assert any("fell below the" in e for e in errors)
 
 
+class TestFaultRecoveryGate:
+    def test_good_section_has_no_errors(self):
+        assert run_all.fault_recovery_errors(good_fault_recovery()) == []
+
+    def test_missing_section_is_flagged(self):
+        assert run_all.fault_recovery_errors({}) == [
+            "fault_recovery: section missing"]
+
+    def test_missing_class_is_flagged(self):
+        section = good_fault_recovery()
+        del section["classes"]["storage_drop"]
+        errors = run_all.fault_recovery_errors(section)
+        assert "fault_recovery[storage_drop]: class was not run" in errors
+
+    def test_abandoned_sessions_are_flagged(self):
+        section = good_fault_recovery()
+        section["classes"]["scheduler_crash"]["abandoned_sessions"] = 2
+        errors = run_all.fault_recovery_errors(section)
+        assert any("abandoned" in e for e in errors)
+
+    def test_calls_to_dead_threads_are_flagged(self):
+        section = good_fault_recovery()
+        section["classes"]["executor_kill"]["calls_routed_to_dead"] = 1
+        errors = run_all.fault_recovery_errors(section)
+        assert any("dead or drained" in e for e in errors)
+
+    def test_unrecovered_fault_is_flagged(self):
+        section = good_fault_recovery()
+        section["classes"]["gossip_partition"]["faults"]["recovered"] = 2
+        errors = run_all.fault_recovery_errors(section)
+        assert any("injected but" in e for e in errors)
+
+    def test_recovery_over_bound_is_flagged(self):
+        section = good_fault_recovery()
+        section["classes"]["executor_kill"]["faults"]["max_recovery_ms"] = 99.0
+        errors = run_all.fault_recovery_errors(section)
+        assert any("over the" in e for e in errors)
+
+    def test_vacuous_run_is_flagged(self):
+        # A schedule that never fires must fail the gate, not silently pass.
+        section = good_fault_recovery()
+        section["classes"]["executor_kill"]["faults"].update(
+            injected=0, recovered=0)
+        errors = run_all.fault_recovery_errors(section)
+        assert any("never exercised" in e for e in errors)
+
+    def test_crash_without_journal_recovery_is_flagged(self):
+        section = good_fault_recovery()
+        section["classes"]["scheduler_crash"]["recovered_sessions"] = 0
+        errors = run_all.fault_recovery_errors(section)
+        assert any("recovered from the journal" in e for e in errors)
+
+    def test_nondeterministic_timeline_is_flagged(self):
+        section = good_fault_recovery()
+        section["determinism"]["timeline_match"] = False
+        errors = run_all.fault_recovery_errors(section)
+        assert any("seed-deterministic" in e for e in errors)
+
+    def test_anomaly_violations_pass_through(self):
+        section = good_fault_recovery()
+        section["classes"]["executor_kill"]["violations"] = ["LWW != 0"]
+        errors = run_all.fault_recovery_errors(section)
+        assert "fault_recovery[executor_kill]: LWW != 0" in errors
+
+
 class TestControlPlaneChecks:
     def test_good_controlplane_has_no_errors(self):
         assert run_all.figure7_controlplane_errors(good_figure7()) == []
@@ -243,6 +338,8 @@ class TestMainExitCode:
         monkeypatch.setattr(run_all, "snapshot_scaling", lambda *a, **k: scaling)
         monkeypatch.setattr(run_all, "snapshot_figure8", lambda *a, **k: fig8)
         monkeypatch.setattr(run_all, "snapshot_table2", lambda *a, **k: table2)
+        monkeypatch.setattr(run_all, "snapshot_fault_recovery",
+                            lambda *a, **k: good_fault_recovery())
 
     def test_quick_run_exits_zero_when_gates_hold(self, monkeypatch, tmp_path):
         self._canned_sections(monkeypatch, good_figure5())

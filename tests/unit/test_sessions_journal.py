@@ -1,0 +1,138 @@
+"""Unit tests for the session journal (§4.5 durable DAG-session state).
+
+The journal is the explicit, serializable home of what used to be closure
+state inside the scheduler's engine-DAG path: per-attempt status, placements,
+resource holdings, retry budget.  These tests pin its transition semantics
+and the JSON round-trip the CI fault artifact depends on.
+"""
+
+import json
+
+import pytest
+
+from repro.cloudburst import ConsistencyLevel
+from repro.cloudburst.consistency.protocols import SessionState
+from repro.cloudburst.sessions import (
+    ATTEMPT_ABANDONED,
+    ATTEMPT_COMPLETED,
+    ATTEMPT_FAILED,
+    ATTEMPT_IN_FLIGHT,
+    FUNCTION_COMPLETED,
+    FUNCTION_SCHEDULED,
+    SESSION_COMPLETED,
+    SESSION_FAILED,
+    SESSION_RUNNING,
+    SessionJournal,
+)
+
+
+def _open(journal, name="dag-a", session=None):
+    return journal.open(dag_name=name, function_args={"f": [1, 2]},
+                        level=ConsistencyLevel.LWW, store_in_kvs=False,
+                        start_ms=10.0, session=session or object())
+
+
+class TestLifecycle:
+    def test_open_assigns_scoped_sequential_ids(self):
+        journal = SessionJournal("scheduler-3")
+        first, second = _open(journal), _open(journal)
+        assert first.session_id == "scheduler-3/session-0"
+        assert second.session_id == "scheduler-3/session-1"
+        assert first.status == SESSION_RUNNING
+        assert journal.in_flight_count() == 2
+
+    def test_attempt_transitions(self):
+        journal = SessionJournal("s")
+        record = _open(journal)
+        attempt = journal.begin_attempt(record, "exec-1", at_ms=10.0)
+        assert attempt.status == ATTEMPT_IN_FLIGHT
+        journal.record_scheduled(record, "f")
+        assert attempt.function_status["f"] == FUNCTION_SCHEDULED
+        state = SessionState.create(ConsistencyLevel.LWW)
+        state.caches_involved.add("cache-1")
+        journal.record_completed(record, "f", finish_ms=22.5,
+                                 thread_id="vm-0:t1", vm_id="vm-0", state=state)
+        assert attempt.function_status["f"] == FUNCTION_COMPLETED
+        assert attempt.finish_ms["f"] == 22.5
+        assert attempt.placements["f"] == "vm-0:t1"
+        assert attempt.vms_used == ["vm-0"]
+        assert attempt.caches_involved == ["cache-1"]
+        assert record.uses_vm("vm-0") and not record.uses_vm("vm-9")
+
+    def test_failure_retry_and_close(self):
+        journal = SessionJournal("s")
+        record = _open(journal)
+        journal.begin_attempt(record, "exec-1", at_ms=10.0)
+        journal.record_attempt_failure(record, "executor died")
+        assert record.current_attempt().status == ATTEMPT_FAILED
+        assert record.current_attempt().failure == "executor died"
+        assert journal.record_retry(record) == 1
+        journal.begin_attempt(record, "exec-2", at_ms=40.0)
+        journal.close(record, SESSION_COMPLETED)
+        assert record.status == SESSION_COMPLETED
+        assert record.current_attempt().status == ATTEMPT_COMPLETED
+        assert journal.in_flight_count() == 0
+        # Failed attempts keep their failed status in the history.
+        assert record.attempts[0].status == ATTEMPT_FAILED
+
+    def test_crash_recovery_transitions(self):
+        journal = SessionJournal("s")
+        session = object()
+        record = _open(journal, session=session)
+        journal.begin_attempt(record, "exec-1", at_ms=10.0)
+        journal.record_attempt_failure(record, "scheduler crash",
+                                       status=ATTEMPT_ABANDONED)
+        journal.record_recovery(record)
+        assert record.current_attempt().status == ATTEMPT_ABANDONED
+        assert record.recoveries == 1
+        assert journal.recovered_sessions == 1
+        # Recovery does not burn the §4.5 retry budget.
+        assert record.retries == 0
+        # The session is still in flight (the restart resumes it).
+        assert journal.live_sessions() == [session]
+
+    def test_failed_close_removes_live_session(self):
+        journal = SessionJournal("s")
+        record = _open(journal)
+        journal.close(record, SESSION_FAILED)
+        assert journal.live_sessions() == []
+        assert journal.counts()[SESSION_FAILED] == 1
+
+
+class TestQueries:
+    def test_counts_and_in_flight(self):
+        journal = SessionJournal("s")
+        a, b, c = _open(journal), _open(journal), _open(journal)
+        journal.close(a, SESSION_COMPLETED)
+        journal.close(b, SESSION_FAILED)
+        counts = journal.counts()
+        assert counts[SESSION_COMPLETED] == 1
+        assert counts[SESSION_FAILED] == 1
+        assert counts[SESSION_RUNNING] == 1
+        assert journal.in_flight() == [c]
+
+    def test_record_for_unknown_session_raises(self):
+        journal = SessionJournal("s")
+        with pytest.raises(KeyError):
+            journal.record_for("s/session-99")
+
+
+class TestSerialization:
+    def test_to_dict_is_json_round_trippable(self):
+        journal = SessionJournal("scheduler-0")
+        record = _open(journal)
+        journal.begin_attempt(record, "exec-1", at_ms=10.0)
+        journal.record_scheduled(record, "f")
+        state = SessionState.create(ConsistencyLevel.LWW)
+        journal.record_completed(record, "f", 15.0, "vm-1:t0", "vm-1", state)
+        journal.close(record, SESSION_COMPLETED)
+        # Arbitrary user args must not leak into the dump — only their counts.
+        _open(journal, name="dag-b", session=object())
+        dump = json.loads(json.dumps(journal.to_dict()))
+        assert dump["scheduler_id"] == "scheduler-0"
+        assert dump["counts"]["completed"] == 1
+        assert dump["counts"]["running"] == 1
+        sessions = {entry["dag_name"]: entry for entry in dump["sessions"]}
+        assert sessions["dag-a"]["attempts"][0]["placements"] == {"f": "vm-1:t0"}
+        assert sessions["dag-a"]["function_arg_counts"] == {"f": 2}
+        assert "function_args" not in sessions["dag-a"]
