@@ -23,12 +23,21 @@ engine speed itself: the ``engine_throughput`` section (events/sec from
 fig10/fig12 scaling sweeps — run at the paper's full request budgets in every
 mode — must keep their 160-vs-10-thread speedup ratios.
 
+On top of the fixed thresholds, every run is appended to the historical
+bench ledger (``bench_ledger.sqlite``, see ``repro.bench.ledger``) and
+trend-gated against its own history: key throughput metrics must stay within
+15% of the median of the last five recorded runs.  An empty ledger is seeded
+from the committed snapshot; a corrupt or missing one degrades to the fixed
+thresholds with a warning.  Section-by-section schema documentation lives in
+``docs/BENCH_SCHEMA.md``.
+
 Usage::
 
     python benchmarks/run_all.py                  # default (reduced) scale
     python benchmarks/run_all.py --quick          # smallest scale, same gates
     python benchmarks/run_all.py --full           # benchmark-default scale
     python benchmarks/run_all.py --output out.json --seed 3
+    python benchmarks/run_all.py --no-ledger      # skip the history/trend gate
 """
 
 from __future__ import annotations
@@ -43,6 +52,7 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro.bench import (  # noqa: E402
+    apply_ledger,
     engine_throughput_errors,
     fault_recovery_errors,
     run_engine_micro,
@@ -335,6 +345,16 @@ def main(argv=None) -> int:
                         help="run at the benchmark-default (slower) scale")
     parser.add_argument("--quick", action="store_true",
                         help="smallest scale (CI smoke); same gates")
+    parser.add_argument("--ledger", default=None,
+                        help="bench ledger database to append this run to "
+                             "(default: bench_ledger.sqlite next to --output)")
+    parser.add_argument("--ledger-seed", default=str(REPO_ROOT / "BENCH_throughput.json"),
+                        help="snapshot used to seed an empty ledger so trend "
+                             "gates have history (default: the committed "
+                             "BENCH_throughput.json)")
+    parser.add_argument("--no-ledger", action="store_true",
+                        help="skip the historical ledger and its trend gate "
+                             "(fixed thresholds still apply)")
     args = parser.parse_args(argv)
     if args.full and args.quick:
         parser.error("--full and --quick are mutually exclusive")
@@ -438,7 +458,7 @@ def main(argv=None) -> int:
               f"[{fault_recovery['wall_seconds']}s]")
 
     payload = {
-        "schema": 6,
+        "schema": 7,
         "seed": args.seed,
         "scale": scale_label,
         "engine_throughput": engine_micro,
@@ -452,10 +472,30 @@ def main(argv=None) -> int:
         "fault_recovery": fault_recovery,
     }
     gate_errors = collect_gate_errors(payload)
+    output = Path(args.output)
+    if not args.no_ledger:
+        # Historical ledger: append this run and trend-check it against the
+        # last TREND_WINDOW runs (seeding an empty history from the committed
+        # snapshot).  A corrupt/missing ledger degrades to the fixed
+        # thresholds above with a warning — see repro/bench/ledger.py.
+        ledger_path = (Path(args.ledger) if args.ledger
+                       else output.parent / "bench_ledger.sqlite")
+        ledger_section, ledger_errors = apply_ledger(
+            payload, gate_errors, ledger_path, seed_snapshot=args.ledger_seed)
+        payload["ledger"] = ledger_section
+        gate_errors += ledger_errors
+        trend = ledger_section.get("trend") or {}
+        for metric, check in sorted(trend.items()):
+            median_text = ("no history" if check["median"] is None
+                           else f"median {check['median']:.2f} "
+                                f"over {check['window']} run(s)")
+            status = "ok" if check["ok"] else "REGRESSED"
+            print(f"  ledger {metric}: {check['value']:.2f} vs {median_text} "
+                  f"[{status}]")
     payload["consistency_invariants_ok"] = \
         not table2["invariant_violations"]
     payload["bench_gate_ok"] = not gate_errors
-    output = Path(args.output)
+    payload["gate_errors"] = gate_errors
     output.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     print(f"wrote {output}")
 

@@ -13,9 +13,16 @@ schedule plus anomaly counters replay identically for the same seed.
 fault timeline) as JSON; CI uploads it as an artifact when the gate fails so
 the exact in-flight state that broke the oracle is inspectable.
 
+``--durable DIR`` puts the storage nodes on real SQLite/WAL cold tiers
+(databases created under DIR) with a small memory capacity so demotions
+actually happen; ``storage_drop`` then crashes and restarts nodes instead of
+drain/rejoin, and the oracle additionally requires every cold key on disk at
+crash time to be recovered.
+
 Usage::
 
     python benchmarks/run_fault_matrix.py --quick
+    python benchmarks/run_fault_matrix.py --durable /tmp/fault_cold_tiers
     python benchmarks/run_fault_matrix.py --output fault_matrix.json \
         --journal-dump fault_journals.json
 """
@@ -42,12 +49,25 @@ def main(argv=None) -> int:
     parser.add_argument("--seed", type=int, default=7)
     parser.add_argument("--quick", action="store_true",
                         help="reduced request budget (CI smoke); same gates")
+    parser.add_argument("--durable", default=None, metavar="DIR",
+                        help="run the storage nodes on SQLite cold tiers "
+                             "under DIR (storage_drop becomes crash/restart)")
+    parser.add_argument("--memory-capacity", type=int, default=48,
+                        help="per-node memory-tier capacity in keys when "
+                             "--durable is set, so demotions actually happen "
+                             "(default: %(default)s)")
     args = parser.parse_args(argv)
 
+    durable_kwargs = {}
+    if args.durable is not None:
+        Path(args.durable).mkdir(parents=True, exist_ok=True)
+        durable_kwargs = dict(durable_dir=args.durable,
+                              memory_capacity_keys=args.memory_capacity)
     request_count = 120 if args.quick else 240
     started = time.time()
     section = run_fault_recovery(seed=args.seed, request_count=request_count,
-                                 include_journals=args.journal_dump is not None)
+                                 include_journals=args.journal_dump is not None,
+                                 **durable_kwargs)
     section["wall_seconds"] = round(time.time() - started, 2)
 
     journals = {fault: entry.pop("journals", None)
@@ -64,6 +84,12 @@ def main(argv=None) -> int:
               f"anomalies={entry['anomalies']} "
               f"abandoned={entry['abandoned_sessions']} "
               f"dead_calls={entry['calls_routed_to_dead']}")
+        durable = entry.get("durable") or {}
+        if durable.get("enabled"):
+            print(f"{'':17s} durable: crashes={durable['crashes']} "
+                  f"cold_at_crash={durable['cold_keys_at_crash']} "
+                  f"cold_recovered={durable['cold_keys_recovered']} "
+                  f"demotions={durable['demotions']}")
     determinism = section.get("determinism")
     if determinism:
         print(f"determinism[{determinism['fault']}]: "

@@ -115,9 +115,11 @@ class StorageAutoscaler:
         demoted = 0
         for node_id in self.cluster.node_ids:
             node = self.cluster.node(node_id)
-            for key in list(node.keys()):
-                if node.tier_of(key) != node.MEMORY_TIER:
-                    continue
+            # Only memory-tier keys are demotion candidates, so iterate the
+            # memory tier directly: the old keys()+tier_of scan touched every
+            # disk key per tick, which becomes a database query per key once
+            # the disk tier is a durable SqliteColdTier.
+            for key in list(node.memory_keys()):
                 age = now_ms - node.stats(key).last_access_ms
                 if age > self.config.cold_key_age_ms:
                     if node.demote(key):

@@ -29,7 +29,8 @@ treatment of replication as asynchronous and free for the caller.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, List, Optional
+from pathlib import Path
+from typing import Any, Callable, Dict, Iterable, List, Optional, Union
 
 from ..errors import KeyNotFoundError, StorageOverloadError
 from ..lattices import Lattice, LWWLattice, TimestampGenerator
@@ -65,7 +66,8 @@ class AnnaCluster:
                  propagation_interval_ms: float = 0.0,
                  storage_service: Optional[StorageServiceModel] = None,
                  node_queue_bound: Optional[int] = DEFAULT_NODE_QUEUE_BOUND,
-                 gossip_interval_ms: float = DEFAULT_GOSSIP_INTERVAL_MS):
+                 gossip_interval_ms: float = DEFAULT_GOSSIP_INTERVAL_MS,
+                 durable_path: Optional[Union[str, Path]] = None):
         if node_count <= 0:
             raise ValueError("node_count must be positive")
         if replication_factor <= 0:
@@ -107,6 +109,17 @@ class AnnaCluster:
         self._retired_rejections = 0
         self._retired_read_redirects = 0
         self._retired_demotions = 0
+        #: When set, every storage node gets a :class:`SqliteColdTier` in this
+        #: shared WAL database file — demotions become real durable writes and
+        #: :meth:`crash_node`/:meth:`restart_node` model a node crash that
+        #: keeps its cold set on disk.  None keeps the in-process disk tier.
+        self.durable_path = Path(durable_path) if durable_path is not None else None
+        #: Crash/restart accounting for the durable tier (§4.5 fault oracle):
+        #: how many cold keys were on disk at each crash, and how many a
+        #: restart recovered.  Equal totals mean no demoted key was lost.
+        self.cold_crashes = 0
+        self.cold_keys_at_crash = 0
+        self.cold_keys_recovered = 0
         self._ring = HashRing(virtual_nodes=virtual_nodes)
         self._nodes: Dict[str, StorageNode] = {}
         self._node_sequence = 0
@@ -136,13 +149,28 @@ class AnnaCluster:
         Migration reads peers with ``peek`` and merges with
         ``count_access=False``: rebalancing is system traffic and must not
         register as client load with the hot-key or autoscaling policies.
+
+        With a durable path configured, the node opens (or re-opens) its
+        per-node table in the shared SQLite file *before* migration: a node
+        rejoining after :meth:`crash_node` recovers its cold set from disk
+        first, and the migration below then merges the peers' copies into
+        those durable rows by the normal lattice rules.
         """
         if node_id is None:
             node_id = f"anna-node-{self._node_sequence}"
             self._node_sequence += 1
+        cold_tier = None
+        if self.durable_path is not None:
+            from ..durable import SqliteColdTier
+
+            cold_tier = SqliteColdTier(self.durable_path, node_id)
         node = StorageNode(node_id, memory_capacity_keys=self.memory_capacity_keys,
                            service_model=self.storage_service,
-                           queue_bound=self.node_queue_bound)
+                           queue_bound=self.node_queue_bound,
+                           cold_tier=cold_tier)
+        if cold_tier is not None:
+            recovered = node.recover_cold_set()
+            self.cold_keys_recovered += recovered
         all_keys = set()
         for other in self._nodes.values():
             all_keys.update(other.keys())
@@ -187,6 +215,80 @@ class AnnaCluster:
         for key, value in departing.drain().items():
             for owner in self._owners(key):
                 self._nodes[owner].put(key, value, count_access=False)
+        if departing.cold_tier is not None:
+            # Graceful decommission: drain() already emptied the table, so a
+            # later node reusing this id starts from a clean cold set.
+            departing.cold_tier.close()
+
+    def crash_node(self, node_id: str) -> int:
+        """Kill a storage node without the graceful drain (fault injection).
+
+        The node's volatile memory tier and access statistics are lost with
+        it, but its durable cold tier — when one is attached — stays on disk
+        under the same node id, so :meth:`restart_node` recovers the cold set
+        from the database instead of refetching it.  Writes the node had
+        accepted but not yet gossiped are delivered to the surviving
+        replicas: the repro models anti-entropy pushes as already emitted
+        when the write was acknowledged (see ``DESIGN.md``, DR-5), so a crash
+        costs a replica, never acknowledged data.  Returns the number of
+        durable cold keys left behind on disk.
+        """
+        if node_id not in self._nodes:
+            raise KeyError(f"unknown storage node: {node_id!r}")
+        if len(self._nodes) == 1:
+            raise ValueError("cannot crash the last storage node")
+        departing = self._nodes.pop(node_id)
+        self._ring.remove_node(node_id)
+        self._retired_queue_busy_ms += departing.work_queue.busy_ms
+        self._retired_rejections += departing.rejections
+        self._retired_read_redirects += departing.read_redirects
+        self._retired_demotions += departing.demotions
+        for key in sorted(self._dirty.pop(node_id, set())):
+            value = departing.peek(key)
+            if value is None:
+                continue
+            for owner in self._owners(key):
+                survivor = self._nodes.get(owner)
+                if survivor is not None:
+                    survivor.put(key, value, count_access=False)
+        cold_left = departing.disk_key_count() if departing.cold_tier else 0
+        departing.forget_volatile()
+        if departing.cold_tier is not None:
+            departing.cold_tier.close()
+        self.cold_crashes += 1
+        self.cold_keys_at_crash += cold_left
+        return cold_left
+
+    def restart_node(self, node_id: str) -> int:
+        """Rejoin a crashed node under its old id, recovering its cold set.
+
+        The restarted node re-opens its per-node SQLite table (recovering
+        every demoted key straight from disk) and then receives the normal
+        add-node migration, which merges the peers' copies into the durable
+        rows by vector clock.  Returns how many keys came back from disk.
+        """
+        if node_id in self._nodes:
+            raise ValueError(f"storage node {node_id!r} is still alive")
+        before = self.cold_keys_recovered
+        self.add_node(node_id=node_id)
+        return self.cold_keys_recovered - before
+
+    def has_durable_tier(self) -> bool:
+        """True when storage nodes persist their cold tier in SQLite."""
+        return self.durable_path is not None
+
+    def durable_stats(self) -> Dict[str, Any]:
+        """Durable-tier accounting for the bench sections and the §4.5 oracle."""
+        return {
+            "enabled": self.durable_path is not None,
+            "path": str(self.durable_path) if self.durable_path else None,
+            "crashes": self.cold_crashes,
+            "cold_keys_at_crash": self.cold_keys_at_crash,
+            "cold_keys_recovered": self.cold_keys_recovered,
+            "cold_keys_now": sum(node.disk_key_count()
+                                 for node in self._nodes.values()),
+            "demotions": self.total_demotions(),
+        }
 
     @property
     def node_ids(self) -> List[str]:

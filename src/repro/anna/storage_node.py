@@ -13,16 +13,25 @@ node's server (memory tier vs the much slower disk tier).  The queue is only
 consulted for *charged* client requests on the engine-driven path; background
 traffic — replica gossip, asynchronous cache write-backs — never occupies it,
 matching the paper's treatment of replication as free for the caller.
+
+The disk tier has two implementations: the default in-process dict, and —
+when a :class:`~repro.durable.SqliteColdTier` is attached — a real WAL-mode
+SQLite table that survives node crashes.  Either way the *timing* of disk
+operations comes solely from :class:`StorageServiceModel`, so attaching a
+durable tier never perturbs the virtual timeline.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional
 
 from ..errors import KeyNotFoundError
 from ..lattices import Lattice
 from ..sim.engine import ReservationQueue
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from ..durable import SqliteColdTier
 
 #: Default bound on a storage node's work queue.  Large enough that the
 #: benchmark workloads queue (latency) before they reject (errors); small
@@ -72,10 +81,15 @@ class StorageNode:
 
     def __init__(self, node_id: str, memory_capacity_keys: int = 1_000_000,
                  service_model: Optional[StorageServiceModel] = None,
-                 queue_bound: Optional[int] = DEFAULT_NODE_QUEUE_BOUND):
+                 queue_bound: Optional[int] = DEFAULT_NODE_QUEUE_BOUND,
+                 cold_tier: Optional["SqliteColdTier"] = None):
         self.node_id = node_id
         self.memory_capacity_keys = memory_capacity_keys
         self.service_model = service_model or StorageServiceModel()
+        #: Optional durable backend for the disk tier.  When set, demotions
+        #: serialise into SQLite and the in-process ``_disk`` dict stays
+        #: empty; when None, the disk tier is the plain dict as before.
+        self.cold_tier = cold_tier
         #: Bounded single-server queue serialising charged client operations
         #: when the cluster runs on a discrete-event engine.  Storage ops
         #: arrive at private request-clock times that interleave across
@@ -115,9 +129,11 @@ class StorageNode:
         """
         existing = self._memory.get(key)
         tier = self.MEMORY_TIER
-        if existing is None and key in self._disk:
-            existing = self._disk[key]
-            tier = self.DISK_TIER
+        if existing is None:
+            on_disk = self._disk_peek(key)
+            if on_disk is not None:
+                existing = on_disk
+                tier = self.DISK_TIER
         if existing is None:
             # Fresh key: make room in the memory tier before inserting.
             # O(n) min scan, not coldest_memory_keys (which copies + sorts the
@@ -126,7 +142,7 @@ class StorageNode:
                 self.demote(min(self._memory, key=self._last_access_ms))
         merged = value if existing is None else existing.merge(value)
         if tier == self.DISK_TIER:
-            self._disk[key] = merged
+            self._disk_store(key, merged, now_ms)
         else:
             self._memory[key] = merged
         if count_access:
@@ -140,7 +156,7 @@ class StorageNode:
     def get(self, key: str, now_ms: float = 0.0) -> Lattice:
         value = self._memory.get(key)
         if value is None:
-            value = self._disk.get(key)
+            value = self._disk_peek(key)
         if value is None:
             raise KeyNotFoundError(key)
         stats = self._stats.setdefault(key, KeyStats())
@@ -152,44 +168,81 @@ class StorageNode:
         """Read without access accounting (rebalancing, gossip, system reads)."""
         value = self._memory.get(key)
         if value is None:
-            value = self._disk.get(key)
+            value = self._disk_peek(key)
         return value
 
     def delete(self, key: str) -> bool:
-        removed = False
-        if key in self._memory:
-            del self._memory[key]
-            removed = True
-        if key in self._disk:
-            del self._disk[key]
-            removed = True
+        removed = self._memory.pop(key, None) is not None
+        if self.cold_tier is not None:
+            removed = self.cold_tier.delete(key) or removed
+        else:
+            removed = (self._disk.pop(key, None) is not None) or removed
         self._stats.pop(key, None)
         return removed
 
     def contains(self, key: str) -> bool:
-        return key in self._memory or key in self._disk
+        return key in self._memory or self._disk_contains(key)
 
     def tier_of(self, key: str) -> Optional[str]:
         if key in self._memory:
             return self.MEMORY_TIER
-        if key in self._disk:
+        if self._disk_contains(key):
             return self.DISK_TIER
         return None
 
+    # -- the disk tier's two backends (in-process dict vs durable SQLite) --------
+    def _disk_peek(self, key: str) -> Optional[Lattice]:
+        if self.cold_tier is not None:
+            return self.cold_tier.get(key)
+        return self._disk.get(key)
+
+    def _disk_contains(self, key: str) -> bool:
+        if self.cold_tier is not None:
+            return self.cold_tier.contains(key)
+        return key in self._disk
+
+    def _disk_store(self, key: str, value: Lattice, now_ms: float = 0.0) -> None:
+        if self.cold_tier is not None:
+            self.cold_tier.put(key, value, last_access_ms=now_ms)
+        else:
+            self._disk[key] = value
+
+    def _disk_pop(self, key: str) -> Optional[Lattice]:
+        if self.cold_tier is not None:
+            return self.cold_tier.pop(key)
+        return self._disk.pop(key, None)
+
     # -- tier management ---------------------------------------------------------
     def demote(self, key: str) -> bool:
-        """Move a key from the memory tier to the disk tier."""
+        """Move a key from the memory tier to the disk tier.
+
+        With a durable cold tier attached the value is *merged* into any
+        existing on-disk copy (after a crash/restart the table may already
+        hold an older version of the key) and committed before this returns.
+        """
         if key not in self._memory:
             return False
-        self._disk[key] = self._memory.pop(key)
+        value = self._memory.pop(key)
+        if self.cold_tier is not None:
+            self.cold_tier.merge(key, value,
+                                 last_access_ms=self._last_access_ms(key))
+        else:
+            self._disk[key] = value
         self.demotions += 1
         return True
 
     def promote(self, key: str) -> bool:
-        """Move a key from the disk tier to the memory tier."""
-        if key not in self._disk:
+        """Move a key from the disk tier to the memory tier.
+
+        The disk copy is merged into any memory-resident copy by the normal
+        lattice rules — for causal values a vector-clock merge — so a write
+        that raced the demotion is never clobbered by the promotion.
+        """
+        value = self._disk_pop(key)
+        if value is None:
             return False
-        self._memory[key] = self._disk.pop(key)
+        existing = self._memory.get(key)
+        self._memory[key] = value if existing is None else existing.merge(value)
         return True
 
     def over_memory_capacity(self) -> bool:
@@ -208,13 +261,25 @@ class StorageNode:
     # -- introspection ------------------------------------------------------------
     def keys(self) -> Iterable[str]:
         yield from self._memory
-        yield from self._disk
+        if self.cold_tier is not None:
+            yield from self.cold_tier.keys()
+        else:
+            yield from self._disk
 
     def key_count(self) -> int:
-        return len(self._memory) + len(self._disk)
+        return len(self._memory) + self.disk_key_count()
 
     def memory_key_count(self) -> int:
         return len(self._memory)
+
+    def memory_keys(self) -> Iterable[str]:
+        """Keys currently resident in the memory tier (demotion candidates)."""
+        yield from self._memory
+
+    def disk_key_count(self) -> int:
+        if self.cold_tier is not None:
+            return self.cold_tier.key_count()
+        return len(self._disk)
 
     def stats(self, key: str) -> KeyStats:
         return self._stats.setdefault(key, KeyStats())
@@ -224,14 +289,54 @@ class StorageNode:
                 if stats.accesses >= min_accesses and self.contains(key)]
 
     def drain(self) -> Dict[str, Lattice]:
-        """Return and clear all stored data (used when removing a node)."""
+        """Return and clear all stored data (graceful node removal).
+
+        A drain empties the durable cold tier too: the node is being
+        decommissioned and its data re-homed, so leaving rows behind would
+        leak them into a later node reusing the same id.  Crashes go through
+        :meth:`forget_volatile` instead, which is the path that *keeps* the
+        cold set on disk.
+        """
         everything = dict(self._memory)
-        everything.update(self._disk)
+        if self.cold_tier is not None:
+            for key, value in self.cold_tier.items():
+                existing = everything.get(key)
+                everything[key] = (value if existing is None
+                                   else existing.merge(value))
+            self.cold_tier.clear()
+        else:
+            everything.update(self._disk)
+            self._disk.clear()
         self._memory.clear()
-        self._disk.clear()
         self._stats.clear()
         return everything
 
+    # -- crash/restart (durable tier only) ----------------------------------------
+    def forget_volatile(self) -> None:
+        """Crash semantics: lose the memory tier and access statistics.
+
+        The durable cold tier is deliberately untouched — its rows stay on
+        disk under this node's table for a restarted node to recover.
+        """
+        self._memory.clear()
+        self._stats.clear()
+
+    def recover_cold_set(self) -> int:
+        """Restore per-key statistics for the durable cold set after a restart.
+
+        The cold *data* never left the database; what a crash loses is the
+        in-memory access bookkeeping the autoscaler's cold-age policy reads.
+        Returns the number of durable keys found (0 without a cold tier).
+        """
+        if self.cold_tier is None:
+            return 0
+        recovered = 0
+        for key, last_access in self.cold_tier.access_times().items():
+            stats = self._stats.setdefault(key, KeyStats())
+            stats.last_access_ms = max(stats.last_access_ms, last_access)
+            recovered += 1
+        return recovered
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"StorageNode({self.node_id!r}, memory={len(self._memory)}, "
-                f"disk={len(self._disk)})")
+                f"disk={self.disk_key_count()})")

@@ -23,7 +23,8 @@ and ``scheduler_crash`` vacuous.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Sequence
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Union
 
 from ..anna import AnnaCluster
 from ..apps.retwis import cb_get_timeline, cb_post_tweet, user_key
@@ -55,7 +56,9 @@ def fb_timeline(cloudburst, profile: Dict[str, str], user: str) -> Dict[str, obj
 
 def _build_cluster(seed: int, executor_vms: int, scheduler_count: int,
                    user_count: int, seed_tweet_count: int,
-                   propagation_interval_ms: float):
+                   propagation_interval_ms: float,
+                   durable_path: Optional[Path] = None,
+                   memory_capacity_keys: Optional[int] = None):
     """A retwis-loaded LWW cluster with the DAG wrappers registered."""
     from ..apps.retwis import RetwisOnCloudburst
 
@@ -70,7 +73,9 @@ def _build_cluster(seed: int, executor_vms: int, scheduler_count: int,
         # The default 5 s fault timeout dwarfs this workload's ~7 ms DAGs;
         # a compact timeout keeps failed attempts retrying inside the run
         # window without changing the recovery semantics under test.
-        fault_timeout_ms=50.0)
+        fault_timeout_ms=50.0,
+        anna_durable_path=durable_path,
+        anna_memory_capacity_keys=memory_capacity_keys)
     generator = SocialWorkloadGenerator(
         user_count=user_count, followees_per_user=min(8, user_count - 1),
         seed_tweet_count=seed_tweet_count, write_fraction=0.35, seed=seed)
@@ -96,11 +101,24 @@ def _run_fault_class(fault: str, seed: int, request_count: int, clients: int,
                      seed_tweet_count: int, mean_interval_ms: float,
                      downtime_ms: float, tick_interval_ms: float,
                      propagation_interval_ms: float,
-                     include_journals: bool) -> Dict[str, Any]:
+                     include_journals: bool,
+                     durable_dir: Optional[Union[str, Path]] = None,
+                     memory_capacity_keys: Optional[int] = None) -> Dict[str, Any]:
     """One LWW retwis run with a single fault class enabled."""
+    durable_path: Optional[Path] = None
+    if durable_dir is not None:
+        # Fresh database per (fault, seed) run: leftover rows from an earlier
+        # run would leak stale lattices into this one and break the
+        # determinism replay.  The -wal/-shm sidecars go with it.
+        durable_path = Path(durable_dir) / f"cold-{fault}-{seed}.sqlite"
+        for suffix in ("", "-wal", "-shm"):
+            sidecar = Path(str(durable_path) + suffix)
+            if sidecar.exists():
+                sidecar.unlink()
     cluster, tracker, app, generator, live_tweets = _build_cluster(
         seed, executor_vms, scheduler_count, user_count, seed_tweet_count,
-        propagation_interval_ms)
+        propagation_interval_ms, durable_path=durable_path,
+        memory_capacity_keys=memory_capacity_keys)
     plane = FaultPlane(cluster, RandomSource(seed).spawn("fault-plane"),
                        classes=(fault,), mean_interval_ms=mean_interval_ms,
                        downtime_ms=downtime_ms, tick_interval_ms=tick_interval_ms)
@@ -157,6 +175,7 @@ def _run_fault_class(fault: str, seed: int, request_count: int, clients: int,
         "faults": plane.snapshot(),
         "timeline_signature": [list(entry)
                                for entry in plane.timeline_signature()],
+        "durable": cluster.kvs.durable_stats(),
     }
     if include_journals:
         result["journals"] = [scheduler.journal.to_dict()
@@ -174,13 +193,21 @@ def run_fault_recovery(seed: int = 7, request_count: int = 160,
                        propagation_interval_ms: float = 50.0,
                        fault_classes: Sequence[str] = FAULT_CLASSES,
                        determinism_check: bool = True,
-                       include_journals: bool = False) -> Dict[str, Any]:
+                       include_journals: bool = False,
+                       durable_dir: Optional[Union[str, Path]] = None,
+                       memory_capacity_keys: Optional[int] = None) -> Dict[str, Any]:
     """Run retwis under each fault class; returns the ``fault_recovery`` section.
 
     Each class gets its own seeded run (seed offset per class so schedules
     never alias); ``determinism_check`` re-runs the first class with the same
     seed and asserts the fault timeline *and* the anomaly counters replay
     identically — the bench-gate check for the seeded fault schedules.
+
+    ``durable_dir`` switches the storage nodes onto real SQLite/WAL cold
+    tiers (one fresh database per fault class under that directory) and turns
+    ``storage_drop`` into crash/restart; pair it with a small
+    ``memory_capacity_keys`` so capacity pressure actually demotes keys to
+    disk before the first crash, making the cold-set recovery non-vacuous.
     """
 
     def run_class(fault: str, class_seed: int) -> Dict[str, Any]:
@@ -188,7 +215,8 @@ def run_fault_recovery(seed: int = 7, request_count: int = 160,
             fault, class_seed, request_count, clients, executor_vms,
             scheduler_count, user_count, seed_tweet_count, mean_interval_ms,
             downtime_ms, tick_interval_ms, propagation_interval_ms,
-            include_journals)
+            include_journals, durable_dir=durable_dir,
+            memory_capacity_keys=memory_capacity_keys)
 
     classes: Dict[str, Dict[str, Any]] = {}
     class_seeds: Dict[str, int] = {}
@@ -199,6 +227,7 @@ def run_fault_recovery(seed: int = 7, request_count: int = 160,
     section: Dict[str, Any] = {
         "seed": seed,
         "fault_classes": list(fault_classes),
+        "durable": durable_dir is not None,
         "classes": classes,
     }
     if determinism_check and fault_classes:
@@ -259,6 +288,21 @@ def fault_recovery_errors(section: Dict[str, Any]) -> List[str]:
             errors.append(
                 "fault_recovery[scheduler_crash]: no session was recovered "
                 "from the journal (the crash never caught a DAG in flight)")
+        durable = entry.get("durable") or {}
+        if durable.get("enabled"):
+            at_crash = durable.get("cold_keys_at_crash", 0)
+            recovered = durable.get("cold_keys_recovered", -1)
+            if recovered < at_crash:
+                errors.append(
+                    f"fault_recovery[{fault}]: {at_crash} cold key(s) were on "
+                    f"disk at crash time but only {recovered} were recovered "
+                    "(the durable tier lost demoted keys)")
+            if fault == "storage_drop" and durable.get("crashes", 0) > 0 \
+                    and at_crash <= 0:
+                errors.append(
+                    "fault_recovery[storage_drop]: nodes crashed with an "
+                    "empty cold set — the durable-recovery path was never "
+                    "exercised (demotions did not happen before the crash)")
     determinism = section.get("determinism")
     if determinism is not None:
         if not determinism.get("timeline_match"):

@@ -52,6 +52,8 @@ class CloudburstCluster:
                  propagation_interval_ms: float = 0.0,
                  anna_gossip_interval_ms: Optional[float] = None,
                  anna_node_queue_bound: Optional[int] = None,
+                 anna_memory_capacity_keys: Optional[int] = None,
+                 anna_durable_path=None,
                  overload_threshold: float = OVERLOAD_THRESHOLD,
                  fault_timeout_ms: float = DEFAULT_FAULT_TIMEOUT_MS,
                  work_queue_bound: Optional[int] = DEFAULT_WORK_QUEUE_BOUND):
@@ -76,6 +78,13 @@ class CloudburstCluster:
             anna_kwargs["gossip_interval_ms"] = anna_gossip_interval_ms
         if anna_node_queue_bound is not None:
             anna_kwargs["node_queue_bound"] = anna_node_queue_bound
+        if anna_memory_capacity_keys is not None:
+            anna_kwargs["memory_capacity_keys"] = anna_memory_capacity_keys
+        if anna_durable_path is not None:
+            # Real SQLite/WAL cold tier behind the storage nodes; demotions
+            # persist and storage_drop faults crash/restart instead of
+            # drain/rejoin (see repro.durable).
+            anna_kwargs["durable_path"] = anna_durable_path
         self.kvs = AnnaCluster(node_count=anna_nodes, replication_factor=anna_replication,
                                latency_model=self.latency_model,
                                propagation_mode=anna_propagation,

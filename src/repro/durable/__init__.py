@@ -1,0 +1,12 @@
+"""Durable storage backends (real bytes on disk, simulated service times).
+
+The simulation charges storage latency through deterministic service models;
+this package provides the *actual persistence* behind those charges.  Today
+that is :class:`SqliteColdTier`, the WAL-mode SQLite cold tier that storage
+nodes demote cold lattices into (see ``DESIGN.md``, DR-5), and the schema
+constant tests pin against.
+"""
+
+from .sqlite_tier import SCHEMA_VERSION, SqliteColdTier
+
+__all__ = ["SCHEMA_VERSION", "SqliteColdTier"]

@@ -12,7 +12,9 @@ drives all four from a recurring engine event with per-class seeded schedules:
 * ``executor_kill`` — ``ExecutorVM.fail()`` mid-DAG; sessions whose current
   attempt ran on the victim are failed through ``DagSession.fail_attempt``.
 * ``storage_drop`` — ``AnnaCluster.remove_node`` (keys re-home), later
-  rejoined under the same node id.
+  rejoined under the same node id; with a durable SQLite cold tier attached
+  it becomes ``crash_node``/``restart_node`` — the memory tier is lost and
+  the cold set is recovered from disk.
 * ``gossip_partition`` — ``AnnaCluster.partition_node`` defers anti-entropy
   for one replica; healing flushes the backlog with a gossip round.
 * ``scheduler_crash`` — ``Scheduler.crash()`` freezes its sessions;
@@ -220,10 +222,20 @@ class FaultPlane:
         if not candidates:
             return None
         node_id = fault.rng.choice(candidates)
-        kvs.remove_node(node_id)
+        has_durable = getattr(kvs, "has_durable_tier", None)
+        if has_durable is not None and has_durable():
+            # Durable cold tier attached: a drop is a *crash* — the memory
+            # tier dies with the node, the SQLite cold set stays on disk, and
+            # recovery re-opens it (the restart path §4.5 actually exercises).
+            kvs.crash_node(node_id)
 
-        def rejoin() -> None:
-            kvs.add_node(node_id=node_id)
+            def rejoin() -> None:
+                kvs.restart_node(node_id)
+        else:
+            kvs.remove_node(node_id)
+
+            def rejoin() -> None:
+                kvs.add_node(node_id=node_id)
 
         fault.outstanding = (node_id, self.engine.now_ms, rejoin)
         return node_id

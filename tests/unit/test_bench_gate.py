@@ -344,7 +344,8 @@ class TestMainExitCode:
     def test_quick_run_exits_zero_when_gates_hold(self, monkeypatch, tmp_path):
         self._canned_sections(monkeypatch, good_figure5())
         output = tmp_path / "bench.json"
-        assert run_all.main(["--quick", "--output", str(output)]) == 0
+        assert run_all.main(["--quick", "--no-ledger",
+                             "--output", str(output)]) == 0
         payload = json.loads(output.read_text())
         assert payload["bench_gate_ok"] is True
         assert payload["scale"] == "quick"
@@ -355,7 +356,8 @@ class TestMainExitCode:
         broken["sizes"]["8MB"]["Cloudburst (Hot)"] = _stats(500.0)
         self._canned_sections(monkeypatch, broken)
         output = tmp_path / "bench.json"
-        assert run_all.main(["--quick", "--output", str(output)]) == 1
+        assert run_all.main(["--quick", "--no-ledger",
+                             "--output", str(output)]) == 1
         # The snapshot is still written (CI uploads it as an artifact even
         # when the gate fails), with the failure recorded in the payload.
         payload = json.loads(output.read_text())
@@ -366,4 +368,53 @@ class TestMainExitCode:
         self._canned_sections(monkeypatch, good_figure5(),
                               violations=["SK > MK cumulative"])
         output = tmp_path / "bench.json"
-        assert run_all.main(["--quick", "--output", str(output)]) == 1
+        assert run_all.main(["--quick", "--no-ledger",
+                             "--output", str(output)]) == 1
+
+
+class TestMainLedgerGate:
+    """The ledger trend gate as wired into ``run_all.main``."""
+
+    _canned_sections = TestMainExitCode._canned_sections
+
+    def test_fresh_ledger_records_run_and_passes(self, monkeypatch, tmp_path):
+        self._canned_sections(monkeypatch, good_figure5())
+        output = tmp_path / "bench.json"
+        ledger = tmp_path / "ledger.sqlite"
+        assert run_all.main(["--quick", "--output", str(output),
+                             "--ledger", str(ledger),
+                             "--ledger-seed", str(tmp_path / "missing.json")]) == 0
+        payload = json.loads(output.read_text())
+        assert payload["ledger"]["ledger_ok"] is True
+        assert payload["ledger"]["trend_gate_ok"] is True
+        assert payload["ledger"]["runs_recorded"] == 1
+        assert ledger.exists()
+
+    def test_default_ledger_lands_next_to_output(self, monkeypatch, tmp_path):
+        self._canned_sections(monkeypatch, good_figure5())
+        output = tmp_path / "bench.json"
+        assert run_all.main(["--quick", "--output", str(output),
+                             "--ledger-seed",
+                             str(tmp_path / "missing.json")]) == 0
+        assert (tmp_path / "bench_ledger.sqlite").exists()
+
+    def test_trend_regression_fails_the_gate(self, monkeypatch, tmp_path):
+        # Build history at a high throughput, then regress fig10/fig12 far
+        # below 85% of the recorded median: main must exit nonzero.
+        self._canned_sections(monkeypatch, good_figure5())
+        output = tmp_path / "bench.json"
+        ledger = tmp_path / "ledger.sqlite"
+        seed = str(tmp_path / "missing.json")
+        common = ["--quick", "--output", str(output), "--ledger", str(ledger),
+                  "--ledger-seed", seed]
+        assert run_all.main(common) == 0
+        assert run_all.main(common) == 0
+
+        regressed = good_scaling()
+        regressed["points"][1]["requests_per_s"] = 900.0  # 9x: fixed gates hold
+        monkeypatch.setattr(run_all, "snapshot_scaling",
+                            lambda *a, **k: regressed)
+        assert run_all.main(common) == 1
+        payload = json.loads(output.read_text())
+        assert payload["ledger"]["trend_gate_ok"] is False
+        assert any("below the median" in e for e in payload["gate_errors"])

@@ -1,0 +1,216 @@
+"""Unit tests for the SQLite cold tier and its StorageNode integration.
+
+The durable tier's contract (see DESIGN.md, DR-5): demotions commit the
+pickled lattice to a WAL database, promotions merge back by the normal
+lattice rules, and a crash (``forget_volatile`` + reopening the file) hands a
+restarted node its cold set byte-for-byte.
+"""
+
+import pickle
+import sqlite3
+
+import pytest
+
+from repro.durable import SCHEMA_VERSION, SqliteColdTier
+from repro.lattices import CausalLattice, LWWLattice, Timestamp, VectorClock
+from repro.anna import StorageNode
+
+
+def lww(value, clock=1.0, node="n"):
+    return LWWLattice(Timestamp(clock, node), value)
+
+
+def causal(value, **clock_entries):
+    return CausalLattice(VectorClock(clock_entries), value)
+
+
+@pytest.fixture
+def db_path(tmp_path):
+    return tmp_path / "cold.sqlite"
+
+
+class TestSqliteColdTier:
+    def test_wal_mode_and_schema_version(self, db_path):
+        tier = SqliteColdTier(db_path, "node-0")
+        conn = sqlite3.connect(str(db_path))
+        assert conn.execute("PRAGMA journal_mode").fetchone()[0] == "wal"
+        version = conn.execute(
+            "SELECT value FROM meta WHERE key = 'schema_version'").fetchone()
+        assert version == (str(SCHEMA_VERSION),)
+        conn.close()
+        tier.close()
+
+    def test_put_get_roundtrip(self, db_path):
+        tier = SqliteColdTier(db_path, "node-0")
+        tier.put("k", lww("hello"), last_access_ms=42.0)
+        value = tier.get("k")
+        assert value.reveal() == "hello"
+        assert tier.contains("k")
+        assert tier.keys() == ["k"]
+        assert tier.key_count() == 1
+        assert tier.access_times() == {"k": 42.0}
+        tier.close()
+
+    def test_rows_survive_close_and_reopen_byte_identically(self, db_path):
+        tier = SqliteColdTier(db_path, "node-0")
+        original = causal("v1", a=3, b=1)
+        tier.put("k", original)
+        before = tier.raw_payload("k")
+        tier.close()
+
+        reopened = SqliteColdTier(db_path, "node-0")
+        assert reopened.raw_payload("k") == before
+        assert pickle.loads(before).reveal() == "v1"
+        reopened.close()
+
+    def test_vector_clock_column_is_queryable(self, db_path):
+        tier = SqliteColdTier(db_path, "node-0")
+        tier.put("c", causal("v", a=2, b=5))
+        tier.put("plain", lww("v"))
+        assert tier.vector_clock("c") == {"a": 2, "b": 5}
+        assert tier.vector_clock("plain") == {}
+        assert tier.vector_clock("ghost") is None
+        tier.close()
+
+    def test_merge_retains_concurrent_siblings(self, db_path):
+        # A concurrent write raced the demotion: the on-disk merge must keep
+        # both versions as siblings, and the joined clock covers both.
+        tier = SqliteColdTier(db_path, "node-0")
+        tier.put("k", causal("from-a", a=1))
+        merged = tier.merge("k", causal("from-b", b=1))
+        assert len(merged.siblings) == 2
+        assert tier.vector_clock("k") == {"a": 1, "b": 1}
+        stored = tier.get("k")
+        assert set(stored.concurrent_values) == {"from-a", "from-b"}
+        tier.close()
+
+    def test_merge_dominating_clock_replaces(self, db_path):
+        tier = SqliteColdTier(db_path, "node-0")
+        tier.put("k", causal("old", a=1))
+        merged = tier.merge("k", causal("new", a=2))
+        assert len(merged.siblings) == 1
+        assert merged.reveal() == "new"
+        tier.close()
+
+    def test_pop_reads_and_deletes(self, db_path):
+        tier = SqliteColdTier(db_path, "node-0")
+        tier.put("k", lww("v"))
+        assert tier.pop("k").reveal() == "v"
+        assert not tier.contains("k")
+        assert tier.pop("k") is None
+        tier.close()
+
+    def test_per_node_tables_are_isolated(self, db_path):
+        # One shared database file, one table per node id.
+        a = SqliteColdTier(db_path, "node-a")
+        b = SqliteColdTier(db_path, "node-b")
+        a.put("k", lww("from-a"))
+        assert not b.contains("k")
+        b.put("k", lww("from-b"))
+        assert a.get("k").reveal() == "from-a"
+        assert b.get("k").reveal() == "from-b"
+        a.close()
+        b.close()
+
+    def test_hostile_node_ids_become_safe_table_names(self, db_path):
+        tier = SqliteColdTier(db_path, 'x"; DROP TABLE meta; --')
+        tier.put("k", lww("v"))
+        assert tier.get("k").reveal() == "v"
+        conn = sqlite3.connect(str(db_path))
+        assert conn.execute("SELECT COUNT(*) FROM meta").fetchone()[0] == 2
+        conn.close()
+        tier.close()
+
+    def test_access_times_order_coldest_first(self, db_path):
+        tier = SqliteColdTier(db_path, "node-0")
+        tier.put("warm", lww(1), last_access_ms=300.0)
+        tier.put("cold", lww(2), last_access_ms=10.0)
+        assert list(tier.access_times()) == ["cold", "warm"]
+        tier.close()
+
+
+class TestStorageNodeWithColdTier:
+    def _node(self, db_path, capacity=2):
+        tier = SqliteColdTier(db_path, "s1")
+        return StorageNode("s1", memory_capacity_keys=capacity,
+                           cold_tier=tier), tier
+
+    def test_capacity_demotion_lands_in_sqlite(self, db_path):
+        node, tier = self._node(db_path, capacity=2)
+        node.put("a", lww(1), now_ms=1.0)
+        node.put("b", lww(2), now_ms=2.0)
+        node.put("c", lww(3), now_ms=3.0)  # evicts coldest ("a") to disk
+        assert node.tier_of("a") == StorageNode.DISK_TIER
+        assert tier.contains("a")
+        assert node.memory_key_count() == 2
+        assert node.key_count() == 3
+        assert node.demotions == 1
+        node.cold_tier.close()
+
+    def test_put_to_demoted_key_merges_on_disk(self, db_path):
+        node, tier = self._node(db_path)
+        node.put("k", causal("v1", a=1))
+        node.demote("k")
+        node.put("k", causal("v2", a=2))
+        assert node.tier_of("k") == StorageNode.DISK_TIER
+        assert tier.get("k").reveal() == "v2"
+        assert tier.vector_clock("k") == {"a": 2}
+        node.cold_tier.close()
+
+    def test_promotion_merges_into_memory_copy(self, db_path):
+        # Demote, then a fresh memory-tier write races the cold copy; the
+        # promotion must merge rather than clobber either side.
+        node, tier = self._node(db_path, capacity=10)
+        node.put("k", causal("cold-version", a=1))
+        node.demote("k")
+        node._memory["k"] = causal("hot-version", b=1)
+        assert node.promote("k")
+        merged = node.get("k")
+        assert set(merged.concurrent_values) == {"cold-version", "hot-version"}
+        assert not tier.contains("k")
+        node.cold_tier.close()
+
+    def test_delete_removes_from_both_tiers(self, db_path):
+        node, tier = self._node(db_path)
+        node.put("k", lww("v"))
+        node.demote("k")
+        assert node.delete("k")
+        assert not node.contains("k")
+        assert not tier.contains("k")
+        node.cold_tier.close()
+
+    def test_drain_empties_the_durable_table(self, db_path):
+        node, tier = self._node(db_path)
+        node.put("mem", lww(1))
+        node.put("cold", lww(2))
+        node.demote("cold")
+        drained = node.drain()
+        assert set(drained) == {"mem", "cold"}
+        assert tier.key_count() == 0
+        node.cold_tier.close()
+
+    def test_crash_keeps_cold_set_and_restart_recovers_it(self, db_path):
+        node, tier = self._node(db_path, capacity=10)
+        node.put("hot", lww("gone"), now_ms=5.0)
+        node.put("cold", causal("kept", a=1), now_ms=7.0)
+        node.demote("cold")
+        payload_before = tier.raw_payload("cold")
+
+        node.forget_volatile()
+        node.cold_tier.close()
+
+        restarted = StorageNode("s1", memory_capacity_keys=10,
+                                cold_tier=SqliteColdTier(db_path, "s1"))
+        assert restarted.recover_cold_set() == 1
+        assert restarted.tier_of("cold") == StorageNode.DISK_TIER
+        assert restarted.tier_of("hot") is None  # volatile tier died
+        assert restarted.cold_tier.raw_payload("cold") == payload_before
+        assert restarted.stats("cold").last_access_ms == 7.0
+        restarted.cold_tier.close()
+
+    def test_without_cold_tier_disk_dict_still_works(self):
+        node = StorageNode("s1")
+        node.put("k", lww("v"))
+        node.demote("k")
+        assert node.tier_of("k") == StorageNode.DISK_TIER
+        assert node.recover_cold_set() == 0
