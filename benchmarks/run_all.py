@@ -65,6 +65,7 @@ from repro.bench import (  # noqa: E402
     run_figure12,
     run_table2,
 )
+from repro.obs import Tracer, write_chrome_trace, write_span_dump  # noqa: E402
 
 
 def _summary(recorder) -> dict:
@@ -205,6 +206,49 @@ def scaling_curve_errors(name: str, fig: dict, min_ratio: float) -> list:
     return errors
 
 
+def snapshot_observability(tracer: Tracer, output_dir: Path) -> dict:
+    """Export the figure 7 trace and summarize what the tracer captured.
+
+    Writes the raw span dump (``BENCH_spans_fig7.json``) and the
+    Perfetto-loadable Chrome trace (``BENCH_trace_fig7.json``) next to the
+    snapshot, and returns the section CI gates on: a sampled figure 7 run
+    must produce at least one trace with spans on every tier and no orphan
+    spans (a broken parent link means span propagation regressed somewhere
+    between the client and the storage tier).
+    """
+    trace_ids = tracer.trace_ids()
+    span_path = write_span_dump(
+        output_dir / "BENCH_spans_fig7.json", tracer,
+        meta={"source": "figure7", "sample_rate": tracer.sample_rate,
+              "traces": len(trace_ids)})
+    chrome_path = write_chrome_trace(output_dir / "BENCH_trace_fig7.json", tracer)
+    return {
+        "source": "figure7",
+        "sample_rate": tracer.sample_rate,
+        "traces": len(trace_ids),
+        "spans": len(tracer),
+        "orphan_spans": len(tracer.orphan_spans()),
+        "tiers": sorted(tracer.tiers()),
+        "span_dump": span_path.name,
+        "chrome_trace": chrome_path.name,
+    }
+
+
+def observability_errors(obs: dict) -> list:
+    """The tracing plane's own invariants, checked on the snapshot payload."""
+    errors = []
+    if obs["traces"] <= 0:
+        errors.append("observability: sampled figure 7 run produced no traces")
+    if obs["orphan_spans"] != 0:
+        errors.append(f"observability: {obs['orphan_spans']} orphan span(s) — "
+                      f"a parent id points outside the recorded span set")
+    missing = {"client", "scheduler", "executor", "cache", "anna"} - set(obs["tiers"])
+    if obs["traces"] > 0 and missing:
+        errors.append(f"observability: no spans on tier(s) {sorted(missing)} — "
+                      f"the causal trace no longer covers the full request path")
+    return errors
+
+
 def collect_gate_errors(payload: dict) -> list:
     """Every invariant the bench snapshot gates CI on, as error strings."""
     errors = list(payload["table2_anomalies"]["invariant_violations"])
@@ -217,13 +261,14 @@ def collect_gate_errors(payload: dict) -> list:
                                    min_ratio=4.0)
     errors += engine_throughput_errors(payload["engine_throughput"])
     errors += fault_recovery_errors(payload["fault_recovery"])
+    errors += observability_errors(payload["observability"])
     return errors
 
 
-def snapshot_figure7(seed: int, scale: str) -> dict:
+def snapshot_figure7(seed: int, scale: str, tracer=None) -> dict:
     started = time.time()
     if scale == "full":
-        experiment = run_figure7(seed=seed)
+        experiment = run_figure7(seed=seed, tracer=tracer)
     else:
         from repro.cloudburst.monitoring import MonitoringConfig
 
@@ -239,7 +284,8 @@ def snapshot_figure7(seed: int, scale: str) -> dict:
                           monitoring_config=MonitoringConfig(
                               vms_per_scale_up=1, node_startup_delay_ms=5_000.0,
                               max_vms=10))
-        experiment = run_figure7(policy_interval_ms=2_500.0, seed=seed, **kwargs)
+        experiment = run_figure7(policy_interval_ms=2_500.0, seed=seed,
+                                 tracer=tracer, **kwargs)
     sim = experiment.simulation
     return {
         "initial_threads": experiment.initial_threads,
@@ -410,7 +456,11 @@ def main(argv=None) -> int:
         print(f"  fig6 {system:24s} median={stats['median_ms']:.2f}ms")
 
     print("figure 7 (autoscaling, engine-driven control plane)...", flush=True)
-    fig7 = snapshot_figure7(args.seed, scale_label)
+    # Trace a sample of figure 7's requests end to end.  Sampling is
+    # error-diffusion (deterministic), and spans never charge the virtual
+    # clocks, so the traced run's latencies are the ones the gates see.
+    tracer = Tracer(sample_rate=0.05 if scale_label == "quick" else 0.02)
+    fig7 = snapshot_figure7(args.seed, scale_label, tracer=tracer)
     control = fig7["controlplane"] or {}
     print(f"  {fig7['requests_per_s']} req/s overall, "
           f"peak {fig7['peak_requests_per_s']} req/s; threads "
@@ -457,10 +507,17 @@ def main(argv=None) -> int:
               f"anomalies_match={determinism['anomalies_match']} "
               f"[{fault_recovery['wall_seconds']}s]")
 
+    output = Path(args.output)
+    observability = snapshot_observability(tracer, output.parent)
+    print(f"  observability: {observability['traces']} trace(s), "
+          f"{observability['spans']} span(s) across tiers "
+          f"{observability['tiers']} -> {observability['chrome_trace']}")
+
     payload = {
-        "schema": 7,
+        "schema": 8,
         "seed": args.seed,
         "scale": scale_label,
+        "observability": observability,
         "engine_throughput": engine_micro,
         "figure5_locality": fig5,
         "figure6_aggregation": fig6,
@@ -472,7 +529,6 @@ def main(argv=None) -> int:
         "fault_recovery": fault_recovery,
     }
     gate_errors = collect_gate_errors(payload)
-    output = Path(args.output)
     if not args.no_ledger:
         # Historical ledger: append this run and trend-check it against the
         # last TREND_WINDOW runs (seeding an empty history from the committed

@@ -67,7 +67,8 @@ class AnnaCluster:
                  storage_service: Optional[StorageServiceModel] = None,
                  node_queue_bound: Optional[int] = DEFAULT_NODE_QUEUE_BOUND,
                  gossip_interval_ms: float = DEFAULT_GOSSIP_INTERVAL_MS,
-                 durable_path: Optional[Union[str, Path]] = None):
+                 durable_path: Optional[Union[str, Path]] = None,
+                 tracer=None):
         if node_count <= 0:
             raise ValueError("node_count must be positive")
         if replication_factor <= 0:
@@ -79,6 +80,10 @@ class AnnaCluster:
         if gossip_interval_ms < 0:
             raise ValueError("gossip_interval_ms cannot be negative")
         self.latency_model = latency_model or LatencyModel()
+        #: Observability tracer (``repro.obs.Tracer``) used for background
+        #: spans (gossip rounds); request spans ride on ``ctx.span`` and need
+        #: no cluster-level handle.  None disables background spans.
+        self.tracer = tracer
         self.replication_factor = replication_factor
         self.memory_capacity_keys = memory_capacity_keys
         self.storage_service = storage_service or StorageServiceModel()
@@ -450,12 +455,22 @@ class AnnaCluster:
         if fresh:
             tier = StorageNode.MEMORY_TIER
         service_ms = self.storage_service.service_ms(tier, size_bytes)
+        span = ctx.span
         if self._engine is not None:
             start = node.work_queue.reserve(ctx.clock.now_ms, service_ms)
             wait_ms = start - ctx.clock.now_ms
             if wait_ms > 0:
+                if span is not None:
+                    span.child("kvs_queue", "anna", ctx.clock.now_ms,
+                               node=node.node_id).finish(ctx.clock.now_ms + wait_ms)
                 ctx.charge("anna", "queue", wait_ms)
+        service_span = None
+        if span is not None:
+            service_span = span.child("kvs_service", "anna", ctx.clock.now_ms,
+                                      node=node.node_id).annotate("storage_tier", tier)
         ctx.charge("anna", "service", service_ms)
+        if service_span is not None:
+            service_span.finish(ctx.clock.now_ms)
 
     @staticmethod
     def _op_time(ctx: Optional[RequestContext]) -> float:
@@ -669,6 +684,10 @@ class AnnaCluster:
         nothing is dropped, so healing the partition converges the replicas
         on the next round.
         """
+        gossip_span = None
+        if self.tracer is not None and self._engine is not None:
+            gossip_span = self.tracer.start_background(
+                "gossip_round", "anna", self._engine.now_ms)
         dirty, self._dirty = self._dirty, {}
         exchanged = 0
         for node_id in sorted(dirty):
@@ -693,6 +712,9 @@ class AnnaCluster:
                     exchanged += 1
         self.gossip_rounds += 1
         self.gossip_key_exchanges += exchanged
+        if gossip_span is not None:
+            gossip_span.annotate("key_exchanges", exchanged)
+            gossip_span.finish(self._engine.now_ms)
         return exchanged
 
     def partition_node(self, node_id: str) -> None:

@@ -66,6 +66,13 @@ PRE_PR_BASELINE: Dict[str, float] = {
 #: ``benchmarks/bench_engine_micro.py`` both fail on it.
 FLOOR_EVENTS_PER_SEC: float = 100_000.0
 
+#: Gate for the tracing instrumentation's disabled-path cost: the
+#: span-guarded dispatch loop (tracer at sample_rate 0, so every guard is
+#: one ``span is not None`` check) must stay within this percentage of the
+#: unguarded loop.  The observability plane's zero-cost-when-off contract,
+#: measured rather than asserted.
+TRACING_OVERHEAD_MAX_PCT: float = 10.0
+
 
 def _timed(fn: Callable[[], Dict[str, float]]) -> Dict[str, float]:
     started = time.perf_counter()
@@ -188,6 +195,66 @@ def bench_reservation_queue(reservations: int = 30_000) -> Dict[str, float]:
             "retained_intervals": float(len(queue._starts))}
 
 
+def bench_tracing_overhead(requests: int = 8_000, sites_per_request: int = 12,
+                           repeats: int = 3) -> Dict[str, float]:
+    """Dispatch throughput with tracing instrumentation present but disabled.
+
+    Each event charges ``sites_per_request`` latencies the way the real
+    instrumentation points do — a ``ctx.charge`` with a ``span is not None``
+    guard next to it.  The *bare* variant runs the identical loop without the
+    guards; the ratio is the whole cost of carrying the observability plane
+    while it is off.  Best-of-``repeats`` on both sides to shed scheduler
+    noise; the tracer runs at ``sample_rate=0``, so no span is ever created.
+    """
+    from ..obs import Tracer
+
+    tracer = Tracer(sample_rate=0.0)
+
+    def run_once(guarded: bool) -> float:
+        engine = Engine()
+        ctx = RequestContext(clock=SimClock(0.0), record_charges=False)
+        # start_trace at rate 0 returns None: the guard below is the real
+        # disabled-path shape, not a synthetic always-false flag.
+        ctx.span = tracer.start_trace("request", "bench", 0.0)
+        remaining = [requests]
+
+        def fire_guarded() -> None:
+            span = ctx.span
+            for _ in range(sites_per_request):
+                ctx.charge("bench", "op", 0.01)
+                if span is not None:
+                    span.child("op", "bench", ctx.clock.now_ms).finish(
+                        ctx.clock.now_ms)
+            remaining[0] -= 1
+            if remaining[0] > 0:
+                engine.schedule(1.0, fire_guarded)
+
+        def fire_bare() -> None:
+            for _ in range(sites_per_request):
+                ctx.charge("bench", "op", 0.01)
+            remaining[0] -= 1
+            if remaining[0] > 0:
+                engine.schedule(1.0, fire_bare)
+
+        engine.at(0.0, fire_guarded if guarded else fire_bare)
+        started = time.perf_counter()
+        engine.run()
+        return time.perf_counter() - started
+
+    bare_s = min(run_once(guarded=False) for _ in range(repeats))
+    guarded_s = min(run_once(guarded=True) for _ in range(repeats))
+    overhead_pct = (max(0.0, guarded_s - bare_s) / bare_s * 100.0
+                    if bare_s > 0 else 0.0)
+    return {
+        "events": float(requests),
+        "sites_per_request": float(sites_per_request),
+        "bare_seconds": round(bare_s, 4),
+        "guarded_seconds": round(guarded_s, 4),
+        "overhead_pct": round(overhead_pct, 2),
+        "spans_created": float(len(tracer)),  # must be 0 at sample_rate=0
+    }
+
+
 def run_engine_micro() -> Dict[str, object]:
     """Run every scenario; returns the ``engine_throughput`` JSON section."""
     scenarios: Dict[str, Dict[str, float]] = {
@@ -199,6 +266,7 @@ def run_engine_micro() -> Dict[str, object]:
             lambda: bench_charge_log(record_charges=False)),
         "fifo_reserve": _timed(bench_fifo_reserve),
         "reservation_queue": _timed(bench_reservation_queue),
+        "tracing_overhead": _timed(bench_tracing_overhead),
     }
     engine_scenarios = ("event_dispatch", "cancel_churn", "recurring_ticks")
     engine_events = sum(scenarios[name]["events"] for name in engine_scenarios)
@@ -217,7 +285,7 @@ def run_engine_micro() -> Dict[str, object]:
             scenarios[name]["reservations"] / wall if wall > 0 else 0.0, 1)
     baseline = PRE_PR_BASELINE.get("events_per_sec", 0.0)
     return {
-        "schema": 1,
+        "schema": 2,
         "events_per_sec": round(events_per_sec, 1),
         "sim_ms_per_wall_ms": round(sim_ms_per_wall_ms, 1),
         "scenarios": scenarios,
@@ -225,6 +293,8 @@ def run_engine_micro() -> Dict[str, object]:
         "speedup_vs_pre_pr": (round(events_per_sec / baseline, 2)
                               if baseline > 0 else None),
         "floor_events_per_sec": FLOOR_EVENTS_PER_SEC,
+        "tracing_overhead_pct": scenarios["tracing_overhead"]["overhead_pct"],
+        "tracing_overhead_max_pct": TRACING_OVERHEAD_MAX_PCT,
     }
 
 
@@ -237,4 +307,20 @@ def engine_throughput_errors(section: Dict[str, object]) -> list:
         errors.append(
             f"engine_throughput: {measured:.0f} events/s fell below the "
             f"recorded floor {floor:.0f} (the optimization-pass win is gone)")
+    # Zero-cost-when-off contract for the observability plane.  Older
+    # snapshots (schema 1) carry no tracing section; they pass vacuously.
+    max_pct = section.get("tracing_overhead_max_pct")
+    overhead_pct = section.get("tracing_overhead_pct")
+    if max_pct is not None and overhead_pct is not None \
+            and overhead_pct >= max_pct:
+        errors.append(
+            f"engine_throughput: disabled tracing costs {overhead_pct:.1f}% "
+            f"of dispatch throughput (gate: <{max_pct:.0f}%) — the "
+            f"zero-cost-when-off contract is broken")
+    scenario = (section.get("scenarios") or {}).get("tracing_overhead") or {}
+    if scenario.get("spans_created"):
+        errors.append(
+            f"engine_throughput: a sample_rate=0 tracer created "
+            f"{scenario['spans_created']:.0f} span(s); tracing is not off "
+            f"when disabled")
     return errors

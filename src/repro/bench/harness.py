@@ -102,6 +102,7 @@ class EngineLoadDriver:
                  min_threads: int = 1,
                  throughput_bucket_ms: float = 1_000.0,
                  record_charges: bool = True,
+                 keep_latency_samples: bool = True,
                  label: str = "engine-driver"):
         if mode not in ("closed", "open"):
             raise ValueError(f"unknown driver mode {mode!r}")
@@ -153,7 +154,12 @@ class EngineLoadDriver:
         self._rng = cluster.rng.spawn("load-driver")
 
         self.engine = Engine()
-        self.latencies = LatencyRecorder(label=label)
+        #: ``keep_latency_samples=False`` records completions into a log-scale
+        #: histogram instead of a flat list (O(1) memory at paper-scale sweep
+        #: volumes); ``summary()`` then reads bucket-interpolated percentiles.
+        #: Only drivers whose consumers read nothing but the summary use it.
+        self.latencies = LatencyRecorder(label=label,
+                                         keep_samples=keep_latency_samples)
         self.issued = 0
         self.completed = 0
         #: Requests that resolved with an error (storage backpressure, a DAG
@@ -366,12 +372,14 @@ def run_engine_closed_loop(cluster, request_fn: DriverRequestFn, *,
                            clients: int, total_requests: int,
                            label: str = "engine-closed-loop",
                            throughput_bucket_ms: float = 1_000.0,
-                           record_charges: bool = True) -> SimulationResult:
+                           record_charges: bool = True,
+                           keep_latency_samples: bool = True) -> SimulationResult:
     """Closed-loop clients through the real stack until a request budget."""
     driver = EngineLoadDriver(
         cluster, request_fn, clients=clients, mode="closed",
         max_requests=total_requests, throughput_bucket_ms=throughput_bucket_ms,
-        record_charges=record_charges, label=label)
+        record_charges=record_charges,
+        keep_latency_samples=keep_latency_samples, label=label)
     return driver.run()
 
 

@@ -413,7 +413,8 @@ def run_figure7(initial_threads: int = 18, client_count: int = 40,
                 monitoring_config: Optional[MonitoringConfig] = None,
                 storage_config: Optional[StorageAutoscalerConfig] = None,
                 key_count: int = 2_000,
-                seed: int = 0) -> AutoscalingExperiment:
+                seed: int = 0,
+                tracer=None) -> AutoscalingExperiment:
     """Reproduce the Figure 7 timeline: load spike, stepwise scale-up, drain.
 
     Unlike the paper's 180-thread/400-client deployment, the default scale is
@@ -432,7 +433,8 @@ def run_figure7(initial_threads: int = 18, client_count: int = 40,
         max_vms=30,
     )
     cluster = build_cluster_with_threads(
-        initial_threads, threads_per_vm=config.threads_per_vm, seed=seed)
+        initial_threads, threads_per_vm=config.threads_per_vm, seed=seed,
+        tracer=tracer)
     cloud = cluster.connect()
     zipf = ZipfGenerator(key_count, 1.0, RandomSource(seed).spawn("keys"))
     populated = min(2_000, key_count)

@@ -108,12 +108,34 @@ class ExecutorCache:
         local = self._data.get(key)
         if local is not None:
             if ctx is not None:
+                hit_span = None
+                if ctx.span is not None:
+                    hit_span = ctx.span.child("cache_hit", "cache", ctx.clock.now_ms,
+                                              node=self.cache_id).annotate("key", key)
                 self.latency_model.charge(ctx, "cache", "get", size_bytes=local.size_bytes())
+                if hit_span is not None:
+                    hit_span.finish(ctx.clock.now_ms)
             self.stats.hits += 1
             return local
         self.stats.misses += 1
         mark = len(ctx.charges) if ctx is not None else 0
-        value = self.kvs.get(key, ctx)
+        # On a miss the storage fetch nests under a cache_miss span, so trace
+        # trees show exactly which Anna node (and how much queueing) each cold
+        # read paid for.
+        parent_span = ctx.span if ctx is not None else None
+        miss_span = None
+        if parent_span is not None:
+            miss_span = parent_span.child("cache_miss", "cache", ctx.clock.now_ms,
+                                          node=self.cache_id).annotate("key", key)
+            ctx.span = miss_span
+        try:
+            value = self.kvs.get(key, ctx)
+        except Exception:
+            if miss_span is not None:
+                miss_span.annotate("error", True)
+                miss_span.finish(ctx.clock.now_ms)
+                ctx.span = parent_span
+            raise
         if ctx is not None:
             # Surface how much of the miss penalty was storage-node queueing
             # (nonzero only when the cluster runs on the event engine).  Only
@@ -124,6 +146,9 @@ class ExecutorCache:
                 if charge.service == "anna" and charge.operation == "queue")
             self.latency_model.charge(ctx, "cache", "get", size_bytes=value.size_bytes())
         self._store(key, value)
+        if miss_span is not None:
+            miss_span.finish(ctx.clock.now_ms)
+            ctx.span = parent_span
         return value
 
     def put(self, key: str, value: Lattice, ctx: Optional[RequestContext] = None) -> Lattice:
@@ -270,8 +295,16 @@ class ExecutorCache:
                 f"for execution {execution_id!r}"
             )
         if ctx is not None:
+            fetch_span = None
+            if ctx.span is not None:
+                fetch_span = ctx.span.child(
+                    "fetch_from_upstream", "cache", ctx.clock.now_ms,
+                    node=self.cache_id).annotate("key", key).annotate(
+                        "upstream", upstream_cache_id)
             self.latency_model.charge(ctx, "cache", "fetch_from_upstream",
                                       size_bytes=value.size_bytes())
+            if fetch_span is not None:
+                fetch_span.finish(ctx.clock.now_ms)
         self.stats.upstream_fetches += 1
         # Cache the fetched version locally so repeated reads within this DAG hit.
         self._store(key, value)

@@ -56,7 +56,7 @@ class CloudburstClient:
 
     def __init__(self, schedulers: Sequence[Scheduler], client_id: str = "client-0",
                  consistency: ConsistencyLevel = ConsistencyLevel.LWW,
-                 cluster=None):
+                 cluster=None, tracer=None):
         if not schedulers:
             raise ValueError("a client needs at least one scheduler address")
         self._schedulers = list(schedulers)
@@ -64,6 +64,10 @@ class CloudburstClient:
         self._cluster = cluster  # backend handle; None = sequential-only client
         self.client_id = client_id
         self.consistency = consistency
+        #: Optional ``repro.obs.Tracer``; when set (and sampling says yes),
+        #: each invocation gets a root span and the tiers hang children off it.
+        self.tracer = tracer if tracer is not None else (
+            getattr(cluster, "tracer", None) if cluster is not None else None)
         self._encapsulator = LatticeEncapsulator(client_id, consistency)
         self.latencies = LatencyRecorder(label=client_id)
         self.last_result: Optional[ExecutionResult] = None
@@ -141,9 +145,15 @@ class CloudburstClient:
         """
         scheduler = self._next_scheduler()
         ctx = self._request_ctx(ctx)
+        if ctx is None and self.tracer is not None and self.tracer.enabled:
+            ctx = RequestContext()
+        root = self._start_root_span(ctx, f"call:{function_name}")
         result = scheduler.call(function_name, args,
                                 consistency=consistency or self.consistency,
                                 store_in_kvs=store_in_kvs, ctx=ctx)
+        if root is not None:
+            root.annotate("latency_ms", result.latency_ms)
+            root.finish(ctx.clock.now_ms if ctx is not None else root.start_ms)
         return self._resolved_future(result)
 
     def call_dag(self, dag_name: str,
@@ -166,20 +176,36 @@ class CloudburstClient:
         level = consistency or self.consistency
         engine = self._engine()
         if engine is None:
+            if ctx is None and self.tracer is not None and self.tracer.enabled:
+                ctx = RequestContext()
+            root = self._start_root_span(ctx, f"call_dag:{dag_name}")
             result = scheduler.call_dag(dag_name, function_args, consistency=level,
                                         store_in_kvs=store_in_kvs, ctx=ctx)
+            if root is not None:
+                root.annotate("latency_ms", result.latency_ms)
+                root.finish(ctx.clock.now_ms)
             return self._resolved_future(result)
         ctx = self._request_ctx(ctx)
+        root = self._start_root_span(ctx, f"call_dag:{dag_name}")
         future = CloudburstFuture(advance=self._advance_engine)
 
         def complete(result: ExecutionResult) -> None:
             future.result_key = result.result_key
+            if root is not None:
+                root.annotate("latency_ms", result.latency_ms)
+                root.finish(ctx.clock.now_ms)
             self._record(result)
             future._set_result(result)
 
+        def errored(exc: BaseException) -> None:
+            if root is not None:
+                root.annotate("error", type(exc).__name__)
+                root.finish(ctx.clock.now_ms)
+            future._set_exception(exc)
+
         scheduler.call_dag(dag_name, function_args, consistency=level,
                            store_in_kvs=store_in_kvs, ctx=ctx, engine=engine,
-                           on_complete=complete, on_error=future._set_exception)
+                           on_complete=complete, on_error=errored)
         return future
 
     def call_dag_async(self, dag_name: str,
@@ -211,6 +237,21 @@ class CloudburstClient:
     def _engine(self):
         """The cluster's shared discrete-event engine, if one is attached."""
         return self._cluster.engine if self._cluster is not None else None
+
+    def _start_root_span(self, ctx: Optional[RequestContext], name: str):
+        """Root span for one invocation, or None (no tracer / sampled out).
+
+        The span rides on ``ctx.span`` so every tier the request touches can
+        attach children; a context that already carries a span (a nested
+        invocation from inside a traced request) is left alone.
+        """
+        if ctx is None or self.tracer is None or ctx.span is not None:
+            return None
+        root = self.tracer.start_trace(name, "client", ctx.clock.now_ms,
+                                       node=self.client_id)
+        if root is not None:
+            ctx.span = root
+        return root
 
     def _request_ctx(self, ctx: Optional[RequestContext]) -> Optional[RequestContext]:
         if ctx is not None:

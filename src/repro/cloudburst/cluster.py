@@ -56,7 +56,8 @@ class CloudburstCluster:
                  anna_durable_path=None,
                  overload_threshold: float = OVERLOAD_THRESHOLD,
                  fault_timeout_ms: float = DEFAULT_FAULT_TIMEOUT_MS,
-                 work_queue_bound: Optional[int] = DEFAULT_WORK_QUEUE_BOUND):
+                 work_queue_bound: Optional[int] = DEFAULT_WORK_QUEUE_BOUND,
+                 tracer=None):
         if executor_vms <= 0:
             raise ValueError("executor_vms must be positive")
         if scheduler_count <= 0:
@@ -72,6 +73,9 @@ class CloudburstCluster:
         self.work_queue_bound = work_queue_bound
         #: Shared discrete-event engine; None while running sequentially.
         self.engine: Optional[Engine] = None
+        #: Optional ``repro.obs.Tracer`` shared by every tier.  None (the
+        #: default) keeps the entire cluster on the untraced fast path.
+        self.tracer = tracer
 
         anna_kwargs = {}
         if anna_gossip_interval_ms is not None:
@@ -89,6 +93,7 @@ class CloudburstCluster:
                                latency_model=self.latency_model,
                                propagation_mode=anna_propagation,
                                propagation_interval_ms=propagation_interval_ms,
+                               tracer=tracer,
                                **anna_kwargs)
         self.router = MessageRouter(self.kvs, self.latency_model)
         self.cache_registry: Dict[str, ExecutorCache] = {}
@@ -297,7 +302,7 @@ class CloudburstCluster:
             self._client_sequence += 1
         return CloudburstClient(self.schedulers, client_id=client_id,
                                 consistency=consistency or self.consistency,
-                                cluster=self)
+                                cluster=self, tracer=self.tracer)
 
     def publish_all_metrics(self) -> None:
         """Have every alive VM publish its metrics and cached-key snapshot (§4.1).

@@ -106,6 +106,11 @@ class MetricsPublisher:
                     # DAG call as k units of arriving work (comparable with
                     # the executors' invocation totals).
                     "dag_calls_by_name": dict(stats.calls_per_dag),
+                    # Tail latency from the scheduler's completion histogram —
+                    # the seam an SLO-aware autoscaling policy would consume
+                    # (count/p50/p95/p99 of every request this scheduler
+                    # finished so far).
+                    "latency": scheduler.latency_histogram.summary(),
                 },
                 count_access=False)
         self.published_ticks += 1

@@ -239,17 +239,31 @@ class ExecutorThread:
         """
         if not self.alive or not self.vm.alive:
             raise ExecutorFailedError(self.thread_id, "executor is down")
+        parent_span = ctx.span if ctx is not None else None
         queued = ctx is not None and self.vm.engine is not None
         if queued:
-            service_start = self.work_queue.admit(ctx.clock.now_ms)
-            wait_ms = service_start - ctx.clock.now_ms
+            arrival_ms = ctx.clock.now_ms
+            service_start = self.work_queue.admit(arrival_ms)
+            wait_ms = service_start - arrival_ms
             if wait_ms > 0:
                 ctx.charge("cloudburst", "executor_queue", wait_ms)
+                if parent_span is not None:
+                    parent_span.child("executor_queue", "executor", arrival_ms,
+                                      node=self.thread_id).finish(service_start)
+        invoke_span = None
+        if parent_span is not None:
+            invoke_span = parent_span.child(
+                f"invoke:{function_name}", "executor", ctx.clock.now_ms,
+                node=self.thread_id)
+            ctx.span = invoke_span
         try:
             return self._execute_admitted(function_name, args, ctx, state, protocol)
         finally:
             if queued:
                 self.work_queue.release(ctx.clock.now_ms)
+            if invoke_span is not None:
+                invoke_span.finish(ctx.clock.now_ms)
+                ctx.span = parent_span
 
     def _execute_admitted(self, function_name: str, args: Sequence[Any],
                           ctx: Optional[RequestContext], state: SessionState,

@@ -163,6 +163,36 @@ class MonitoringSystem:
                     stats.calls_per_dag)
         return total
 
+    def collect_tail_latency(self) -> Dict[str, float]:
+        """Cluster-wide request-latency percentiles from the published metrics.
+
+        Each scheduler publishes its completion histogram's summary under its
+        metrics key (``MetricsPublisher``); this merges them into one
+        cluster-wide view the same way the other aggregates work — via
+        ``peek`` (system traffic, no charges, no access accounting), falling
+        back to the scheduler's live histogram when nothing is published yet.
+        Cross-scheduler p99 is approximated as the worst per-scheduler p99:
+        without merging raw histograms through the KVS that is the
+        conservative (never understating) choice an SLO policy wants.
+        """
+        count = 0
+        worst: Dict[str, float] = {"p50_ms": 0.0, "p95_ms": 0.0,
+                                   "p99_ms": 0.0, "max_ms": 0.0}
+        for scheduler in self.cluster.schedulers:
+            metrics = self.cluster.kvs.peek(
+                SCHEDULER_METRICS_PREFIX + scheduler.scheduler_id)
+            summary = None
+            if metrics is not None:
+                summary = metrics.reveal().get("latency")
+            if summary is None:
+                summary = scheduler.latency_histogram.summary()
+            count += int(summary.get("count", 0))
+            for field_name in worst:
+                worst[field_name] = max(worst[field_name],
+                                        float(summary.get(field_name, 0.0)))
+        worst["count"] = count
+        return worst
+
     # -- §4.4 function-level pinning ---------------------------------------------
     def repin_backlogged(self) -> Dict[str, int]:
         """Add one pinned replica per function (arrivals outpacing completions).

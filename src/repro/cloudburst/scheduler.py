@@ -22,6 +22,7 @@ from ..errors import (
     StorageOverloadError,
 )
 from ..lattices import SetLattice
+from ..obs import LatencyHistogram
 from ..sim import ForkJoin, LatencyModel, RandomSource, RequestContext, SimClock
 from .consistency.levels import ConsistencyLevel
 from .consistency.protocols import ObservingProtocol, SessionState, make_protocol
@@ -113,6 +114,10 @@ class Scheduler:
         #: function name -> executor thread ids the function is pinned on.
         self.function_pins: Dict[str, List[str]] = {}
         self.anomaly_tracker = anomaly_tracker
+        #: Request latencies this scheduler completed (virtual ms).  The
+        #: control plane publishes its percentile summary to Anna on every
+        #: metrics tick — the tail-latency signal an SLO autoscaler consumes.
+        self.latency_histogram = LatencyHistogram(label=scheduler_id)
 
     # -- lifecycle: crash / restart (§4.5 fault injection) ------------------------------
     def crash(self) -> None:
@@ -234,11 +239,16 @@ class Scheduler:
             raise SchedulingError(f"scheduler {self.scheduler_id!r} is down")
         level = consistency or self.default_consistency
         ctx = ctx or RequestContext()
+        root_span = ctx.span
         start_ms = ctx.clock.now_ms
         self.stats.record_function_call(function_name)
         self.latency_model.charge(ctx, "cloudburst", "client_to_scheduler")
         self.latency_model.charge(ctx, "cloudburst", "schedule")
+        if root_span is not None:
+            root_span.child("schedule", "scheduler", start_ms,
+                            node=self.scheduler_id).finish(ctx.clock.now_ms)
         retries = 0
+        failed_span = None
         while True:
             # Each §4.5 attempt runs under a fresh session: reusing one state
             # across retries leaked the failed attempt's snapshot pins and
@@ -248,14 +258,33 @@ class Scheduler:
             thread = self._pick_executor(function_name, args,
                                          now_ms=ctx.clock.now_ms)
             self.latency_model.charge(ctx, "cloudburst", "scheduler_to_executor")
+            attempt_span = None
+            if root_span is not None:
+                attempt_span = root_span.child(
+                    f"attempt:{function_name}", "scheduler", ctx.clock.now_ms,
+                    node=self.scheduler_id).annotate(
+                        "execution_id", state.execution_id)
+                if failed_span is not None:
+                    # A retry supersedes the failed attempt; the failed span
+                    # is finished, so the edge is a link, not ancestry.
+                    attempt_span.link("retry_of", failed_span.span_id)
+                ctx.span = attempt_span
             try:
                 value = self._run_on_thread(thread, function_name, args, ctx, state, protocol)
+                if attempt_span is not None:
+                    attempt_span.finish(ctx.clock.now_ms)
+                    ctx.span = root_span
                 break
             except ExecutorFailedError:
                 # Release the failed attempt before retrying or raising —
                 # snapshots and shadow reads must never outlive the attempt
                 # that pinned them.
                 self._release_session(state, protocol)
+                if attempt_span is not None:
+                    attempt_span.annotate("error", "ExecutorFailedError")
+                    attempt_span.finish(ctx.clock.now_ms)
+                    failed_span = attempt_span
+                    ctx.span = root_span
                 retries += 1
                 if retries > self.max_retries:
                     raise DagExecutionError(
@@ -269,7 +298,9 @@ class Scheduler:
             self.latency_model.charge(ctx, "cloudburst", "result_to_client")
         protocol.finalize(state, self._cache_registry())
         self._complete_anomaly_tracking(state)
-        return ExecutionResult(value=value, latency_ms=ctx.clock.now_ms - start_ms,
+        latency_ms = ctx.clock.now_ms - start_ms
+        self.latency_histogram.record(latency_ms)
+        return ExecutionResult(value=value, latency_ms=latency_ms,
                                execution_id=state.execution_id, ctx=ctx,
                                retries=retries, result_key=result_key, session=state)
 
@@ -310,18 +341,35 @@ class Scheduler:
                 "on_complete/on_error need an engine backend: without one the "
                 "DAG executes inline and call_dag returns the result directly")
         ctx = ctx or RequestContext()
+        root_span = ctx.span
         start_ms = ctx.clock.now_ms
         dag = self.dag_registry.get(dag_name)
         self.dag_registry.record_call(dag_name)
         self.stats.record_dag_call(dag_name)
         self.latency_model.charge(ctx, "cloudburst", "client_to_scheduler")
         self.latency_model.charge(ctx, "cloudburst", "schedule")
+        if root_span is not None:
+            root_span.child("schedule", "scheduler", start_ms,
+                            node=self.scheduler_id).finish(ctx.clock.now_ms)
         retries = 0
+        failed_span = None
         while True:
             state = SessionState.create(level)
             protocol = self._make_protocol(level)
+            attempt_span = None
+            if root_span is not None:
+                attempt_span = root_span.child(
+                    f"attempt:{dag_name}", "scheduler", ctx.clock.now_ms,
+                    node=self.scheduler_id).annotate(
+                        "execution_id", state.execution_id)
+                if failed_span is not None:
+                    attempt_span.link("retry_of", failed_span.span_id)
+                ctx.span = attempt_span
             try:
                 value = self._execute_dag(dag, function_args, ctx, state, protocol)
+                if attempt_span is not None:
+                    attempt_span.finish(ctx.clock.now_ms)
+                    ctx.span = root_span
                 break
             except ExecutorFailedError:
                 # §4.5: if a machine fails mid-DAG, the whole DAG re-executes
@@ -330,6 +378,11 @@ class Scheduler:
                 # reads would otherwise leak, since the retry runs under a
                 # fresh execution id.
                 self._release_session(state, protocol)
+                if attempt_span is not None:
+                    attempt_span.annotate("error", "ExecutorFailedError")
+                    attempt_span.finish(ctx.clock.now_ms)
+                    failed_span = attempt_span
+                    ctx.span = root_span
                 retries += 1
                 if retries > self.max_retries:
                     raise DagExecutionError(
@@ -343,7 +396,9 @@ class Scheduler:
             self.latency_model.charge(ctx, "cloudburst", "result_to_client")
         protocol.finalize(state, self._cache_registry())
         self._complete_anomaly_tracking(state)
-        return ExecutionResult(value=value, latency_ms=ctx.clock.now_ms - start_ms,
+        latency_ms = ctx.clock.now_ms - start_ms
+        self.latency_histogram.record(latency_ms)
+        return ExecutionResult(value=value, latency_ms=latency_ms,
                                execution_id=state.execution_id, ctx=ctx,
                                retries=retries, result_key=result_key, session=state)
 
@@ -383,6 +438,9 @@ class Scheduler:
         self.stats.record_dag_call(dag_name)
         self.latency_model.charge(ctx, "cloudburst", "client_to_scheduler")
         self.latency_model.charge(ctx, "cloudburst", "schedule")
+        if ctx.span is not None:
+            ctx.span.child("schedule", "scheduler", start_ms,
+                           node=self.scheduler_id).finish(ctx.clock.now_ms)
         session = DagSession(self, dag, function_args, ctx, start_ms,
                              level, engine, on_complete, on_error,
                              store_in_kvs=store_in_kvs)
@@ -439,13 +497,30 @@ class Scheduler:
         args = [results[u] for u in upstream] + list(function_args.get(name, ()))
         thread = self._pick_executor(name, args, candidates=pinned or None,
                                      now_ms=ready_ms)
+        function_span = None
+        if ctx.span is not None:
+            # One child span per DAG function, started at its fork/join ready
+            # time; the executor/cache/storage spans nest under it via the
+            # branch context.
+            function_span = ctx.span.child(
+                f"function:{name}", "scheduler", ready_ms,
+                node=self.scheduler_id).annotate("thread", thread.thread_id)
+            branch.span = function_span
         if not upstream:
             self.latency_model.charge(branch, "cloudburst", "scheduler_to_executor")
         else:
             # Downstream trigger ships the session's consistency metadata.
             self.latency_model.charge(branch, "cloudburst", "dag_trigger",
                                       size_bytes=state.metadata_bytes())
-        value = self._run_on_thread(thread, name, args, branch, state, protocol)
+        try:
+            value = self._run_on_thread(thread, name, args, branch, state, protocol)
+        except Exception:
+            if function_span is not None:
+                function_span.annotate("error", True)
+                function_span.finish(branch.clock.now_ms)
+            raise
+        if function_span is not None:
+            function_span.finish(branch.clock.now_ms)
         return value, branch, thread
 
     def _run_on_thread(self, thread: ExecutorThread, function_name: str,

@@ -281,6 +281,14 @@ class DagSession:
         self.done = False
         self.result: Optional["ExecutionResult"] = None
         self.error: Optional[Exception] = None
+        #: The request's root span (or None when untraced).  Each §4.5
+        #: attempt gets its own child span under it; a superseded attempt is
+        #: *linked* from its successor ("retry_of" / "recovered_from"), never
+        #: parented — the failed span is finished, not an ancestor.
+        self.root_span = ctx.span
+        self._attempt_span = None
+        self._superseded_span = None
+        self._superseded_relation = "retry_of"
         self.record = scheduler.journal.open(
             dag_name=dag.name, function_args=function_args, level=level,
             store_in_kvs=store_in_kvs, start_ms=start_ms, session=self)
@@ -305,6 +313,17 @@ class DagSession:
         self._scheduled: set = set()
         self.scheduler.journal.begin_attempt(self.record, self.state.execution_id,
                                              self.ctx.clock.now_ms)
+        if self.root_span is not None:
+            span = self.root_span.child(
+                f"attempt:{self.dag.name}", "scheduler", self.ctx.clock.now_ms,
+                node=self.scheduler.scheduler_id).annotate(
+                    "execution_id", self.state.execution_id)
+            if self._superseded_span is not None:
+                span.link(self._superseded_relation,
+                          self._superseded_span.span_id)
+            self._attempt_span = span
+            # Function dispatches parent their spans under the live attempt.
+            self.ctx.span = span
 
     def start(self) -> None:
         base = self.ctx.clock.now_ms
@@ -379,6 +398,7 @@ class DagSession:
         journal = scheduler.journal
         journal.record_attempt_failure(self.record, reason)
         journal.record_retry(self.record)
+        self._close_attempt_span(reason, "retry_of")
         if self.record.retries > scheduler.max_retries:
             error = DagExecutionError(
                 f"DAG {self.dag.name!r} failed after {self.record.retries} attempts")
@@ -415,6 +435,7 @@ class DagSession:
         journal.record_attempt_failure(self.record, "scheduler crash",
                                        status=ATTEMPT_ABANDONED)
         journal.record_recovery(self.record)
+        self._close_attempt_span("scheduler crash", "recovered_from")
         # The session's clock froze at the crash; catch up to the engine
         # before charging the fault timeout so the fresh attempt's events
         # land in the engine's future, never its past.
@@ -422,6 +443,23 @@ class DagSession:
         self.ctx.charge("cloudburst", "fault_timeout", scheduler.fault_timeout_ms)
         self._reset_attempt()
         self.engine.at(self.ctx.clock.now_ms, self.start)
+
+    def _close_attempt_span(self, reason: str, relation: str) -> None:
+        """Finish the superseded attempt's span and remember it for linking.
+
+        The next attempt (retry or crash recovery) links back to it with
+        ``relation``, so the trace shows the §4.5 lineage without the failed
+        attempt becoming an ancestor of work it never caused.
+        """
+        span = self._attempt_span
+        if span is None:
+            return
+        span.annotate("error", reason)
+        span.finish(self.ctx.clock.now_ms)
+        self._superseded_span = span
+        self._superseded_relation = relation
+        self._attempt_span = None
+        self.ctx.span = self.root_span
 
     # -- completion ---------------------------------------------------------------------
     def _finish(self) -> None:
@@ -443,9 +481,15 @@ class DagSession:
         scheduler._complete_anomaly_tracking(self.state)
         self.done = True
         scheduler.journal.close(self.record, SESSION_COMPLETED)
+        if self._attempt_span is not None:
+            self._attempt_span.finish(ctx.clock.now_ms)
+            self._attempt_span = None
+            ctx.span = self.root_span
+        latency_ms = ctx.clock.now_ms - self.start_ms
+        scheduler.latency_histogram.record(latency_ms)
         from .scheduler import ExecutionResult
         self.result = ExecutionResult(
-            value=value, latency_ms=ctx.clock.now_ms - self.start_ms,
+            value=value, latency_ms=latency_ms,
             execution_id=self.state.execution_id, ctx=ctx,
             retries=self.record.retries, result_key=result_key,
             session=self.state)

@@ -1,0 +1,239 @@
+"""Histogram-based metrics: counters, gauges, log-scale latency histograms.
+
+The bench harness used to keep every request latency in a flat list and
+re-sort it per percentile query; the control plane had no latency signal at
+all.  :class:`LatencyHistogram` replaces both: fixed log-spaced buckets give
+O(1) recording and O(buckets) percentile readout at any request volume, with
+``count``/``sum``/``min``/``max`` tracked exactly and quantiles interpolated
+inside the owning bucket (clamped to the exact min/max, so p0 and p100 are
+exact).  At the default resolution (24 buckets per decade) the relative
+quantile error is bounded by the bucket growth factor, about 10%.
+
+Like everything under ``repro.obs``, recording never touches a clock or an
+RNG: histograms are pure bookkeeping over virtual-time latencies, safe to
+leave enabled in seeded benchmark runs.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Any, Dict, List, Optional
+
+__all__ = ["Counter", "Gauge", "LatencyHistogram", "MetricsRegistry"]
+
+
+class Counter:
+    """A monotonically increasing count (requests served, cache misses, ...)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> float:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease (by {amount})")
+        self.value += amount
+        return self.value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Counter({self.name!r}, {self.value})"
+
+
+class Gauge:
+    """A point-in-time value (queue depth, live threads, heap size)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> float:
+        self.value = float(value)
+        return self.value
+
+    def add(self, delta: float) -> float:
+        self.value += delta
+        return self.value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Gauge({self.name!r}, {self.value})"
+
+
+#: Default histogram geometry: first bucket upper bound (ms) and per-bucket
+#: growth.  ``1.1`` ~= 24 buckets/decade; 180 buckets span 0.01 ms .. ~300 s,
+#: wider than any latency this simulation produces.
+DEFAULT_FIRST_BOUND_MS = 0.01
+DEFAULT_GROWTH = 1.1
+DEFAULT_BUCKETS = 180
+
+
+def _log_bounds(first_bound_ms: float, growth: float,
+                buckets: int) -> List[float]:
+    bounds = []
+    bound = first_bound_ms
+    for _ in range(buckets):
+        bounds.append(bound)
+        bound *= growth
+    return bounds
+
+
+class LatencyHistogram:
+    """Fixed-bucket log-scale latency histogram with percentile readouts.
+
+    Bucket ``i`` counts samples in ``(bounds[i-1], bounds[i]]`` (the first
+    bucket starts at 0); samples beyond the last bound land in an unbounded
+    overflow bucket whose percentile estimate is clamped to the exact max.
+    """
+
+    __slots__ = ("label", "bounds", "counts", "overflow", "count",
+                 "sum_ms", "min_ms", "max_ms")
+
+    def __init__(self, label: str = "",
+                 first_bound_ms: float = DEFAULT_FIRST_BOUND_MS,
+                 growth: float = DEFAULT_GROWTH,
+                 buckets: int = DEFAULT_BUCKETS):
+        if first_bound_ms <= 0 or growth <= 1.0 or buckets < 1:
+            raise ValueError("histogram needs first_bound_ms > 0, growth > 1, "
+                             "buckets >= 1")
+        self.label = label
+        self.bounds = _log_bounds(first_bound_ms, growth, buckets)
+        self.counts = [0] * buckets
+        self.overflow = 0
+        self.count = 0
+        self.sum_ms = 0.0
+        self.min_ms: Optional[float] = None
+        self.max_ms: Optional[float] = None
+
+    # -- recording --------------------------------------------------------------
+    def record(self, latency_ms: float) -> None:
+        if latency_ms < 0:
+            raise ValueError(f"negative latency sample {latency_ms}")
+        self.count += 1
+        self.sum_ms += latency_ms
+        if self.min_ms is None or latency_ms < self.min_ms:
+            self.min_ms = latency_ms
+        if self.max_ms is None or latency_ms > self.max_ms:
+            self.max_ms = latency_ms
+        index = bisect_right(self.bounds, latency_ms)
+        if index >= len(self.counts):
+            self.overflow += 1
+        else:
+            self.counts[index] += 1
+
+    def extend(self, samples_ms: List[float]) -> None:
+        for sample in samples_ms:
+            self.record(sample)
+
+    def merge(self, other: "LatencyHistogram") -> None:
+        """Fold another histogram in (geometries must match)."""
+        if other.bounds != self.bounds:
+            raise ValueError("cannot merge histograms with different buckets")
+        for index, count in enumerate(other.counts):
+            self.counts[index] += count
+        self.overflow += other.overflow
+        self.count += other.count
+        self.sum_ms += other.sum_ms
+        if other.min_ms is not None:
+            self.min_ms = (other.min_ms if self.min_ms is None
+                           else min(self.min_ms, other.min_ms))
+        if other.max_ms is not None:
+            self.max_ms = (other.max_ms if self.max_ms is None
+                           else max(self.max_ms, other.max_ms))
+
+    # -- readouts ---------------------------------------------------------------
+    def __len__(self) -> int:
+        return self.count
+
+    @property
+    def mean_ms(self) -> float:
+        return self.sum_ms / self.count if self.count else 0.0
+
+    def percentile(self, pct: float) -> float:
+        """Latency at percentile ``pct`` (0..100), bucket-interpolated.
+
+        Exact at the extremes (p<=0 returns the true min, p>=100 the true
+        max); in between, the target rank's bucket is located by cumulative
+        count and the value interpolated linearly between that bucket's
+        bounds, then clamped into ``[min, max]``.
+        """
+        if self.count == 0:
+            return 0.0
+        assert self.min_ms is not None and self.max_ms is not None
+        if pct <= 0:
+            return self.min_ms
+        if pct >= 100:
+            return self.max_ms
+        target = pct / 100.0 * self.count
+        cumulative = 0
+        for index, bucket_count in enumerate(self.counts):
+            if bucket_count == 0:
+                continue
+            previous = cumulative
+            cumulative += bucket_count
+            if cumulative >= target:
+                lower = self.bounds[index - 1] if index > 0 else 0.0
+                upper = self.bounds[index]
+                fraction = (target - previous) / bucket_count
+                value = lower + (upper - lower) * fraction
+                return min(max(value, self.min_ms), self.max_ms)
+        # Rank lands in the overflow bucket: everything there is <= max.
+        return self.max_ms
+
+    def summary(self) -> Dict[str, Any]:
+        """The compact form bench snapshots store instead of sample lists."""
+        return {
+            "label": self.label,
+            "count": self.count,
+            "mean_ms": self.mean_ms,
+            "p50_ms": self.percentile(50),
+            "p95_ms": self.percentile(95),
+            "p99_ms": self.percentile(99),
+            "min_ms": self.min_ms if self.min_ms is not None else 0.0,
+            "max_ms": self.max_ms if self.max_ms is not None else 0.0,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"LatencyHistogram({self.label!r}, count={self.count}, "
+                f"p99={self.percentile(99):.3f}ms)")
+
+
+class MetricsRegistry:
+    """Named counters/gauges/histograms, exportable as one nested dict."""
+
+    def __init__(self):
+        self.counters: Dict[str, Counter] = {}
+        self.gauges: Dict[str, Gauge] = {}
+        self.histograms: Dict[str, LatencyHistogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        counter = self.counters.get(name)
+        if counter is None:
+            counter = self.counters[name] = Counter(name)
+        return counter
+
+    def gauge(self, name: str) -> Gauge:
+        gauge = self.gauges.get(name)
+        if gauge is None:
+            gauge = self.gauges[name] = Gauge(name)
+        return gauge
+
+    def histogram(self, name: str, **kwargs: Any) -> LatencyHistogram:
+        histogram = self.histograms.get(name)
+        if histogram is None:
+            histogram = self.histograms[name] = LatencyHistogram(
+                label=name, **kwargs)
+        return histogram
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "counters": {name: counter.value
+                         for name, counter in sorted(self.counters.items())},
+            "gauges": {name: gauge.value
+                       for name, gauge in sorted(self.gauges.items())},
+            "histograms": {name: histogram.summary()
+                           for name, histogram in
+                           sorted(self.histograms.items())},
+        }

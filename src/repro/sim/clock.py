@@ -99,19 +99,28 @@ class RequestContext:
     empty/zero) while keeping the clock and ``elapsed_ms`` byte-identical —
     the cheap mode the closed/open-loop load drivers run in, where thousands
     of requests only ever read their latency total.
+
+    ``span`` carries the request's current trace span (``repro.obs``), or
+    None when the request is untraced — which is the common case, so every
+    instrumentation point guards with ``ctx.span is not None`` and tracing
+    costs one attribute check when off.  Spans never charge the clock, so
+    timing is byte-identical traced or not.
     """
 
-    __slots__ = ("clock", "charges", "metadata", "record_charges",
+    __slots__ = ("clock", "charges", "metadata", "record_charges", "span",
                  "_elapsed_ms", "_start_ms")
 
     def __init__(self, clock: Optional[SimClock] = None,
                  charges: Optional[List[ChargeRecord]] = None,
                  metadata: Optional[Dict[str, object]] = None,
-                 record_charges: bool = True):
+                 record_charges: bool = True,
+                 span: Optional[object] = None):
         self.clock = clock if clock is not None else SimClock()
         self.charges: List[ChargeRecord] = charges if charges is not None else []
         self.metadata: Dict[str, object] = metadata if metadata is not None else {}
         self.record_charges = record_charges
+        #: Current trace span (``repro.obs.TraceSpan``) or None when untraced.
+        self.span = span
         self._elapsed_ms = (sum(charge.latency_ms for charge in self.charges)
                             if self.charges else 0.0)
         # Time of the first charge (even an unlogged one); None until then.
@@ -175,10 +184,15 @@ class RequestContext:
         Used when a DAG fans out: parallel branches each get their own context
         starting at the parent's current time; the parent later joins on the
         maximum of the branch clocks.
+
+        The trace span is carried across the fork, so work done on a branch
+        stays attached to the request's span tree; dispatchers that want a
+        per-branch child span set ``branch.span`` to one after forking.
         """
         return RequestContext(clock=self.clock.copy(),
                               metadata=dict(self.metadata),
-                              record_charges=self.record_charges)
+                              record_charges=self.record_charges,
+                              span=self.span)
 
     def join(self, branches: List["RequestContext"]) -> None:
         """Join parallel branches: advance to the slowest branch's clock."""

@@ -140,6 +140,22 @@ class Engine:
         """
         return self._foreground
 
+    def stats(self) -> Dict[str, float]:
+        """Loop-health counters for the observability exports.
+
+        Everything here is O(1) bookkeeping the engine already maintains;
+        the bench snapshots and the trace dumps embed it so a run's event
+        volume travels with its spans.
+        """
+        return {
+            "now_ms": self._now_ms,
+            "events_processed": self.events_processed,
+            "pending": self._pending,
+            "foreground_pending": self._foreground,
+            "heap_len": len(self._heap),
+            "tombstones": self._tombstones,
+        }
+
     # -- scheduling --------------------------------------------------------
     def at(self, at_ms: float, fn: Callable[[], None],
            background: bool = False) -> Event:

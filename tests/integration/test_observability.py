@@ -1,0 +1,264 @@
+"""Integration tests for the observability plane.
+
+The acceptance properties: one client call under the engine backend yields a
+*connected* causal span tree covering scheduler placement, executor queueing,
+cache traffic and Anna storage; span context survives ``fork()``, §4.5
+retries, executor kills and scheduler crash/recovery without orphaning a
+single span; and tracing never touches a clock — seeded latency timelines
+are byte-identical with tracing fully on, fully off, or attached at rate 0.
+"""
+
+import pytest
+
+from repro.bench.harness import EngineLoadDriver, run_engine_closed_loop
+from repro.cloudburst import CloudburstCluster, CloudburstReference
+from repro.cloudburst.monitoring import (
+    SCHEDULER_METRICS_PREFIX,
+    MonitoringSystem,
+)
+from repro.obs import Tracer
+from repro.sim import Engine, FaultPlane, RandomSource
+
+
+def _pipeline_cluster(tracer=None, seed=3, executor_vms=2,
+                      scheduler_count=1, **cluster_kwargs):
+    cluster = CloudburstCluster(executor_vms=executor_vms, threads_per_vm=3,
+                                scheduler_count=scheduler_count,
+                                tracer=tracer, seed=seed, **cluster_kwargs)
+    cloud = cluster.connect()
+    cloud.put("k1", 5)
+
+    def inc(cloudburst, ref):
+        cloudburst.simulate_compute(5.0)
+        return ref + 1
+
+    def double(cloudburst, value):
+        cloudburst.simulate_compute(5.0)
+        return value * 2
+
+    cloud.register(inc, name="inc")
+    cloud.register(double, name="double")
+    cloud.register_dag("pipeline", ["inc", "double"], [("inc", "double")])
+    return cluster, cloud
+
+
+class TestConnectedSpanTree:
+    def test_single_call_dag_covers_every_tier(self):
+        tracer = Tracer(sample_rate=1.0)
+        cluster, cloud = _pipeline_cluster(tracer=tracer)
+        engine = Engine()
+        cluster.attach_engine(engine)
+        try:
+            future = cloud.call_dag("pipeline",
+                                    {"inc": [CloudburstReference("k1")]})
+            engine.run()
+            assert future.result().value == 12
+        finally:
+            cluster.detach_engine()
+
+        request_roots = [span for span in tracer.roots()
+                         if not (span.attrs or {}).get("background")]
+        assert len(request_roots) == 1
+        trace_id = request_roots[0].trace_id
+        # One connected tree: every tier, no orphans, everything closed.
+        assert set(tracer.tiers(trace_id)) == \
+            {"client", "scheduler", "executor", "cache", "anna"}
+        assert tracer.orphan_spans() == []
+        assert tracer.unfinished_spans() == []
+        names = {span.name for span in tracer.spans_for(trace_id)}
+        assert {"schedule", "invoke:inc", "invoke:double"} <= names
+
+    def test_forked_branches_share_the_trace(self):
+        # A diamond DAG forks the context; both branches' spans must land in
+        # the same trace, parented under the same attempt.
+        tracer = Tracer(sample_rate=1.0)
+        cluster = CloudburstCluster(executor_vms=2, threads_per_vm=3,
+                                    tracer=tracer, seed=7)
+        cloud = cluster.connect()
+
+        def source(cloudburst):
+            return 1
+
+        def left(cloudburst, value):
+            cloudburst.simulate_compute(4.0)
+            return value + 10
+
+        def right(cloudburst, value):
+            cloudburst.simulate_compute(6.0)
+            return value + 20
+
+        def join(cloudburst, a, b):
+            return a + b
+
+        for func, name in ((source, "source"), (left, "left"),
+                           (right, "right"), (join, "join")):
+            cloud.register(func, name=name)
+        cloud.register_dag("diamond", ["source", "left", "right", "join"],
+                           [("source", "left"), ("source", "right"),
+                            ("left", "join"), ("right", "join")])
+        engine = Engine()
+        cluster.attach_engine(engine)
+        try:
+            future = cloud.call_dag("diamond", {"source": []})
+            engine.run()
+            assert future.result().value == 32
+        finally:
+            cluster.detach_engine()
+
+        trace_ids = {span.trace_id for span in tracer.spans
+                     if not (span.attrs or {}).get("background")}
+        assert len(trace_ids) == 1
+        members = tracer.spans_for(trace_ids.pop())
+        function_spans = [s for s in members if s.name.startswith("function:")]
+        assert {s.name for s in function_spans} == \
+            {"function:source", "function:left", "function:right",
+             "function:join"}
+        # Both forked branches hang off the same attempt span.
+        attempt = next(s for s in members if s.name.startswith("attempt:"))
+        assert {s.parent_id for s in function_spans} == {attempt.span_id}
+        assert tracer.orphan_spans() == []
+
+    def test_rate_zero_records_nothing_end_to_end(self):
+        tracer = Tracer(sample_rate=0.0)
+        cluster, cloud = _pipeline_cluster(tracer=tracer)
+        engine = Engine()
+        cluster.attach_engine(engine)
+        try:
+            future = cloud.call_dag("pipeline",
+                                    {"inc": [CloudburstReference("k1")]})
+            engine.run()
+            assert future.result().value == 12
+        finally:
+            cluster.detach_engine()
+        assert len(tracer) == 0
+
+
+def _run_under_faults(fault_class, tracer, seed, requests=60, clients=6):
+    # A compact fault timeout (as in the fault-plane suite): the default 5 s
+    # dwarfs this workload's ~15 ms DAGs, so timed-out attempts would sit
+    # out fault after fault instead of retrying inside the run window.
+    cluster, cloud = _pipeline_cluster(
+        tracer=tracer, seed=seed, executor_vms=4, scheduler_count=2,
+        fault_timeout_ms=50.0)
+    plane = FaultPlane(cluster, RandomSource(seed).spawn("fault-plane"),
+                       classes=(fault_class,), mean_interval_ms=15.0,
+                       downtime_ms=8.0, tick_interval_ms=4.0)
+
+    def request(cloud_client, ctx, index):
+        return cloud_client.call_dag(
+            "pipeline", {"inc": [CloudburstReference("k1")]}, ctx=ctx)
+
+    driver = EngineLoadDriver(cluster, request, clients=clients,
+                              max_requests=requests)
+    plane.attach(driver.engine)
+    try:
+        driver.run()
+    finally:
+        plane.detach()
+    assert plane.injected_count() > 0, "fault class never fired — vacuous"
+    return cluster
+
+
+def _links(tracer, relation):
+    return [span for span in tracer.spans
+            if span.links and any(rel == relation for rel, _ in span.links)]
+
+
+class TestSpansSurviveFaults:
+    def test_executor_kill_retries_link_not_orphan(self):
+        tracer = Tracer(sample_rate=1.0)
+        _run_under_faults("executor_kill", tracer, seed=21)
+        retried = _links(tracer, "retry_of")
+        assert retried, "no retry attempt was ever traced"
+        by_id = {span.span_id: span for span in tracer.spans}
+        for attempt in retried:
+            relation, superseded_id = attempt.links[0]
+            superseded = by_id[superseded_id]
+            # The superseded attempt belongs to the same trace and is closed;
+            # the retry is a sibling (linked), never a child of the failure.
+            assert superseded.trace_id == attempt.trace_id
+            assert superseded.finished
+            assert attempt.parent_id != superseded.span_id
+        assert tracer.orphan_spans() == []
+
+    def test_scheduler_crash_recovery_links_abandoned_attempt(self):
+        tracer = Tracer(sample_rate=1.0)
+        cluster = _run_under_faults("scheduler_crash", tracer, seed=23,
+                                    requests=80, clients=8)
+        recovered = _links(tracer, "recovered_from")
+        assert recovered, "no crash landed on an in-flight traced session"
+        by_id = {span.span_id: span for span in tracer.spans}
+        for attempt in recovered:
+            _, abandoned_id = next(link for link in attempt.links
+                                   if link[0] == "recovered_from")
+            assert by_id[abandoned_id].trace_id == attempt.trace_id
+        assert tracer.orphan_spans() == []
+        assert cluster.abandoned_session_count() == 0
+
+
+class TestTracingNeverChargesClocks:
+    def _drive(self, tracer, seed=13):
+        cluster, _cloud = _pipeline_cluster(tracer=tracer, seed=seed)
+
+        def request(cloud, ctx, index):
+            return cloud.call_dag(
+                "pipeline", {"inc": [CloudburstReference("k1")]}, ctx=ctx)
+
+        return run_engine_closed_loop(cluster, request, clients=4,
+                                      total_requests=40)
+
+    def test_latency_samples_byte_identical_on_off_and_rate_zero(self):
+        baseline = self._drive(tracer=None)
+        fully_on = self._drive(tracer=Tracer(sample_rate=1.0))
+        rate_zero = self._drive(tracer=Tracer(sample_rate=0.0))
+        assert fully_on.latencies.samples_ms == baseline.latencies.samples_ms
+        assert rate_zero.latencies.samples_ms == baseline.latencies.samples_ms
+        assert fully_on.duration_ms == baseline.duration_ms
+
+
+class TestTailLatencyPublication:
+    def test_scheduler_histogram_reaches_monitoring_via_anna(self):
+        cluster, cloud = _pipeline_cluster(seed=5)
+        for index in range(20):
+            assert cloud.call("inc", [index]).result().value == index + 1
+        # The publisher writes each scheduler's histogram summary to its
+        # metrics key; reads must not skew storage access statistics.
+        from repro.cloudburst.controlplane import MetricsPublisher
+
+        def total_accesses():
+            return sum(stats.accesses
+                       for node in cluster.kvs._nodes.values()
+                       for stats in node._stats.values())
+
+        before = total_accesses()
+        MetricsPublisher(cluster).publish()
+        scheduler = cluster.schedulers[0]
+        published = cluster.kvs.peek(
+            SCHEDULER_METRICS_PREFIX + scheduler.scheduler_id).reveal()
+        assert published["latency"]["count"] == 20
+        assert published["latency"]["p99_ms"] >= published["latency"]["p50_ms"]
+        assert total_accesses() == before
+
+        aggregated = MonitoringSystem(cluster).collect_tail_latency()
+        assert aggregated["count"] == 20
+        assert aggregated["p99_ms"] == \
+            pytest.approx(published["latency"]["p99_ms"])
+
+    def test_collect_tail_latency_falls_back_to_live_histograms(self):
+        cluster, cloud = _pipeline_cluster(seed=6)
+        cloud.call("inc", [1]).result()
+        # Nothing published yet: the aggregate still sees the live histogram.
+        aggregated = MonitoringSystem(cluster).collect_tail_latency()
+        assert aggregated["count"] == 1
+
+
+class TestTracingOverheadScenario:
+    def test_disabled_tracing_measured_and_span_free(self):
+        from repro.bench.enginebench import bench_tracing_overhead
+
+        result = bench_tracing_overhead(requests=400, sites_per_request=6,
+                                        repeats=1)
+        assert result["spans_created"] == 0.0
+        assert result["events"] == 400.0
+        assert result["bare_seconds"] > 0.0
+        assert result["guarded_seconds"] > 0.0

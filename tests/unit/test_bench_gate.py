@@ -142,6 +142,19 @@ def good_fault_recovery() -> dict:
     }
 
 
+def good_observability() -> dict:
+    return {
+        "source": "figure7",
+        "sample_rate": 0.05,
+        "traces": 600,
+        "spans": 1_000,
+        "orphan_spans": 0,
+        "tiers": ["anna", "cache", "client", "executor", "scheduler"],
+        "span_dump": "BENCH_spans_fig7.json",
+        "chrome_trace": "BENCH_trace_fig7.json",
+    }
+
+
 def good_payload() -> dict:
     return {
         "figure5_locality": good_figure5(),
@@ -152,6 +165,7 @@ def good_payload() -> dict:
         "engine_throughput": good_engine_throughput(),
         "table2_anomalies": {"invariant_violations": []},
         "fault_recovery": good_fault_recovery(),
+        "observability": good_observability(),
     }
 
 
@@ -282,6 +296,29 @@ class TestFaultRecoveryGate:
         assert "fault_recovery[executor_kill]: LWW != 0" in errors
 
 
+class TestObservabilityGate:
+    def test_good_section_has_no_errors(self):
+        assert run_all.observability_errors(good_observability()) == []
+
+    def test_traceless_run_is_flagged(self):
+        section = good_observability()
+        section["traces"] = 0
+        errors = run_all.observability_errors(section)
+        assert any("no traces" in e for e in errors)
+
+    def test_orphan_spans_are_flagged(self):
+        section = good_observability()
+        section["orphan_spans"] = 2
+        errors = run_all.observability_errors(section)
+        assert any("orphan" in e for e in errors)
+
+    def test_missing_tier_is_flagged(self):
+        section = good_observability()
+        section["tiers"] = ["client", "scheduler", "executor"]
+        errors = run_all.observability_errors(section)
+        assert any("anna" in e and "cache" in e for e in errors)
+
+
 class TestControlPlaneChecks:
     def test_good_controlplane_has_no_errors(self):
         assert run_all.figure7_controlplane_errors(good_figure7()) == []
@@ -340,6 +377,10 @@ class TestMainExitCode:
         monkeypatch.setattr(run_all, "snapshot_table2", lambda *a, **k: table2)
         monkeypatch.setattr(run_all, "snapshot_fault_recovery",
                             lambda *a, **k: good_fault_recovery())
+        # The canned figure 7 never drives the tracer, so the real
+        # snapshot_observability would (rightly) report a traceless run.
+        monkeypatch.setattr(run_all, "snapshot_observability",
+                            lambda *a, **k: good_observability())
 
     def test_quick_run_exits_zero_when_gates_hold(self, monkeypatch, tmp_path):
         self._canned_sections(monkeypatch, good_figure5())

@@ -1,0 +1,129 @@
+"""Unit tests for counters, gauges and the log-scale latency histogram."""
+
+import pytest
+
+from repro.obs import Counter, Gauge, LatencyHistogram, MetricsRegistry
+from repro.sim import LatencyRecorder
+
+
+class TestCounterAndGauge:
+    def test_counter_monotonic(self):
+        counter = Counter("requests")
+        assert counter.inc() == 1.0
+        assert counter.inc(2.5) == 3.5
+        with pytest.raises(ValueError):
+            counter.inc(-1.0)
+
+    def test_gauge_set_and_add(self):
+        gauge = Gauge("queue_depth")
+        assert gauge.set(4) == 4.0
+        assert gauge.add(-1.5) == 2.5
+
+
+class TestLatencyHistogram:
+    def test_exact_count_sum_min_max(self):
+        histogram = LatencyHistogram(label="t")
+        samples = [0.5, 3.0, 3.0, 120.0, 0.02]
+        histogram.extend(samples)
+        assert histogram.count == len(samples)
+        assert histogram.sum_ms == pytest.approx(sum(samples))
+        assert histogram.min_ms == 0.02
+        assert histogram.max_ms == 120.0
+        assert histogram.mean_ms == pytest.approx(sum(samples) / len(samples))
+
+    def test_percentiles_within_bucket_growth_error(self):
+        # Uniform 1..1000 ms: each interpolated quantile must land within
+        # the documented ~10% relative error of the exact value.
+        histogram = LatencyHistogram(label="uniform")
+        exact = [float(value) for value in range(1, 1001)]
+        histogram.extend(exact)
+        for pct, true_value in ((50, 500.5), (95, 950.05), (99, 990.01)):
+            estimate = histogram.percentile(pct)
+            assert estimate == pytest.approx(true_value, rel=0.10)
+
+    def test_percentile_clamped_to_observed_range(self):
+        histogram = LatencyHistogram(label="two")
+        histogram.extend([10.0, 10.0, 10.0])
+        # All mass in one bucket: interpolation cannot escape [min, max].
+        for pct in (1, 50, 99):
+            assert histogram.min_ms <= histogram.percentile(pct) <= \
+                histogram.max_ms
+        assert histogram.percentile(0) == 10.0
+        assert histogram.percentile(100) == 10.0
+
+    def test_overflow_bucket_reports_exact_max(self):
+        histogram = LatencyHistogram(label="of", buckets=4)
+        histogram.extend([0.005, 1e9])
+        assert histogram.overflow == 1
+        assert histogram.percentile(99) == 1e9
+
+    def test_empty_histogram_is_safe(self):
+        histogram = LatencyHistogram(label="empty")
+        assert histogram.percentile(99) == 0.0
+        summary = histogram.summary()
+        assert summary["count"] == 0
+        assert summary["p99_ms"] == 0.0
+
+    def test_merge_requires_matching_geometry(self):
+        left = LatencyHistogram(label="l")
+        right = LatencyHistogram(label="r")
+        left.extend([1.0, 2.0])
+        right.extend([3.0])
+        left.merge(right)
+        assert left.count == 3
+        assert left.max_ms == 3.0
+        with pytest.raises(ValueError):
+            left.merge(LatencyHistogram(label="odd", buckets=7))
+
+    def test_rejects_negative_samples(self):
+        with pytest.raises(ValueError):
+            LatencyHistogram(label="neg").record(-1.0)
+
+
+class TestMetricsRegistry:
+    def test_named_instruments_are_singletons(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.gauge("g") is registry.gauge("g")
+        assert registry.histogram("h") is registry.histogram("h")
+
+    def test_as_dict_snapshot(self):
+        registry = MetricsRegistry()
+        registry.counter("requests").inc(3)
+        registry.gauge("depth").set(2)
+        registry.histogram("latency").record(5.0)
+        snapshot = registry.as_dict()
+        assert snapshot["counters"] == {"requests": 3.0}
+        assert snapshot["gauges"] == {"depth": 2.0}
+        assert snapshot["histograms"]["latency"]["count"] == 1
+
+
+class TestHistogramBackedRecorder:
+    """satellite (f): LatencyRecorder(keep_samples=False) drops sample lists."""
+
+    def test_summary_matches_exact_within_bucket_error(self):
+        samples = [float(value) for value in range(1, 501)]
+        exact = LatencyRecorder(label="exact")
+        compact = LatencyRecorder(label="compact", keep_samples=False)
+        exact.extend(samples)
+        compact.extend(samples)
+        assert compact.samples_ms == []  # nothing retained
+        assert len(compact) == len(exact)
+        exact_summary, compact_summary = exact.summary(), compact.summary()
+        assert compact_summary.count == exact_summary.count
+        assert compact_summary.mean_ms == pytest.approx(exact_summary.mean_ms)
+        assert compact_summary.min_ms == exact_summary.min_ms
+        assert compact_summary.max_ms == exact_summary.max_ms
+        for field in ("median_ms", "p95_ms", "p99_ms"):
+            assert getattr(compact_summary, field) == pytest.approx(
+                getattr(exact_summary, field), rel=0.10)
+
+    def test_merge_refuses_histogram_backed(self):
+        compact = LatencyRecorder(label="compact", keep_samples=False)
+        compact.record(1.0)
+        other = LatencyRecorder(label="exact")
+        other.record(2.0)
+        with pytest.raises(ValueError):
+            compact.merge(other)
+        with pytest.raises(ValueError):
+            other.merge(compact)
