@@ -7,12 +7,14 @@ rise by roughly 60% across the sweep.
 Every point here drives concurrent closed-loop clients through the real
 ``cloud.call`` path (causal consistency protocol, executor work queues,
 locality scheduling on the reader's following-list reference).  Scaling comes
-out somewhat further below ideal than the paper's (about 4.4x from 10 to 160
-threads at the full request budget): with ~50 small caches and a few thousand
-requests per point, freshly posted tweets are cold on most caches and
-timeline reads pay more remote Anna fetches than the paper's much longer
-steady-state runs did.  The shape — near-linear growth with a sub-linear
-locality penalty and rising tail latency — is the paper's.
+out below the paper's ideal but much closer since the batched read plane
+(about 8x from 10 to 160 threads at the full request budget, up from ~4.4x
+when every cold timeline read paid a *sequential* chain of Anna round trips):
+with ~50 small caches, freshly posted tweets are cold on most caches, and
+batched multi_get + scheduler-driven reference prefetch collapse each cold
+read burst to roughly one overlapped round trip.  The shape — near-linear
+growth with a sub-linear locality penalty and rising tail latency — is the
+paper's.
 
 The request budget is floored at 2500 per point regardless of
 ``REPRO_BENCH_SCALE``: below that the 160-thread deployment starves (160
@@ -36,10 +38,11 @@ def test_figure12_retwis_scaling(bench_once):
          format_table(["threads", "clients", "throughput/s", "median (ms)",
                        "p95 (ms)", "p99 (ms)"], result.as_rows()))
     curve = dict(result.throughput_curve())
-    # Full-scale scaling factor, asserted unconditionally (observed ~4.4x on
-    # the seed; the paper's ~11x needs much longer steady-state runs than
-    # these request budgets allow — see the module docstring).
-    assert curve[160] > 4 * curve[10]
+    # Full-scale scaling factor, asserted unconditionally (observed ~8x on
+    # the seed with the batched read plane; the paper's ~11x needs much
+    # longer steady-state runs than these request budgets allow — see the
+    # module docstring).
+    assert curve[160] >= 6 * curve[10]
     assert curve[40] > 2 * curve[10]
     # Median latency rises with scale (cold-cache fetches) but stays bounded.
     medians = [p.median_ms for p in result.points]

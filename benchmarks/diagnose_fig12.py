@@ -43,8 +43,13 @@ from repro.workloads.social import SocialWorkloadGenerator  # noqa: E402
 
 def run_point(threads: int, requests: int, seed: int, warm: bool,
               sample_rate: float, user_count: int = 200,
-              seed_tweets: int = 1_000):
-    """One fig12-style point with a tracer attached; returns (sim, tracer)."""
+              seed_tweets: int = 1_000, batched: bool = True):
+    """One fig12-style point with a tracer attached; returns (sim, tracer).
+
+    ``batched=False`` turns off both halves of the batched read plane
+    (``batched_reads`` and ``prefetch_references``), reproducing the
+    pre-batching sequential-miss behaviour DR-7 diagnosed.
+    """
     from repro.apps.retwis import RetwisOnCloudburst
 
     generator = SocialWorkloadGenerator(user_count=user_count,
@@ -55,7 +60,7 @@ def run_point(threads: int, requests: int, seed: int, warm: bool,
     cluster = build_cluster_with_threads(
         threads, threads_per_vm=3, seed=seed + threads,
         consistency=ConsistencyLevel.DISTRIBUTED_SESSION_CAUSAL,
-        tracer=tracer)
+        tracer=tracer, batched_reads=batched, prefetch_references=batched)
     app = RetwisOnCloudburst(cluster)
     app.load_graph(graph)
     if warm:
@@ -91,6 +96,14 @@ def phase_report(sim, tracer) -> dict:
     for span in tracer.spans:
         site = f"{span.tier}/{span.name}"
         counts[site] = counts.get(site, 0) + 1
+    # Misses issued one-at-a-time on the foreground path (the DR-7 convoy
+    # shape).  Misses under a multi_get parent overlap in virtual time and
+    # occupy the thread for ~one round trip total, so they don't count.
+    multi_get_ids = {span.span_id for span in tracer.spans
+                     if span.name == "multi_get"}
+    sequential_misses = sum(
+        1 for span in tracer.spans
+        if span.name == "cache_miss" and span.parent_id not in multi_get_ids)
     request_traces = [span for span in tracer.roots()
                       if not (span.attrs or {}).get("background")] or [None]
     traces = len([span for span in request_traces if span is not None])
@@ -98,6 +111,8 @@ def phase_report(sim, tracer) -> dict:
         site: round(counts.get(site, 0) / max(traces, 1), 1)
         for site in ("cache/cache_miss", "cache/cache_hit",
                      "anna/kvs_queue", "executor/executor_queue")}
+    per_request["sequential_misses"] = round(
+        sequential_misses / max(traces, 1), 1)
     summary = sim.latencies.summary()
     return {
         "requests_per_s": round(sim.overall_throughput_per_s, 1),
@@ -143,11 +158,14 @@ def main(argv=None) -> int:
 
     phases = {}
     evidence = {}
-    for label, warm in (("cold", False), ("warm", True)):
-        print(f"running {args.threads}-thread retwis point, caches {label}...",
-              flush=True)
+    for label, warm, batched in (("cold_sequential", False, False),
+                                 ("cold", False, True),
+                                 ("warm", True, True)):
+        print(f"running {args.threads}-thread retwis point, "
+              f"{label.replace('_', ' ')} caches...", flush=True)
         sim, tracer = run_point(args.threads, args.requests, args.seed,
-                                warm=warm, sample_rate=args.sample_rate)
+                                warm=warm, sample_rate=args.sample_rate,
+                                batched=batched)
         phases[label] = phase_report(sim, tracer)
         if label == "cold":
             evidence = worst_trace_tree(tracer)
@@ -156,14 +174,37 @@ def main(argv=None) -> int:
               f"mean invoke {phases[label]['mean_invoke_ms']}ms, "
               f"per-request {phases[label]['spans_per_request']}")
 
+    # DR-8's before/after tail breakdown: the same cold point with the
+    # batched read plane off (the DR-7 starvation shape) vs on.
+    before, after = phases["cold_sequential"], phases["cold"]
+    batching = {
+        "throughput_gain": round(after["requests_per_s"] /
+                                 max(before["requests_per_s"], 1e-9), 2),
+        "p99_before_ms": before["p99_ms"],
+        "p99_after_ms": after["p99_ms"],
+        "misses_per_request_before": before["spans_per_request"].get(
+            "cache/cache_miss", 0.0),
+        "misses_per_request_after": after["spans_per_request"].get(
+            "cache/cache_miss", 0.0),
+        "sequential_misses_per_request_before":
+            before["spans_per_request"].get("sequential_misses", 0.0),
+        "sequential_misses_per_request_after":
+            after["spans_per_request"].get("sequential_misses", 0.0),
+    }
+    print(f"  batching at the cold point: {batching['throughput_gain']}x "
+          f"throughput, p99 {batching['p99_before_ms']}ms -> "
+          f"{batching['p99_after_ms']}ms")
+
     payload = {
-        "what": "DR-7 evidence: fig12 cold-cache starvation, span breakdown "
-                "cold vs warm at the same thread count",
+        "what": "DR-7/DR-8 evidence: fig12 cold-cache starvation, span "
+                "breakdown at the same thread count — sequential misses "
+                "(read plane off) vs batched+prefetched vs warm",
         "threads": args.threads,
         "requests": args.requests,
         "seed": args.seed,
         "sample_rate": args.sample_rate,
         "phases": phases,
+        "batching_before_after": batching,
         "worst_cold_trace": evidence,
     }
     output = Path(args.output)

@@ -258,7 +258,7 @@ def collect_gate_errors(payload: dict) -> list:
     errors += scaling_curve_errors("fig10", payload["figure10_prediction_scaling"],
                                    min_ratio=8.0)
     errors += scaling_curve_errors("fig12", payload["figure12_retwis_scaling"],
-                                   min_ratio=4.0)
+                                   min_ratio=6.0)
     errors += engine_throughput_errors(payload["engine_throughput"])
     errors += fault_recovery_errors(payload["fault_recovery"])
     errors += observability_errors(payload["observability"])
@@ -514,7 +514,7 @@ def main(argv=None) -> int:
           f"{observability['tiers']} -> {observability['chrome_trace']}")
 
     payload = {
-        "schema": 8,
+        "schema": 9,
         "seed": args.seed,
         "scale": scale_label,
         "observability": observability,

@@ -34,7 +34,8 @@ from typing import Any, Callable, Dict, Iterable, List, Optional, Union
 
 from ..errors import KeyNotFoundError, StorageOverloadError
 from ..lattices import Lattice, LWWLattice, TimestampGenerator
-from ..sim import LatencyModel, RequestContext
+from ..sim import (LatencyModel, RequestContext, ingress_overflow_ms,
+                   run_overlapped)
 from .hash_ring import HashRing
 from .index import KeyCacheIndex
 from .storage_node import DEFAULT_NODE_QUEUE_BOUND, StorageNode, StorageServiceModel
@@ -481,6 +482,51 @@ class AnnaCluster:
             return self.get(key, ctx)
         except KeyNotFoundError:
             return None
+
+    def multi_get(self, keys: Iterable[str],
+                  ctx: Optional[RequestContext] = None) -> Dict[str, Optional[Lattice]]:
+        """Read a batch of keys with overlapped charging (§4.2 async fetches).
+
+        Every sub-read goes through the exact single-key :meth:`get` path —
+        same replica choice, read-redirect, queue reservation and per-node
+        service accounting — but on a forked context, so the caller's clock
+        advances by ``(N-1) * dispatch + max(per-key round trips)`` instead of
+        the sum (see :func:`repro.sim.run_overlapped`).  Concurrent fetches
+        that land on the same :class:`StorageNode` still serialise honestly
+        at its :class:`~repro.sim.ReservationQueue`.
+
+        Returns ``{key: lattice-or-None}`` in input order (duplicates
+        collapsed); a missing key charges its not-found round trip exactly
+        like :meth:`get` and maps to None rather than raising.
+        """
+        unique = list(dict.fromkeys(keys))
+        parent_span = ctx.span if ctx is not None else None
+
+        def run_one(key: str, branch: Optional[RequestContext]) -> Optional[Lattice]:
+            if branch is None or branch is ctx or parent_span is None:
+                # Batch of one (or uncharged/untraced): the single-key path.
+                return self.get_or_none(key, branch)
+            fetch_span = parent_span.child("fetch", "anna",
+                                           branch.clock.now_ms).annotate("key", key)
+            branch.span = fetch_span
+            try:
+                return self.get_or_none(key, branch)
+            finally:
+                fetch_span.finish(branch.clock.now_ms)
+
+        def dispatch(parent: RequestContext) -> None:
+            self.latency_model.charge(parent, "anna", "multi_get_dispatch")
+
+        values = run_overlapped(ctx, unique, run_one, dispatch)
+        if ctx is not None and len(unique) > 1:
+            # Responses beyond the largest stream serially into the caller's
+            # ingress link (overlap hides round trips, not bandwidth).
+            extra_ms = ingress_overflow_ms(
+                [value.size_bytes() for value in values if value is not None],
+                self.latency_model.cost("anna", "get").bandwidth_bytes_per_ms)
+            if extra_ms > 0:
+                ctx.charge("anna", "ingress", extra_ms)
+        return dict(zip(unique, values))
 
     def peek(self, key: str) -> Optional[Lattice]:
         """Read without charges or access accounting (system/background paths)."""

@@ -35,7 +35,11 @@ def run_scheduling_ablation(requests: int = 200, size_label: str = "800KB",
     comparison = ComparisonResult(title="Ablation: locality-aware vs random scheduling")
     hit_rates: Dict[str, float] = {}
     for label, locality in (("Locality scheduling", True), ("Random placement", False)):
-        cluster = CloudburstCluster(executor_vms=executor_vms, seed=seed)
+        # Prefetch off: this ablation varies the *placement policy* alone.
+        # With reference prefetching on, even random placement warms the
+        # chosen cache before the invoke and the hit-rate signal vanishes.
+        cluster = CloudburstCluster(executor_vms=executor_vms, seed=seed,
+                                    prefetch_references=False)
         cloud = cluster.connect()
         arrays = make_arrays(size_label, seed=seed)
         keys = LocalityWorkloadKeys.shared(size_label)

@@ -26,6 +26,10 @@ dependence in the simulated workload itself):
   earliest-free-server selection cost.
 * ``reservation_queue`` — :class:`ReservationQueue` out-of-order
   reservations: the mid-array insert cost the tentpole asked to measure.
+* ``multi_get`` — cold :meth:`ExecutorCache.multi_get` batches of 1/8/64
+  keys: the batched read plane's fork/join wall cost, plus the *virtual*
+  overlap win (sequential sum vs batched clock) that the fig12 fix rests
+  on.  Gated on both: keys/sec (wall) and the overlap ratio (virtual).
 
 The headline ``events_per_sec`` aggregates the three engine-loop scenarios
 (total events fired / total wall seconds); the per-primitive scenarios are
@@ -65,6 +69,15 @@ PRE_PR_BASELINE: Dict[str, float] = {
 #: headroom for slower CI runners); ``run_all.py`` and the standalone
 #: ``benchmarks/bench_engine_micro.py`` both fail on it.
 FLOOR_EVENTS_PER_SEC: float = 100_000.0
+
+#: Gates for the batched read plane.  The overlap ratio is *virtual* time —
+#: deterministic with jitter off, so the bar can be tight: a cold batch of 64
+#: must finish at least this many times faster than 64 sequential misses
+#: (the caller pays max + dispatch, not the sum).  The keys/sec floor is
+#: wall-clock — the fork/join bookkeeping must stay cheap enough that
+#: batching never becomes the harness bottleneck it was built to remove.
+MULTI_GET_MIN_OVERLAP_RATIO: float = 8.0
+MULTI_GET_FLOOR_KEYS_PER_SEC: float = 5_000.0
 
 #: Gate for the tracing instrumentation's disabled-path cost: the
 #: span-guarded dispatch loop (tracer at sample_rate 0, so every guard is
@@ -195,6 +208,49 @@ def bench_reservation_queue(reservations: int = 30_000) -> Dict[str, float]:
             "retained_intervals": float(len(queue._starts))}
 
 
+def bench_multi_get(rounds: int = 30,
+                    batch_sizes: tuple = (1, 8, 64)) -> Dict[str, float]:
+    """Cold multi_get batches: wall cost of the fork/join plane + overlap win.
+
+    Every round evicts the batch and re-reads it cold through
+    :meth:`ExecutorCache.multi_get`, so each key pays a full (jitter-free)
+    Anna round trip on a forked branch.  ``events`` counts keys fetched (the
+    wall-rate denominator); ``batch_N_virtual_ms`` records the deterministic
+    simulated latency of one batch, and ``overlap_ratio`` is the virtual win
+    of the largest batch over the equivalent sequential miss chain.
+    """
+    from ..anna import AnnaCluster
+    from ..cloudburst import ExecutorCache
+    from ..lattices import LWWLattice, Timestamp
+    from ..sim import LatencyModel
+
+    payload: Dict[str, float] = {}
+    total_keys = 0
+    for size in batch_sizes:
+        anna = AnnaCluster(node_count=4, replication_factor=2,
+                           latency_model=LatencyModel(jitter_enabled=False))
+        cache = ExecutorCache(f"bench-{size}", anna, peer_registry={})
+        keys = [f"k{index}" for index in range(size)]
+        for key in keys:
+            anna.put(key, LWWLattice(Timestamp(1.0, "bench"), "v"))
+        virtual_ms = 0.0
+        for _ in range(rounds):
+            for key in keys:
+                cache.evict(key)
+            ctx = RequestContext(clock=SimClock(0.0))
+            cache.multi_get(list(keys), ctx)
+            virtual_ms = ctx.clock.now_ms
+        payload[f"batch_{size}_virtual_ms"] = round(virtual_ms, 4)
+        total_keys += rounds * size
+    payload["events"] = float(total_keys)
+    largest = max(batch_sizes)
+    sequential_ms = payload[f"batch_{min(batch_sizes)}_virtual_ms"] * largest
+    batched_ms = payload[f"batch_{largest}_virtual_ms"]
+    payload["overlap_ratio"] = round(
+        sequential_ms / batched_ms if batched_ms > 0 else 0.0, 2)
+    return payload
+
+
 def bench_tracing_overhead(requests: int = 8_000, sites_per_request: int = 12,
                            repeats: int = 3) -> Dict[str, float]:
     """Dispatch throughput with tracing instrumentation present but disabled.
@@ -266,6 +322,7 @@ def run_engine_micro() -> Dict[str, object]:
             lambda: bench_charge_log(record_charges=False)),
         "fifo_reserve": _timed(bench_fifo_reserve),
         "reservation_queue": _timed(bench_reservation_queue),
+        "multi_get": _timed(bench_multi_get),
         "tracing_overhead": _timed(bench_tracing_overhead),
     }
     engine_scenarios = ("event_dispatch", "cancel_churn", "recurring_ticks")
@@ -283,9 +340,13 @@ def run_engine_micro() -> Dict[str, object]:
         wall = scenarios[name]["wall_seconds"]
         scenarios[name]["reservations_per_sec"] = round(
             scenarios[name]["reservations"] / wall if wall > 0 else 0.0, 1)
+    multi_get = scenarios["multi_get"]
+    multi_get_wall = multi_get["wall_seconds"]
+    multi_get_keys_per_sec = round(
+        multi_get["events"] / multi_get_wall if multi_get_wall > 0 else 0.0, 1)
     baseline = PRE_PR_BASELINE.get("events_per_sec", 0.0)
     return {
-        "schema": 2,
+        "schema": 3,
         "events_per_sec": round(events_per_sec, 1),
         "sim_ms_per_wall_ms": round(sim_ms_per_wall_ms, 1),
         "scenarios": scenarios,
@@ -293,6 +354,10 @@ def run_engine_micro() -> Dict[str, object]:
         "speedup_vs_pre_pr": (round(events_per_sec / baseline, 2)
                               if baseline > 0 else None),
         "floor_events_per_sec": FLOOR_EVENTS_PER_SEC,
+        "multi_get_keys_per_sec": multi_get_keys_per_sec,
+        "multi_get_floor_keys_per_sec": MULTI_GET_FLOOR_KEYS_PER_SEC,
+        "multi_get_overlap_ratio": multi_get["overlap_ratio"],
+        "multi_get_min_overlap_ratio": MULTI_GET_MIN_OVERLAP_RATIO,
         "tracing_overhead_pct": scenarios["tracing_overhead"]["overhead_pct"],
         "tracing_overhead_max_pct": TRACING_OVERHEAD_MAX_PCT,
     }
@@ -307,6 +372,23 @@ def engine_throughput_errors(section: Dict[str, object]) -> list:
         errors.append(
             f"engine_throughput: {measured:.0f} events/s fell below the "
             f"recorded floor {floor:.0f} (the optimization-pass win is gone)")
+    # Batched read plane: both the wall rate and the virtual overlap win
+    # are gated (schema 2 snapshots carry neither; they pass vacuously).
+    mg_floor = section.get("multi_get_floor_keys_per_sec")
+    mg_rate = section.get("multi_get_keys_per_sec")
+    if mg_floor is not None and mg_rate is not None and mg_rate < mg_floor:
+        errors.append(
+            f"engine_throughput: multi_get at {mg_rate:.0f} keys/s fell "
+            f"below the floor {mg_floor:.0f} — the fork/join plane became "
+            f"a harness bottleneck")
+    min_overlap = section.get("multi_get_min_overlap_ratio")
+    overlap = section.get("multi_get_overlap_ratio")
+    if min_overlap is not None and overlap is not None \
+            and overlap < min_overlap:
+        errors.append(
+            f"engine_throughput: multi_get overlap ratio {overlap:.1f}x is "
+            f"below {min_overlap:.0f}x — batched misses are no longer "
+            f"charged max-plus-dispatch (the fig12 win is gone)")
     # Zero-cost-when-off contract for the observability plane.  Older
     # snapshots (schema 1) carry no tracing section; they pass vacuously.
     max_pct = section.get("tracing_overhead_max_pct")

@@ -25,7 +25,8 @@ from typing import Dict, List, Optional, Set, Tuple
 from ..anna import AnnaCluster
 from ..errors import ConsistencyError, KeyNotFoundError
 from ..lattices import CausalLattice, Lattice
-from ..sim import LatencyModel, RequestContext
+from ..sim import (LatencyModel, RequestContext, ingress_overflow_ms,
+                   run_overlapped)
 
 
 @dataclass
@@ -47,6 +48,14 @@ class CacheStats:
     #: KVS).  These used to be skipped silently — together with the old
     #: depth-8 recursion cap — which hid holes in the causal cut.
     causal_deps_unresolved: int = 0
+    #: Scheduler-driven reference prefetches started (§4.2: the scheduler
+    #: ships DAG reference metadata ahead so caches warm before the invoke).
+    prefetches_issued: int = 0
+    #: Reads that found their key warm (or in flight) thanks to a prefetch.
+    prefetch_hits: int = 0
+    #: Prefetched values never read before :meth:`settle_prefetch_accounting`
+    #: (mispredicted references — wasted background bandwidth).
+    prefetch_wasted: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -59,12 +68,30 @@ class ExecutorCache:
 
     def __init__(self, cache_id: str, kvs: AnnaCluster,
                  latency_model: Optional[LatencyModel] = None,
-                 peer_registry: Optional[Dict[str, "ExecutorCache"]] = None):
+                 peer_registry: Optional[Dict[str, "ExecutorCache"]] = None,
+                 batched_reads: bool = True):
         self.cache_id = cache_id
         self.kvs = kvs
         self.latency_model = latency_model or kvs.latency_model
         self.closed = False
+        #: When False, :meth:`multi_get` degrades to the pre-batching
+        #: sequential loop (byte-identical charges), for ablations and the
+        #: determinism-parity tests.
+        self.batched_reads = batched_reads
         self._data: Dict[str, Lattice] = {}
+        # Scheduler-driven reference prefetches that have not landed yet:
+        # key -> (virtual time the background fetch completes, value).
+        self._prefetch_inflight: Dict[str, Tuple[float, Lattice]] = {}
+        # Prefetched keys that landed in _data but were never read (candidates
+        # for the wasted-prefetch counter at settle time).
+        self._prefetched_unread: Set[str] = set()
+        # Virtual time until which this VM's ingress link is busy streaming
+        # earlier prefetched values (transfers serialize; round trips don't).
+        self._prefetch_link_free_ms: float = 0.0
+        # Execution id of the last prefetch batch (sequential mode only):
+        # without an engine, per-request clocks are not comparable, so the
+        # link cursor resets at each new issuing execution.
+        self._prefetch_last_epoch: Optional[str] = None
         # Snapshots pinned for in-flight DAGs: (execution_id, key) -> lattice.
         self._snapshots: Dict[Tuple[str, str], Lattice] = {}
         self._snapshot_keys_by_execution: Dict[str, Set[str]] = {}
@@ -93,6 +120,10 @@ class ExecutorCache:
         """Return the locally cached value, charging one IPC round trip."""
         local = self._data.get(key)
         if local is None:
+            local = self._from_prefetch(key, ctx)
+        else:
+            self._note_prefetch_hit(key)
+        if local is None:
             # A failed lookup is still a miss; not counting it inflated
             # hit_rate for every caller that probes with get() before
             # falling back to the KVS.
@@ -104,8 +135,18 @@ class ExecutorCache:
         return local
 
     def get_or_fetch(self, key: str, ctx: Optional[RequestContext] = None) -> Lattice:
-        """Return ``key`` from the cache, fetching it from Anna on a miss."""
+        """Return ``key`` from the cache, fetching it from Anna on a miss.
+
+        The miss path delegates to the batched fetch machinery as a batch of
+        one, which :func:`repro.sim.run_overlapped` runs directly on ``ctx``
+        — same RNG draws, same charge log, byte-identical seeded timelines to
+        the historical single-key fetch.
+        """
         local = self._data.get(key)
+        if local is None:
+            local = self._from_prefetch(key, ctx)
+        else:
+            self._note_prefetch_hit(key)
         if local is not None:
             if ctx is not None:
                 hit_span = None
@@ -117,6 +158,132 @@ class ExecutorCache:
                     hit_span.finish(ctx.clock.now_ms)
             self.stats.hits += 1
             return local
+        value = self._fetch_misses([key], ctx, raise_missing=True)[key]
+        assert value is not None
+        return value
+
+    def multi_get(self, keys, ctx: Optional[RequestContext] = None
+                  ) -> Dict[str, Optional[Lattice]]:
+        """Batched read: hits in one IPC round trip, misses fetched overlapped.
+
+        The paper's caches serve a whole argument list's references without
+        serialising a network round trip per key (§4.2).  This call:
+
+        * partitions ``keys`` (duplicates collapsed, input order kept) into
+          local hits and misses, promoting in-flight prefetches;
+        * charges the hits as *one* ``cache.multi_get`` IPC round trip
+          carrying the batch, instead of one ``cache.get`` per key;
+        * fetches every miss from Anna concurrently in virtual time — per-key
+          queue/service charges still land on each storage node, but the
+          caller pays ``(N-1) * dispatch + max(fetch latencies)``, not the
+          sum (see :func:`repro.sim.run_overlapped`);
+        * repairs the causal cut over the whole batch in batched rounds,
+          fetching demanded dependencies through the same overlapped path.
+
+        Missing keys map to ``None`` (charged exactly like a single-key
+        not-found read).  With ``batched_reads`` disabled this degrades to
+        the pre-batching sequential ``get_or_fetch`` loop, byte-identical to
+        the historical charge stream.
+        """
+        unique = list(dict.fromkeys(keys))
+        if not self.batched_reads:
+            results: Dict[str, Optional[Lattice]] = {}
+            for key in unique:
+                try:
+                    results[key] = self.get_or_fetch(key, ctx)
+                except KeyNotFoundError:
+                    results[key] = None
+            return results
+        hits: List[Tuple[str, Lattice]] = []
+        missing: List[str] = []
+        for key in unique:
+            local = self._data.get(key)
+            if local is None:
+                local = self._from_prefetch(key, ctx)
+            else:
+                self._note_prefetch_hit(key)
+            if local is None:
+                missing.append(key)
+            else:
+                hits.append((key, local))
+        results = {}
+        if hits:
+            for key, local in hits:
+                self.stats.hits += 1
+                results[key] = local
+            if ctx is not None:
+                hit_span = None
+                if ctx.span is not None:
+                    hit_span = ctx.span.child(
+                        "cache_hit", "cache", ctx.clock.now_ms,
+                        node=self.cache_id).annotate("batch", len(hits))
+                self.latency_model.charge(
+                    ctx, "cache", "multi_get",
+                    size_bytes=sum(value.size_bytes() for _, value in hits))
+                if len(hits) > 1:
+                    # One IPC round trip amortises the per-get protocol
+                    # overhead, but the cache still looks up and marshals
+                    # every entry (deterministic per-key service time).
+                    ctx.charge("cache", "multi_get_key",
+                               (len(hits) - 1) *
+                               self.latency_model.cost(
+                                   "cache", "multi_get_key").base_ms)
+                if hit_span is not None:
+                    hit_span.finish(ctx.clock.now_ms)
+        if missing:
+            results.update(self._fetch_misses(missing, ctx))
+        found = [value for value in results.values() if value is not None]
+        self._ensure_causal_cut_batch(found, ctx)
+        # The cut repair may have merged a newer copy of a batch member into
+        # the cache (a fellow member depended on it); return the repaired
+        # local copies, which is what a sequential read-after-repair saw.
+        return {key: (self._data.get(key) if results.get(key) is not None
+                      else None) for key in unique}
+
+    def _fetch_misses(self, keys: List[str], ctx: Optional[RequestContext],
+                      raise_missing: bool = False) -> Dict[str, Optional[Lattice]]:
+        """Fetch cache misses from Anna with overlapped charging.
+
+        A batch of one runs directly on ``ctx`` (no fork, no dispatch charge)
+        and is the single-key miss path; larger batches fork a context per
+        key under a ``multi_get`` parent span, paying the serial per-key
+        dispatch cost plus the max fetch latency.
+        """
+        parent_span = ctx.span if ctx is not None else None
+        batch_span = None
+        if parent_span is not None and len(keys) > 1:
+            batch_span = parent_span.child("multi_get", "cache", ctx.clock.now_ms,
+                                           node=self.cache_id).annotate(
+                                               "misses", len(keys))
+            ctx.span = batch_span
+
+        def run_one(key: str, branch: Optional[RequestContext]) -> Optional[Lattice]:
+            return self._fetch_one_miss(key, branch, raise_missing=raise_missing)
+
+        def dispatch(parent: RequestContext) -> None:
+            self.latency_model.charge(parent, "anna", "multi_get_dispatch")
+
+        try:
+            values = run_overlapped(ctx, keys, run_one, dispatch)
+            if ctx is not None and len(keys) > 1:
+                # Overlap hides round-trip latency, not the VM's ingress
+                # link: responses beyond the largest still stream in
+                # serially (deterministic, no RNG draw).
+                extra_ms = ingress_overflow_ms(
+                    [value.size_bytes() for value in values
+                     if value is not None],
+                    self.latency_model.cost("anna", "get").bandwidth_bytes_per_ms)
+                if extra_ms > 0:
+                    ctx.charge("cache", "ingress", extra_ms)
+        finally:
+            if batch_span is not None:
+                batch_span.finish(ctx.clock.now_ms)
+                ctx.span = parent_span
+        return dict(zip(keys, values))
+
+    def _fetch_one_miss(self, key: str, ctx: Optional[RequestContext],
+                        raise_missing: bool = False) -> Optional[Lattice]:
+        """One cold read from Anna: the historical ``get_or_fetch`` miss body."""
         self.stats.misses += 1
         mark = len(ctx.charges) if ctx is not None else 0
         # On a miss the storage fetch nests under a cache_miss span, so trace
@@ -130,12 +297,14 @@ class ExecutorCache:
             ctx.span = miss_span
         try:
             value = self.kvs.get(key, ctx)
-        except Exception:
+        except Exception as exc:
             if miss_span is not None:
                 miss_span.annotate("error", True)
                 miss_span.finish(ctx.clock.now_ms)
                 ctx.span = parent_span
-            raise
+            if raise_missing or not isinstance(exc, KeyNotFoundError):
+                raise
+            return None
         if ctx is not None:
             # Surface how much of the miss penalty was storage-node queueing
             # (nonzero only when the cluster runs on the event engine).  Only
@@ -179,6 +348,7 @@ class ExecutorCache:
         return removed
 
     def clear(self) -> None:
+        self.settle_prefetch_accounting()
         for key in list(self._data):
             self.kvs.cache_index.remove_entry(self.cache_id, key)
         self._data.clear()
@@ -196,6 +366,7 @@ class ExecutorCache:
         """
         if self.closed:
             return
+        self.settle_prefetch_accounting()
         self.closed = True
         self.kvs.unregister_update_listener(self.cache_id)
         if self._peers.get(self.cache_id) is self:
@@ -225,6 +396,128 @@ class ExecutorCache:
         if key in self._data:
             self._data[key] = self._data[key].merge(value)
             self.stats.update_pushes_received += 1
+
+    # -- scheduler-driven reference prefetch (§4.2) ---------------------------------
+    #: ``RequestContext.metadata`` key carrying the issuing execution's id,
+    #: so promote-on-read can tell the issuing request (whose clock the
+    #: readiness timestamp lives on) from unrelated later readers.
+    PREFETCH_EPOCH_KEY = "prefetch_epoch"
+
+    def prefetch(self, keys, now_ms: float, engine=None,
+                 epoch: Optional[str] = None) -> int:
+        """Start background fetches for the scheduler's DAG-reference hints.
+
+        The scheduler ships each placed function's ``CloudburstReference``
+        keys to the chosen VM's cache at placement time; the cache starts
+        asynchronous fetches so the invoke — which arrives one executor hop
+        later — finds warm entries.  Like gossip and write-backs, prefetch is
+        *background* traffic: it charges nothing to any request and bypasses
+        the storage work queues (``kvs.peek``).  A read that arrives before
+        the fetch's modelled completion time pays only the residual
+        ``prefetch_wait``, never the full round trip.
+
+        The completion time is the *deterministic mean* Anna round trip for
+        the value's size — no RNG is drawn, so enabling prefetch perturbs no
+        request's jitter stream.  Transfers serialize on the VM's ingress
+        link (a monotone per-cache cursor): prefetching ten large arrays is
+        bandwidth-bound exactly like fetching them on demand, so prefetch
+        can hide round trips and scheduling hops but never invents ingress
+        bandwidth.  With an engine the landing is also a real (background)
+        event, so entries become locally visible at the right virtual time
+        even if no read ever claims them.  Returns the number of fetches
+        started.
+        """
+        if self.closed:
+            return 0
+        if epoch != self._prefetch_last_epoch:
+            # The link cursor serialises transfers within one issuing
+            # execution's placement burst.  A new execution starts from its
+            # own "link idle" state: in sequential mode earlier requests'
+            # clocks are not even comparable, and on the engine path the
+            # same reset keeps single-client runs identical to the
+            # sequential cross-check.  (Cross-execution link contention is
+            # deliberately not modelled — see DESIGN.md DR-8.)
+            self._prefetch_link_free_ms = now_ms
+        self._prefetch_last_epoch = epoch
+        started = 0
+        cost = self.latency_model.cost("anna", "get")
+        for key in dict.fromkeys(keys):
+            if key in self._data or key in self._prefetch_inflight:
+                continue
+            value = self.kvs.peek(key)
+            if value is None:
+                continue
+            transfer_start = max(now_ms, self._prefetch_link_free_ms)
+            transfer_ms = cost.mean_ms(value.size_bytes()) - cost.base_ms
+            self._prefetch_link_free_ms = transfer_start + transfer_ms
+            ready_ms = transfer_start + cost.base_ms + transfer_ms
+            self._prefetch_inflight[key] = (ready_ms, value, epoch)
+            self.stats.prefetches_issued += 1
+            started += 1
+            span = None
+            if self.kvs.tracer is not None:
+                span = self.kvs.tracer.start_background(
+                    "prefetch", "cache", now_ms, node=self.cache_id)
+                if span is not None:
+                    span.annotate("key", key)
+            if engine is not None:
+                engine.at(ready_ms, lambda key=key, span=span, ready=ready_ms:
+                          self._land_prefetch(key, span, ready), background=True)
+            elif span is not None:
+                span.finish(ready_ms)
+        return started
+
+    def _land_prefetch(self, key: str, span, ready_ms: float) -> None:
+        """Engine event: a background fetch completes and enters the cache."""
+        entry = self._prefetch_inflight.pop(key, None)
+        if span is not None:
+            span.finish(ready_ms)
+        if entry is None or self.closed:
+            return  # already promoted by a read, or the VM left the cluster
+        self._store(key, entry[1])
+        self._prefetched_unread.add(key)
+
+    def _from_prefetch(self, key: str,
+                       ctx: Optional[RequestContext]) -> Optional[Lattice]:
+        """Promote an in-flight prefetched value on first read, if any.
+
+        A read that beats the modelled completion time is charged only the
+        residual wait (``cache.prefetch_wait``) — the overlap between the
+        background fetch and the executor hop is the §4.2 win.
+        """
+        entry = self._prefetch_inflight.pop(key, None)
+        if entry is None:
+            return None
+        ready_ms, value, epoch = entry
+        # Only the issuing execution's clock is comparable to ready_ms; an
+        # unrelated later reader observes the entry as already landed (the
+        # engine-path landing event and the sequential path agree on this,
+        # which is what keeps the single-client cross-check exact).
+        same_epoch = (ctx is not None and epoch is not None and
+                      ctx.metadata.get(self.PREFETCH_EPOCH_KEY) == epoch)
+        if same_epoch and ready_ms > ctx.clock.now_ms:
+            ctx.charge("cache", "prefetch_wait", ready_ms - ctx.clock.now_ms)
+        self.stats.prefetch_hits += 1
+        return self._store(key, value)
+
+    def _note_prefetch_hit(self, key: str) -> None:
+        """Credit a read of a landed-but-unread prefetched entry."""
+        if key in self._prefetched_unread:
+            self._prefetched_unread.discard(key)
+            self.stats.prefetch_hits += 1
+
+    def settle_prefetch_accounting(self) -> int:
+        """Count never-read prefetches as wasted and reset the tracking sets.
+
+        Benchmarks call this at the end of a run so ``prefetch_hits`` /
+        ``prefetch_wasted`` describe the whole run; it also runs on
+        :meth:`clear` and :meth:`close`.  Returns the newly wasted count.
+        """
+        wasted = len(self._prefetch_inflight) + len(self._prefetched_unread)
+        self.stats.prefetch_wasted += wasted
+        self._prefetch_inflight.clear()
+        self._prefetched_unread.clear()
+        return wasted
 
     # -- version snapshots for the distributed-session protocols (§5.3) -------------
     def create_snapshot(self, execution_id: str, key: str, value: Lattice,
@@ -351,6 +644,48 @@ class ExecutorCache:
             self._store(dep_key, fetched)
             if isinstance(fetched, CausalLattice):
                 worklist.extend(fetched.dependencies.items())
+
+    def _ensure_causal_cut_batch(self, lattices: List[Lattice],
+                                 ctx: Optional[RequestContext] = None) -> None:
+        """Repair the causal cut for a whole batch in batched fetch rounds.
+
+        Same fixpoint as :meth:`ensure_causal_cut` (visited set keyed by
+        dependency name, local copies satisfy concurrent-or-newer), but each
+        round collects every demanded dependency across the batch and fetches
+        them through :meth:`AnnaCluster.multi_get` — so dependency repair
+        overlaps in virtual time exactly like the primary reads.
+        """
+        worklist: List[Tuple[str, object]] = []
+        for lattice in lattices:
+            if isinstance(lattice, CausalLattice):
+                worklist.extend(lattice.dependencies.items())
+        visited: Set[str] = set()
+        while worklist:
+            needed: List[str] = []
+            for dep_key, dep_clock in worklist:
+                if dep_key in visited:
+                    continue
+                visited.add(dep_key)
+                local = self._data.get(dep_key)
+                if local is not None and isinstance(local, CausalLattice):
+                    local_clock = local.vector_clock
+                    if local_clock.dominates_or_equal(dep_clock) or \
+                            local_clock.concurrent_with(dep_clock):
+                        continue
+                needed.append(dep_key)
+            worklist = []
+            if not needed:
+                break
+            fetched = self.kvs.multi_get(needed, ctx)
+            for dep_key in needed:
+                value = fetched.get(dep_key)
+                if value is None:
+                    self.stats.causal_deps_unresolved += 1
+                    continue
+                self.stats.causal_dep_fetches += 1
+                self._store(dep_key, value)
+                if isinstance(value, CausalLattice):
+                    worklist.extend(value.dependencies.items())
 
     def violates_causal_cut(self) -> List[Tuple[str, str]]:
         """Pairs (key, dependency) where the cut property does not hold.

@@ -26,7 +26,7 @@ import uuid
 from dataclasses import dataclass, field
 from typing import Any, Dict, Optional, Set
 
-from ...errors import ConsistencyError
+from ...errors import ConsistencyError, KeyNotFoundError
 from ...lattices import CausalLattice, Lattice, VectorClock
 from ...sim import RequestContext
 from ..cache import ExecutorCache
@@ -101,6 +101,26 @@ class ConsistencyProtocol:
              state: SessionState) -> Lattice:
         raise NotImplementedError
 
+    def read_many(self, cache: ExecutorCache, keys,
+                  ctx: Optional[RequestContext],
+                  state: SessionState) -> Dict[str, Lattice]:
+        """Read a batch of keys; missing keys are omitted from the result.
+
+        The base implementation is the historical sequential loop — one
+        :meth:`read` per key, in input order — which is also what every
+        override degrades to when the cache's ``batched_reads`` knob is off,
+        keeping seeded timelines byte-identical to the pre-batching code.
+        Protocols with a batched fast path override this to route through
+        :meth:`ExecutorCache.multi_get`.
+        """
+        found: Dict[str, Lattice] = {}
+        for key in dict.fromkeys(keys):
+            try:
+                found[key] = self.read(cache, key, ctx, state)
+            except KeyNotFoundError:
+                continue
+        return found
+
     def write(self, cache: ExecutorCache, key: str, lattice: Lattice,
               ctx: Optional[RequestContext], state: SessionState) -> Lattice:
         raise NotImplementedError
@@ -147,6 +167,18 @@ class LWWProtocol(ConsistencyProtocol):
         state.reads += 1
         state.caches_involved.add(cache.cache_id)
         return value
+
+    def read_many(self, cache, keys, ctx, state):
+        if not cache.batched_reads:
+            return super().read_many(cache, keys, ctx, state)
+        found = {}
+        for key, value in cache.multi_get(keys, ctx).items():
+            if value is None:
+                continue
+            state.reads += 1
+            state.caches_involved.add(cache.cache_id)
+            found[key] = value
+        return found
 
     def write(self, cache, key, lattice, ctx, state):
         state.writes += 1
@@ -217,6 +249,8 @@ class SingleKeyCausalProtocol(ConsistencyProtocol):
         state.caches_involved.add(cache.cache_id)
         return value
 
+    read_many = LWWProtocol.read_many
+
     def write(self, cache, key, lattice, ctx, state):
         state.writes += 1
         state.caches_involved.add(cache.cache_id)
@@ -236,6 +270,20 @@ class MultiKeyCausalProtocol(ConsistencyProtocol):
         state.caches_involved.add(cache.cache_id)
         self._track_dependencies(state, cache, key, value)
         return value
+
+    def read_many(self, cache, keys, ctx, state):
+        if not cache.batched_reads:
+            return super().read_many(cache, keys, ctx, state)
+        # multi_get already repairs the causal cut over the whole batch.
+        found = {}
+        for key, value in cache.multi_get(keys, ctx).items():
+            if value is None:
+                continue
+            state.reads += 1
+            state.caches_involved.add(cache.cache_id)
+            self._track_dependencies(state, cache, key, value)
+            found[key] = value
+        return found
 
     def write(self, cache, key, lattice, ctx, state):
         merged = cache.put(key, lattice, ctx)
@@ -284,6 +332,42 @@ class DistributedSessionCausalProtocol(ConsistencyProtocol):
         cache.create_snapshot(state.execution_id, key, value)
         self._record_causal_read(state, cache, key, value)
         return value
+
+    def read_many(self, cache, keys, ctx, state):
+        """Batched session read: unconstrained keys in one overlapped batch.
+
+        Keys the session already constrains (read earlier in the DAG or
+        present in the shipped dependency set) keep the one-at-a-time
+        Algorithm 2 path — each needs its own upstream-version resolution.
+        Everything else goes through :meth:`ExecutorCache.multi_get`, whose
+        batched causal-cut repair covers the whole batch.  The batch is read
+        as of one logical instant: a dependency *discovered inside it* does
+        not retroactively constrain its fellow batch members (they were
+        already on the wire), which is exactly the semantics of the paper's
+        asynchronous reference fetches.
+        """
+        if not cache.batched_reads:
+            return super().read_many(cache, keys, ctx, state)
+        unique = list(dict.fromkeys(keys))
+        unconstrained = [key for key in unique
+                         if key not in state.read_set
+                         and key not in state.dependencies]
+        batch = cache.multi_get(unconstrained, ctx) if unconstrained else {}
+        found = {}
+        for key in unique:
+            if key in batch:
+                value = batch[key]
+                if value is None:
+                    continue
+                cache.create_snapshot(state.execution_id, key, value)
+                self._record_causal_read(state, cache, key, value)
+                found[key] = value
+            else:
+                try:
+                    found[key] = self.read(cache, key, ctx, state)
+                except KeyNotFoundError:
+                    continue
+        return found
 
     def _read_constrained(self, cache: ExecutorCache, key: str, required,
                           upstream_cache_id: str, ctx, state: SessionState) -> Lattice:
@@ -383,6 +467,12 @@ class ObservingProtocol(ConsistencyProtocol):
         value = self.inner.read(cache, key, ctx, state)
         self.tracker.observe_read(state.execution_id, cache.cache_id, key, value)
         return value
+
+    def read_many(self, cache, keys, ctx, state):
+        found = self.inner.read_many(cache, keys, ctx, state)
+        for key, value in found.items():
+            self.tracker.observe_read(state.execution_id, cache.cache_id, key, value)
+        return found
 
     def write(self, cache, key, lattice, ctx, state):
         merged = self.inner.write(cache, key, lattice, ctx, state)

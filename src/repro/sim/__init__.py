@@ -19,6 +19,7 @@ from .engine import (
 )
 from .faults import DEFAULT_FAULT_CLASSES, FaultEvent, FaultPlane
 from .latency import ComputeModel, DEFAULT_COSTS, LatencyModel, OperationCost
+from .overlap import ingress_overflow_ms, run_overlapped
 from .rng import RandomSource, ZipfGenerator
 from .stats import (
     LatencyRecorder,
@@ -56,6 +57,8 @@ __all__ = [
     "DEFAULT_COSTS",
     "LatencyModel",
     "OperationCost",
+    "ingress_overflow_ms",
+    "run_overlapped",
     "RandomSource",
     "ZipfGenerator",
     "LatencyRecorder",

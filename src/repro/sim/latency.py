@@ -64,6 +64,13 @@ DEFAULT_COSTS: Dict[Tuple[str, str], OperationCost] = {
     # -- VM-local cache (IPC between executor process and cache process) --
     ("cache", "get"): OperationCost(0.06, 9_000_000.0, jitter_sigma=0.06),
     ("cache", "put"): OperationCost(0.06, 9_000_000.0, jitter_sigma=0.06),
+    # One IPC round trip carrying a whole batch of cached values: same shape
+    # as a single get (the payload is larger, the hop count is not).
+    ("cache", "multi_get"): OperationCost(0.06, 9_000_000.0, jitter_sigma=0.06),
+    # Deterministic per-entry lookup/marshalling inside one multi_get IPC:
+    # the cache process still cloudpickles every entry onto the local socket,
+    # so a batched hit amortises the round trip, not the serialisation.
+    ("cache", "multi_get_key"): OperationCost(0.05),
     ("cache", "snapshot"): OperationCost(0.05),
     # Fetching an exact version snapshot from a *peer* cache (the repeatable
     # read / causal protocols' upstream fetch) costs a network round trip.
@@ -73,6 +80,10 @@ DEFAULT_COSTS: Dict[Tuple[str, str], OperationCost] = {
     ("anna", "put"): OperationCost(0.95, 190_000.0, jitter_sigma=0.18),
     ("anna", "merge"): OperationCost(0.05),
     ("anna", "metadata"): OperationCost(0.6, jitter_sigma=0.12),
+    # Serial cost of putting one more batched sub-request on the wire: the
+    # caller pays (N-1) of these plus the max response time, not the sum of
+    # N full round trips (see repro.sim.overlap).
+    ("anna", "multi_get_dispatch"): OperationCost(0.03, jitter_sigma=0.10),
     # -- AWS Lambda --------------------------------------------------------
     # The paper reports up to 20 ms overhead per invocation with a heavy tail.
     ("lambda", "invoke"): OperationCost(12.0, jitter_sigma=0.45),
@@ -100,6 +111,9 @@ DEFAULT_COSTS: Dict[Tuple[str, str], OperationCost] = {
     # Writes are serialised at the single master; queueing is added by the
     # baseline implementation on top of this per-request cost.
     ("redis", "queue_delay"): OperationCost(0.15, jitter_sigma=0.10),
+    # Pipelined MGET: per-key serial dispatch on top of the overlapped
+    # per-key round trips (same charge model as anna.multi_get_dispatch).
+    ("redis", "mget_dispatch"): OperationCost(0.02, jitter_sigma=0.10),
     # -- SAND (hierarchical message bus) ------------------------------------
     ("sand", "invoke"): OperationCost(14.0, jitter_sigma=0.30),
     ("sand", "local_bus"): OperationCost(1.6, jitter_sigma=0.20),

@@ -45,7 +45,11 @@ def _pipeline_cluster(tracer=None, seed=3, executor_vms=2,
 class TestConnectedSpanTree:
     def test_single_call_dag_covers_every_tier(self):
         tracer = Tracer(sample_rate=1.0)
-        cluster, cloud = _pipeline_cluster(tracer=tracer)
+        # Prefetch off so the reference read is a foreground cache miss and
+        # the request tree reaches the anna tier (prefetch would serve it
+        # from a background fetch — covered in test_prefetch.py).
+        cluster, cloud = _pipeline_cluster(tracer=tracer,
+                                           prefetch_references=False)
         engine = Engine()
         cluster.attach_engine(engine)
         try:

@@ -63,14 +63,39 @@ class TestSimulatedStorage:
         redis.put("b", 1, queued, contention=5)
         assert queued.clock.now_ms > free.clock.now_ms
 
-    def test_redis_mget_single_round_trip(self, model):
+    def test_redis_mget_overlaps_per_key_charges(self, model):
         redis = SimulatedRedis(model)
         for index in range(5):
             redis.put(f"k{index}", index)
         ctx = RequestContext()
         values = redis.mget([f"k{index}" for index in range(5)], ctx)
         assert values == [0, 1, 2, 3, 4]
-        assert ctx.count("redis", "get") == 1
+        # Pipelined charge model: every key pays its own service charge on a
+        # forked branch, the caller pays per-key dispatch and advances to the
+        # slowest branch (max, not sum).
+        assert ctx.count("redis", "get") == 5
+        assert ctx.count("redis", "mget_dispatch") == 4
+        get_latencies = [charge.latency_ms for charge in ctx.charges
+                         if charge.operation == "get"]
+        serial = sum(charge.latency_ms for charge in ctx.charges
+                     if charge.operation in ("mget_dispatch", "ingress"))
+        assert ctx.clock.now_ms >= max(get_latencies)
+        assert ctx.clock.now_ms <= max(get_latencies) + serial + 1e-9
+        assert ctx.clock.now_ms < sum(get_latencies)
+
+    def test_redis_mget_batch_of_one_matches_get(self, model):
+        charges = []
+        for use_mget in (False, True):
+            redis = SimulatedRedis(model)
+            redis.put("k", "v")
+            ctx = RequestContext()
+            if use_mget:
+                assert redis.mget(["k"], ctx) == ["v"]
+            else:
+                assert redis.get("k", ctx) == "v"
+            charges.append([(c.service, c.operation, c.latency_ms)
+                            for c in ctx.charges])
+        assert charges[0] == charges[1]
 
     def test_delete_and_keys(self, model):
         redis = SimulatedRedis(model)

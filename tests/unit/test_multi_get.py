@@ -1,0 +1,321 @@
+"""Unit tests for the batched read plane (cache/Anna multi_get).
+
+The charge-model contracts under test:
+
+* hits and misses partition correctly, and a batch's misses overlap in
+  virtual time — the caller pays ``(N-1) * dispatch + max(fetch latencies)``
+  plus the ingress-bandwidth overflow, never the sum of the fetches;
+* per-key queue/service charges still land on each storage node, so replica
+  queues stay honest under overlap (redirect/overload semantics identical to
+  the single-key path);
+* a batch of one is byte-identical to the single-key path, and disabling
+  ``batched_reads`` reproduces the sequential loop exactly;
+* the causal-cut repair over a batch leaves the same locally-visible state
+  the sequential per-key repair would have (hypothesis property test).
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.anna import AnnaCluster, StorageServiceModel
+from repro.cloudburst import ExecutorCache
+from repro.errors import KeyNotFoundError
+from repro.lattices import (
+    CausalLattice,
+    LWWLattice,
+    Timestamp,
+    VectorClock,
+)
+from repro.sim import Engine, LatencyModel, RequestContext, SimClock
+
+
+def lww(value, clock=1.0, node="n"):
+    return LWWLattice(Timestamp(clock, node), value)
+
+
+def ctx_at(now_ms: float = 0.0) -> RequestContext:
+    return RequestContext(clock=SimClock(now_ms))
+
+
+def make_anna(**kwargs) -> AnnaCluster:
+    kwargs.setdefault("node_count", 4)
+    kwargs.setdefault("replication_factor", 2)
+    kwargs.setdefault("latency_model", LatencyModel(jitter_enabled=False))
+    return AnnaCluster(**kwargs)
+
+
+def make_cache(anna=None, **kwargs) -> ExecutorCache:
+    anna = anna or make_anna()
+    return ExecutorCache("cache-a", anna, peer_registry={}, **kwargs)
+
+
+class TestHitMissPartition:
+    def test_hits_and_misses_partition(self):
+        cache = make_cache()
+        for key in ("a", "b", "c", "d"):
+            cache.kvs.put(key, lww(key.upper()))
+        cache.get_or_fetch("a")
+        cache.get_or_fetch("b")
+        hits_before = cache.stats.hits
+        ctx = ctx_at()
+        result = cache.multi_get(["a", "b", "c", "d", "ghost"], ctx)
+        assert {k: v.reveal() if v else None for k, v in result.items()} == {
+            "a": "A", "b": "B", "c": "C", "d": "D", "ghost": None}
+        assert cache.stats.hits == hits_before + 2
+        # Two misses fetched ("c", "d"), one not-found ("ghost") — all three
+        # charged an anna round trip on some branch.
+        assert ctx.count("anna", "get") == 3
+        # Hits cost one batched IPC, not one cache.get per key; the two
+        # fetched misses still pay their per-value IPC delivery (same body
+        # as the single-key miss path).
+        assert ctx.count("cache", "multi_get") == 1
+        assert ctx.count("cache", "get") == 2
+        for key in ("c", "d"):
+            assert cache.contains(key)
+
+    def test_duplicates_collapse(self):
+        cache = make_cache()
+        cache.kvs.put("k", lww("v"))
+        ctx = ctx_at()
+        result = cache.multi_get(["k", "k", "k"], ctx)
+        assert list(result) == ["k"]
+        assert ctx.count("anna", "get") == 1
+
+    def test_missing_key_maps_to_none_and_charges_like_single(self):
+        cache = make_cache()
+        batched = ctx_at()
+        assert cache.multi_get(["ghost"], batched) == {"ghost": None}
+        single = ctx_at()
+        with pytest.raises(KeyNotFoundError):
+            cache.get_or_fetch("ghost", single)
+        charge_log = lambda c: [(r.service, r.operation, r.latency_ms)
+                                for r in c.charges]
+        assert charge_log(batched) == charge_log(single)
+
+
+class TestOverlapCharging:
+    def test_batch_pays_max_not_sum(self):
+        cache = make_cache()
+        keys = [f"k{i}" for i in range(8)]
+        for key in keys:
+            cache.kvs.put(key, lww("v"))
+        batched = ctx_at()
+        cache.multi_get(list(keys), batched)
+
+        sequential = ctx_at()
+        fresh = make_cache()
+        for key in keys:
+            fresh.kvs.put(key, lww("v"))
+        for key in keys:
+            fresh.get_or_fetch(key, sequential)
+
+        # Same per-key anna work on both paths...
+        assert batched.count("anna", "get") == sequential.count("anna", "get")
+        # ...but the batched caller's clock advances by roughly one fetch
+        # plus dispatch, far below the sequential sum.
+        assert batched.clock.now_ms < sequential.clock.now_ms / 2
+        assert batched.count("anna", "multi_get_dispatch") == len(keys) - 1
+
+    def test_ingress_overflow_charged_for_large_values(self):
+        cache = make_cache()
+        big = "x" * 500_000
+        for key in ("a", "b", "c"):
+            cache.kvs.put(key, lww(big))
+        ctx = ctx_at()
+        cache.multi_get(["a", "b", "c"], ctx)
+        # Three ~0.5 MB responses into one NIC: two of them stream after the
+        # slowest branch finishes, so the caller owes their transfer time.
+        ingress = ctx.total("cache", "ingress")
+        bandwidth = cache.latency_model.cost(
+            "anna", "get").bandwidth_bytes_per_ms
+        expected = 2 * cache.kvs.get("a").size_bytes() / bandwidth
+        assert ingress == pytest.approx(expected, rel=0.01)
+
+    def test_storage_queue_charges_land_under_overlap(self):
+        # Two batch members on the same storage node serialize in its
+        # reservation queue: the second fetch is charged a real queue wait
+        # even though the batch overlaps in virtual time.
+        anna = make_anna(node_count=1, replication_factor=1,
+                         storage_service=StorageServiceModel(memory_base_ms=5.0))
+        anna.put("a", lww("v"))
+        anna.put("b", lww("v"))
+        anna.attach_engine(Engine())
+        cache = make_cache(anna)
+        ctx = ctx_at()
+        cache.multi_get(["a", "b"], ctx)
+        # The second branch arrives one dispatch (0.03 ms) after the first
+        # and waits out the remainder of its 5 ms service slot.
+        assert ctx.total("anna", "queue") == pytest.approx(5.0 - 0.03, abs=0.05)
+        assert ctx.total("anna", "service") == pytest.approx(10.0, abs=0.05)
+        anna.detach_engine()
+
+    def test_read_redirect_parity_with_single_key(self):
+        # A saturated primary redirects batched reads exactly as it does
+        # single-key reads.
+        def build():
+            anna = make_anna(node_count=3, replication_factor=2,
+                             node_queue_bound=1,
+                             storage_service=StorageServiceModel(
+                                 memory_base_ms=5.0),
+                             gossip_interval_ms=25.0)
+            anna.put("k", lww("v"))
+            anna.attach_engine(Engine())
+            first, _ = anna.replicas_of("k")
+            anna.node(first).work_queue.reserve(0.0, 5.0)
+            return anna, first
+
+        anna, first = build()
+        cache = make_cache(anna)
+        batched = ctx_at()
+        cache.multi_get(["k"], batched)
+        assert anna.node(first).read_redirects == 1
+        assert batched.total("anna", "queue") == 0.0
+        anna.detach_engine()
+
+        anna, first = build()
+        single = anna.get("k", ctx_at())
+        assert anna.node(first).read_redirects == 1
+        anna.detach_engine()
+
+
+class TestBatchOfOneParity:
+    def test_single_key_batch_matches_get_or_fetch(self):
+        model = LatencyModel()  # jitter on: RNG draws must align too
+        charge_logs = []
+        for use_batch in (False, True):
+            anna = AnnaCluster(node_count=4, replication_factor=2,
+                               latency_model=LatencyModel())
+            cache = ExecutorCache("cache-a", anna, peer_registry={})
+            anna.put("k", lww("v"))
+            ctx = ctx_at()
+            if use_batch:
+                assert cache.multi_get(["k"], ctx)["k"].reveal() == "v"
+            else:
+                assert cache.get_or_fetch("k", ctx).reveal() == "v"
+            charge_logs.append([(r.service, r.operation, r.latency_ms)
+                                for r in ctx.charges])
+        assert charge_logs[0] == charge_logs[1]
+
+    def test_knob_off_matches_sequential_loop(self):
+        keys = [f"k{i}" for i in range(5)]
+        charge_logs = []
+        for batched in (False, None):  # None = hand-written loop
+            anna = AnnaCluster(node_count=4, replication_factor=2,
+                               latency_model=LatencyModel())
+            cache = ExecutorCache("cache-a", anna, peer_registry={},
+                                  batched_reads=batched if batched is not None
+                                  else True)
+            for key in keys:
+                anna.put(key, lww("v"))
+            ctx = ctx_at()
+            if batched is False:
+                cache.multi_get(list(keys) + ["ghost"], ctx)
+            else:
+                for key in keys:
+                    cache.get_or_fetch(key, ctx)
+                try:
+                    cache.get_or_fetch("ghost", ctx)
+                except KeyNotFoundError:
+                    pass
+            charge_logs.append([(r.service, r.operation, r.latency_ms)
+                                for r in ctx.charges])
+        assert charge_logs[0] == charge_logs[1]
+
+
+class TestAnnaMultiGet:
+    def test_multi_get_returns_values_and_none(self):
+        anna = make_anna()
+        anna.put("a", lww("A"))
+        ctx = ctx_at()
+        result = anna.multi_get(["a", "ghost"], ctx)
+        assert result["a"].reveal() == "A"
+        assert result["ghost"] is None
+        assert ctx.count("anna", "get") == 2
+        assert ctx.count("anna", "multi_get_dispatch") == 1
+
+    def test_batch_of_one_matches_get_or_none(self):
+        charge_logs = []
+        for use_batch in (False, True):
+            anna = AnnaCluster(node_count=4, replication_factor=2,
+                               latency_model=LatencyModel())
+            anna.put("a", lww("A"))
+            ctx = ctx_at()
+            if use_batch:
+                anna.multi_get(["a"], ctx)
+            else:
+                anna.get_or_none("a", ctx)
+            charge_logs.append([(r.service, r.operation, r.latency_ms)
+                                for r in ctx.charges])
+        assert charge_logs[0] == charge_logs[1]
+
+
+# -- causal-cut property test ------------------------------------------------------------
+
+def _causal(value, clock_entries, deps=None):
+    clock = VectorClock()
+    for node, count in clock_entries.items():
+        for _ in range(count):
+            clock = clock.increment(node)
+    return CausalLattice(clock, value, dependencies=deps or {})
+
+
+@st.composite
+def causal_stores(draw):
+    """A small KVS of causally versioned keys with random dependency edges."""
+    key_count = draw(st.integers(min_value=2, max_value=6))
+    keys = [f"k{i}" for i in range(key_count)]
+    lattices = {}
+    for index, key in enumerate(keys):
+        clock = {f"w{draw(st.integers(0, 2))}": draw(st.integers(1, 3))}
+        deps = {}
+        # Dependencies point only at earlier keys: the graph stays acyclic.
+        for dep_key in keys[:index]:
+            if draw(st.booleans()):
+                dep_clock = VectorClock()
+                for _ in range(draw(st.integers(1, 3))):
+                    dep_clock = dep_clock.increment(f"w{draw(st.integers(0, 2))}")
+                deps[dep_key] = dep_clock
+        lattices[key] = _causal(f"v-{key}", clock, deps)
+    batch = draw(st.lists(st.sampled_from(keys), min_size=1, max_size=6))
+    return lattices, batch
+
+
+class TestCausalCutProperty:
+    @settings(max_examples=40, deadline=None)
+    @given(causal_stores())
+    def test_batched_cut_matches_sequential_cut(self, store):
+        """After multi_get, the local causal state equals the sequential one.
+
+        For every random store and batch: reading the batch through
+        ``multi_get`` must leave the cache holding versions that satisfy the
+        same causal cut as reading the keys one by one through the
+        single-key path (get_or_fetch + ensure_causal_cut), and resolve the
+        same dependency set.
+        """
+        lattices, batch = store
+
+        def build(batched):
+            anna = AnnaCluster(node_count=2, replication_factor=1,
+                               latency_model=LatencyModel(jitter_enabled=False))
+            for key, lattice in lattices.items():
+                anna.put(key, lattice)
+            return ExecutorCache("cache-a", anna, peer_registry={},
+                                 batched_reads=batched)
+
+        batched_cache = build(True)
+        batched_cache.multi_get(batch, ctx_at())
+
+        sequential_cache = build(False)
+        for key in dict.fromkeys(batch):
+            value = sequential_cache.get_or_fetch(key, ctx_at())
+            sequential_cache.ensure_causal_cut(value, ctx_at())
+
+        for key in dict.fromkeys(batch):
+            expected = sequential_cache.get_local(key)
+            got = batched_cache.get_local(key)
+            assert got is not None
+            assert got.vector_clock.dominates_or_equal(expected.vector_clock)
+        # Both paths agree on what was resolvable.
+        assert (batched_cache.stats.causal_deps_unresolved == 0) == \
+            (sequential_cache.stats.causal_deps_unresolved == 0)
